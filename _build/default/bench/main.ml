@@ -1,0 +1,421 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation.
+
+     table1       the implemented CHERI instruction inventory (Table 1)
+     table2       functional comparison of protection models (Table 2)
+     fig3         the limit study: 5 overhead metrics x 8 models (Figure 3)
+     fig4         MIPS vs CCured vs CHERI on four Olden benchmarks (Figure 4)
+     fig5         CHERI slowdown vs heap size (Figure 5)
+     fig6         FPGA area breakdown and fmax (Figure 6 / Section 9)
+     seg-compare  capability manipulation vs IA32 segment loads (Section 4.4)
+     micro        Bechamel microbenchmarks of the simulator itself
+     all          everything above (the default)
+
+   `--paper-size` runs fig3/fig4 at the paper's original parameters
+   (slow under an interpreter); the default is a scaled-down configuration
+   whose *shape* matches (EXPERIMENTS.md records both). *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let table1 () =
+  section "Table 1: CHERI instruction-set extensions (as implemented)";
+  let rows =
+    [
+      ("CGetBase", "cgetbase $t0, $c1", "Move base to a GPR");
+      ("CGetLen", "cgetlen $t0, $c1", "Move length to a GPR");
+      ("CGetTag", "cgettag $t0, $c1", "Move tag bit to a GPR");
+      ("CGetPerm", "cgetperm $t0, $c1", "Move permissions to a GPR");
+      ("CGetPCC", "cgetpcc $t0, $c1", "Move the PCC and PC to GPRs");
+      ("CIncBase", "cincbase $c2, $c1, $t0", "Increase base and decrease length");
+      ("CSetLen", "csetlen $c2, $c1, $t0", "Set (reduce) length");
+      ("CClearTag", "ccleartag $c2, $c1", "Invalidate a capability register");
+      ("CAndPerm", "candperm $c2, $c1, $t0", "Restrict permissions");
+      ("CToPtr", "ctoptr $t0, $c1, $c0", "Generate C0-based integer pointer");
+      ("CFromPtr", "cfromptr $c2, $c0, $t0", "CIncBase with support for NULL casts");
+      ("CBTU", "cbtu $c1, 0x1000", "Branch if capability tag is unset");
+      ("CBTS", "cbts $c1, 0x1000", "Branch if capability tag is set");
+      ("CLC", "clc $c2, $t0, 32($c1)", "Load capability register");
+      ("CSC", "csc $c2, $t0, 32($c1)", "Store capability register");
+      ("CL[BHWD][U]", "clwu $t1, $t0, 8($c1)", "Load scalar via capability (zero-extend)");
+      ("CS[BHWD]", "csd $t1, $t0, 8($c1)", "Store scalar via capability");
+      ("CLLD", "clld $t0, $c1", "Load linked via capability");
+      ("CSCD", "cscd $t0, $t1, $c1", "Store conditional via capability");
+      ("CJR", "cjr $c1", "Jump capability register");
+      ("CJALR", "cjalr $c2, $c1", "Jump and link capability register");
+      ("CSeal", "cseal $c2, $c1, $c3", "Seal a capability (Section 11 extension)");
+      ("CUnseal", "cunseal $c2, $c1, $c3", "Unseal a capability");
+      ("CCall", "ccall $c1, $c2", "Protected procedure call (traps to kernel)");
+      ("CReturn", "creturn", "Protected return (traps to kernel)");
+    ]
+  in
+  Printf.printf "%-14s %-28s %s\n" "Mnemonic" "Example" "Description";
+  List.iter
+    (fun (mnemonic, example, desc) ->
+      (* Round-trip every exemplar through the assembler and decoder as a
+         self-check. *)
+      let program = Asm.Assembler.assemble ("  .text 0x1000\n  " ^ example ^ "\n") in
+      let word =
+        match program.Asm.Assembler.segments with
+        | (_, bytes) :: _ ->
+            Char.code bytes.[0] lor (Char.code bytes.[1] lsl 8)
+            lor (Char.code bytes.[2] lsl 16)
+            lor (Char.code bytes.[3] lsl 24)
+        | [] -> 0
+      in
+      ignore (Beri.Code.decode word);
+      Printf.printf "%-14s %-28s %s\n" mnemonic example desc)
+    rows;
+  Printf.printf "(all %d exemplars assembled, encoded, and decoded)\n" (List.length rows)
+
+(* --- Table 2 ------------------------------------------------------------- *)
+
+let table2 () =
+  section "Table 2: comparison of protection models";
+  Printf.printf "%-18s" "Mechanism";
+  List.iter (Printf.printf " %-14s") Models.Criteria.columns;
+  print_newline ();
+  List.iter
+    (fun row ->
+      Printf.printf "%-18s" row.Models.Criteria.mechanism;
+      List.iter
+        (fun v -> Printf.printf " %-14s" (Models.Criteria.verdict_mark v))
+        (Models.Criteria.cells row);
+      print_newline ())
+    Models.Criteria.table;
+  Printf.printf "(* Mondrian: fine-grained for the heap, not stack or globals)\n"
+
+(* --- Figure 3 -------------------------------------------------------------- *)
+
+let fig3_workloads ~paper_size =
+  if paper_size then
+    [
+      ("bisort", fun rt -> let _, a, _ = Olden.Bisort.run rt ~levels:18 in a);
+      ("mst", fun rt -> Olden.Mst.run rt ~n:1024 ());
+      ("treeadd", fun rt -> Olden.Treeadd.run rt ~levels:21);
+      ("perimeter", fun rt -> Int64.of_int (Olden.Perimeter.run rt ~levels:12));
+      ("em3d", fun rt -> Olden.Em3d.run rt ~n:2000 ());
+      ("health", fun rt -> Olden.Health.run rt ~levels:6 ~steps:150);
+      ("power", fun rt -> Olden.Power.run rt ~depth:5 ~fanout:6 ());
+      ("tsp", fun rt -> Olden.Tsp.run rt ~n:8000 ());
+    ]
+  else
+    [
+      ("bisort", fun rt -> let _, a, _ = Olden.Bisort.run rt ~levels:12 in a);
+      ("mst", fun rt -> Olden.Mst.run rt ~n:256 ());
+      ("treeadd", fun rt -> Olden.Treeadd.run rt ~levels:14);
+      ("perimeter", fun rt -> Int64.of_int (Olden.Perimeter.run rt ~levels:9));
+      ("em3d", fun rt -> Olden.Em3d.run rt ~n:600 ());
+      ("health", fun rt -> Olden.Health.run rt ~levels:5 ~steps:80);
+      ("power", fun rt -> Olden.Power.run rt ~depth:4 ~fanout:5 ());
+      ("tsp", fun rt -> Olden.Tsp.run rt ~n:1500 ());
+    ]
+
+let print_fig3_metric title get rows_by_bench average =
+  Printf.printf "\n%s (overhead %% over unprotected MIPS baseline)\n" title;
+  Printf.printf "%-11s" "benchmark";
+  List.iter
+    (fun (r : Models.Metrics.row) -> Printf.printf " %10s" r.Models.Metrics.name)
+    (snd (List.hd rows_by_bench));
+  print_newline ();
+  List.iter
+    (fun (bench, rows) ->
+      Printf.printf "%-11s" bench;
+      List.iter (fun r -> Printf.printf " %10.1f" (get r)) rows;
+      print_newline ())
+    rows_by_bench;
+  Printf.printf "%-11s" "MEAN";
+  List.iter (fun r -> Printf.printf " %10.1f" (get r)) average;
+  print_newline ()
+
+let fig3 ~paper_size () =
+  section "Figure 3: simulated overheads of Olden benchmarks (limit study)";
+  let results =
+    List.map (fun (name, w) -> Models.Runner.run ~name w) (fig3_workloads ~paper_size)
+  in
+  let rows_by_bench =
+    List.map (fun (r : Models.Runner.result) -> (r.Models.Runner.workload, r.Models.Runner.rows)) results
+  in
+  let average = Models.Runner.average results in
+  print_fig3_metric "Virtual memory footprint (pages)"
+    (fun r -> r.Models.Metrics.o_pages)
+    rows_by_bench average;
+  print_fig3_metric "Memory I/O (bytes)" (fun r -> r.Models.Metrics.o_bytes) rows_by_bench average;
+  print_fig3_metric "Memory references (count)"
+    (fun r -> r.Models.Metrics.o_refs)
+    rows_by_bench average;
+  print_fig3_metric "Total instructions - optimistic"
+    (fun r -> r.Models.Metrics.o_instr_opt)
+    rows_by_bench average;
+  print_fig3_metric "Total instructions - pessimistic"
+    (fun r -> r.Models.Metrics.o_instr_pess)
+    rows_by_bench average;
+  Printf.printf "\nSystem calls (count; Section 7 'system-call rate'):\n";
+  Printf.printf "%-11s" "benchmark";
+  List.iter
+    (fun (r : Models.Metrics.row) -> Printf.printf " %10s" r.Models.Metrics.name)
+    (snd (List.hd rows_by_bench));
+  print_newline ();
+  List.iter
+    (fun (bench, rows) ->
+      Printf.printf "%-11s" bench;
+      List.iter
+        (fun (r : Models.Metrics.row) -> Printf.printf " %10d" r.Models.Metrics.syscall_count)
+        rows;
+      print_newline ())
+    rows_by_bench;
+  Printf.printf
+    "\nPaper shape check: iMPX worst on pages & bytes; M-Machine poor on pages;\n\
+     CHERI/simple-FP pages small; Mondrian lowest traffic but syscall-bound;\n\
+     hardware fat pointers (CHERI, Hardbound, M-Machine) identical under both\n\
+     instruction-accounting disciplines.\n"
+
+(* --- Figure 4 ----------------------------------------------------------------- *)
+
+let fig4 ~paper_size () =
+  section "Figure 4: MIPS vs CCured(softcheck) vs CHERI on the FPGA-model machine";
+  let rows = Exp.Fig4.run_all ~paper_size () in
+  Printf.printf "%-11s %-10s %11s %13s %10s %12s %10s\n" "benchmark" "mode" "alloc[%]"
+    "compute[%]" "total[%]" "cycles" "heap[KB]";
+  List.iter
+    (fun (r : Exp.Fig4.row) ->
+      Printf.printf "%-11s %-10s %11.1f %13.1f %10.1f %12Ld %10Ld\n" r.Exp.Fig4.bench
+        (Minic.Layout.mode_name r.Exp.Fig4.mode)
+        r.Exp.Fig4.alloc_overhead_pct r.Exp.Fig4.compute_overhead_pct
+        r.Exp.Fig4.total_overhead_pct r.Exp.Fig4.result.Exp.Bench_run.cycles
+        (Int64.div r.Exp.Fig4.result.Exp.Bench_run.heap_bytes 1024L))
+    rows;
+  Printf.printf "\nBeyond the paper's four (our ports):\n";
+  Printf.printf "%-11s %-10s %11s %13s %10s %12s %10s\n" "benchmark" "mode" "alloc[%]"
+    "compute[%]" "total[%]" "cycles" "heap[KB]";
+  List.iter
+    (fun (r : Exp.Fig4.row) ->
+      Printf.printf "%-11s %-10s %11.1f %13.1f %10.1f %12Ld %10Ld\n" r.Exp.Fig4.bench
+        (Minic.Layout.mode_name r.Exp.Fig4.mode)
+        r.Exp.Fig4.alloc_overhead_pct r.Exp.Fig4.compute_overhead_pct
+        r.Exp.Fig4.total_overhead_pct r.Exp.Fig4.result.Exp.Bench_run.cycles
+        (Int64.div r.Exp.Fig4.result.Exp.Bench_run.heap_bytes 1024L))
+    (Exp.Fig4.run_extended ~paper_size ());
+  Printf.printf
+    "\nPaper shape check: CHERI outperforms CCured substantially in all\n\
+     configurations; CHERI allocation cost is small (one CIncBase+CSetLen);\n\
+     computation overheads are cache-miss driven (larger capability nodes).\n"
+
+(* --- Figure 5 ------------------------------------------------------------------- *)
+
+let fig5 () =
+  section "Figure 5: CHERI slowdown vs heap size (16 KB L1 / 64 KB L2 / 1 MB TLB reach)";
+  let points = Exp.Fig5.run_sweep () in
+  Printf.printf "%-11s %8s %10s %14s %18s\n" "benchmark" "param" "heap[KB]" "slowdown[%]"
+    "L1D misses (C/L)";
+  List.iter
+    (fun (p : Exp.Fig5.point) ->
+      Printf.printf "%-11s %8d %10d %14.1f %11d/%d\n" p.Exp.Fig5.bench p.Exp.Fig5.param
+        p.Exp.Fig5.heap_kb p.Exp.Fig5.slowdown_pct p.Exp.Fig5.cheri_l1d_misses
+        p.Exp.Fig5.legacy_l1d_misses)
+    points;
+  Printf.printf
+    "\nPaper shape check: negligible overhead for cache-resident sets; visible\n\
+     steps as the capability working set overflows L1, then L2, then TLB reach.\n"
+
+(* --- Figure 6 / Section 9 ---------------------------------------------------------- *)
+
+let fig6 () =
+  section "Figure 6 / Section 9: area and clock-speed cost";
+  Printf.printf "%-20s %10s %8s\n" "Component" "LEs" "%";
+  List.iter
+    (fun c ->
+      Printf.printf "%-20s %10d %7.1f%%\n" c.Models.Area.name c.Models.Area.cheri_les
+        (Models.Area.pct c))
+    Models.Area.components;
+  Printf.printf "\nBERI total:  %d LEs\n" (Models.Area.beri_total ());
+  Printf.printf "CHERI total: %d LEs\n" (Models.Area.cheri_total ());
+  Printf.printf "Area overhead: %.1f%%   (paper: %.1f%%)\n"
+    (Models.Area.area_overhead_pct ())
+    Models.Area.paper_area_overhead_pct;
+  Printf.printf "fmax: BERI %.2f MHz, CHERI %.2f MHz -> %.1f%% penalty (paper: %.1f%%)\n"
+    Models.Area.fmax_beri_mhz Models.Area.fmax_cheri_mhz Models.Area.fmax_penalty_pct
+    Models.Area.paper_fmax_penalty_pct
+
+(* --- Section 4.4: capability manipulation vs IA32 segment loads --------------------- *)
+
+let seg_compare () =
+  section "Section 4.4: capability manipulation cost";
+  let m = Machine.create () in
+  let k = Os.Kernel.attach m in
+  let source =
+    {|
+main:
+  li $t0, 0x100000
+  li $t1, 4096
+  li $t2, 0x17
+  li $t3, 10000
+loop:
+  cincbase $c1, $c0, $t0     # derive
+  csetlen  $c1, $c1, $t1     # bound
+  candperm $c1, $c1, $t2     # restrict
+  daddiu $t3, $t3, -1
+  bgtz $t3, loop
+  li $v0, 1
+  li $a0, 0
+  syscall
+|}
+  in
+  let before = m.Machine.cycles in
+  let code, _ = Os.Kernel.run_program k source in
+  assert (code = 0);
+  let cycles = Int64.to_int (Int64.sub m.Machine.cycles before) in
+  let per_iter = float_of_int cycles /. 10000.0 in
+  (* 5 instructions per iteration; 3 are capability manipulations. *)
+  let per_manip = (per_iter -. 2.0) /. 3.0 in
+  Printf.printf "measured: %.2f cycles per capability manipulation (single-cycle design)\n"
+    per_manip;
+  Printf.printf
+    "IA32 protected segment manipulation: >= 241 cycles on a 1.1 GHz Pentium III\n\
+     (Lam & Chiueh, cited in Section 4.4) -> CHERI is ~%dx faster per\n\
+     protection-respecting pointer manipulation.\n"
+    (int_of_float (241.0 /. per_manip));
+  Printf.printf "context-switch footprint: %d bytes of capability+GPR state (Section 4.3)\n"
+    Os.Context.switch_bytes
+
+(* --- Ablations ------------------------------------------------------------------------- *)
+
+let ablation () =
+  section "Ablation 1: capability compression (256-bit vs 128-bit machine)";
+  Printf.printf "%-11s %14s %14s %12s %12s\n" "benchmark" "CHERI-256[%]" "CHERI-128[%]"
+    "heap256[KB]" "heap128[KB]";
+  List.iter
+    (fun (r : Exp.Ablation.width_row) ->
+      Printf.printf "%-11s %14.1f %14.1f %12d %12d\n" r.Exp.Ablation.bench
+        r.Exp.Ablation.cheri256_total_pct r.Exp.Ablation.cheri128_total_pct
+        r.Exp.Ablation.heap256_kb r.Exp.Ablation.heap128_kb)
+    (Exp.Ablation.compression ());
+  print_string
+    "\nSection 8: 'These results reconfirm that CHERI will benefit from\n\
+     capability compression' -- the 128-bit machine halves the pointer\n\
+     footprint and recovers most of the cache-driven overhead.\n";
+  section "Ablation 2: tag-cache size (Section 4.2)";
+  Printf.printf "%-16s %12s %12s %14s\n" "tag cache [B]" "tag fills" "data fills" "ratio [%]";
+  List.iter
+    (fun (r : Exp.Ablation.tag_row) ->
+      Printf.printf "%-16d %12d %12d %14.2f\n" r.Exp.Ablation.tag_cache_bytes
+        r.Exp.Ablation.tag_fills r.Exp.Ablation.data_fills r.Exp.Ablation.fill_ratio_pct)
+    (Exp.Ablation.tag_cache_sweep ());
+  print_string
+    "\nAt the paper's 8 KB the tag table adds only a tiny fraction of DRAM\n\
+     transactions ('does not noticeably degrade performance').\n";
+  section "Ablation 3: DRAM latency sensitivity (treeadd slowdown)";
+  Printf.printf "%-16s %18s\n" "DRAM [cycles]" "CHERI slowdown [%]";
+  List.iter
+    (fun (r : Exp.Ablation.latency_row) ->
+      Printf.printf "%-16d %18.1f\n" r.Exp.Ablation.dram_cycles
+        r.Exp.Ablation.treeadd_slowdown_pct)
+    (Exp.Ablation.latency_sweep ());
+  print_string
+    "\nThe slowdown scales with memory latency -- evidence that CHERI's\n\
+     overhead is cache-miss-driven, as Section 8 argues.\n"
+
+(* --- Bechamel microbenchmarks ----------------------------------------------------------- *)
+
+let micro () =
+  section "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let cap_ops =
+    let c = Cap.Capability.make ~perms:Cap.Perms.all ~base:0x1000L ~length:0x10000L in
+    Test.make ~name:"capability derive (CIncBase+CSetLen+CAndPerm)"
+      (Staged.stage (fun () ->
+           match Cap.Capability.inc_base c 16L with
+           | Ok c' -> (
+               match Cap.Capability.set_len c' 64L with
+               | Ok c'' -> ignore (Cap.Capability.and_perm c'' Cap.Perms.load)
+               | Error _ -> ())
+           | Error _ -> ()))
+  in
+  let cap_bytes =
+    let c = Cap.Capability.make ~perms:Cap.Perms.all ~base:0x1000L ~length:0x10000L in
+    Test.make ~name:"capability 256-bit image encode+decode"
+      (Staged.stage (fun () ->
+           ignore (Cap.Capability.of_bytes ~tag:true (Cap.Capability.to_bytes c))))
+  in
+  let decode =
+    let words =
+      List.map Beri.Code.encode
+        [
+          Beri.Insn.Daddu (1, 2, 3);
+          Beri.Insn.Load (Beri.Insn.D, false, 4, 5, 16);
+          Beri.Insn.CIncBase (1, 2, 3);
+          Beri.Insn.CLC (1, 2, 3, 32);
+        ]
+    in
+    Test.make ~name:"instruction decode (4 insns)"
+      (Staged.stage (fun () -> List.iter (fun w -> ignore (Beri.Code.decode w)) words))
+  in
+  let interp =
+    let m = Machine.create () in
+    let _k = Os.Kernel.attach m in
+    let program =
+      Asm.Assembler.assemble
+        "main:\n  li $t0, 100\nloop:\n  daddiu $t0, $t0, -1\n  bgtz $t0, loop\n  break\n"
+    in
+    Asm.Assembler.load m program;
+    Machine.map_identity m ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+    Machine.set_kernel m (fun _ _ -> Machine.Halt 0);
+    Test.make ~name:"interpreter: 200-instruction loop"
+      (Staged.stage (fun () ->
+           m.Machine.pc <- program.Asm.Assembler.entry;
+           ignore (Machine.run ~max_insns:1_000L m)))
+  in
+  let cache =
+    let c = Mem.Cache.create ~name:"bench" ~size_bytes:16384 ~line_bytes:32 ~assoc:4 in
+    let i = ref 0L in
+    Test.make ~name:"cache model access"
+      (Staged.stage (fun () ->
+           i := Int64.add !i 40L;
+           ignore (Mem.Cache.access c ~addr:(Int64.logand !i 0xFFFFFL) ~write:false)))
+  in
+  let tests =
+    Test.make_grouped ~name:"cheri" ~fmt:"%s %s" [ cap_ops; cap_bytes; decode; interp; cache ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-55s %12.1f ns/op\n" name est
+      | _ -> Printf.printf "%-55s (no estimate)\n" name)
+    results
+
+(* --- driver -------------------------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let paper_size = List.mem "--paper-size" args in
+  let args = List.filter (fun a -> a <> "--paper-size") args in
+  let targets =
+    if args = [] || args = [ "all" ] then
+      [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "seg-compare"; "ablation"; "micro" ]
+    else args
+  in
+  List.iter
+    (fun t ->
+      match t with
+      | "table1" -> table1 ()
+      | "table2" -> table2 ()
+      | "fig3" -> fig3 ~paper_size ()
+      | "fig4" -> fig4 ~paper_size ()
+      | "fig5" -> fig5 ()
+      | "fig6" -> fig6 ()
+      | "seg-compare" -> seg_compare ()
+      | "ablation" -> ablation ()
+      | "micro" -> micro ()
+      | other ->
+          Printf.eprintf
+            "unknown target %S (expected table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|micro|all)\n"
+            other;
+          exit 2)
+    targets

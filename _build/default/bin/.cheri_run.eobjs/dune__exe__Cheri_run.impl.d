@@ -1,0 +1,1 @@
+bin/cheri_run.ml: Arg Asm Beri Bytes Cap Cmd Cmdliner Fmt In_channel Int64 List Machine Mem Os String Term

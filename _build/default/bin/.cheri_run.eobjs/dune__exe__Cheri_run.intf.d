@@ -1,0 +1,1 @@
+bin/cheri_run.mli:

@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Beri Cap Cmd Cmdliner Fmt In_channel Machine Minic Os Out_channel Printf Term

@@ -1,0 +1,68 @@
+(* cheri_run: assemble and execute a BERI/CHERI assembly file on the
+   simulated machine.
+
+     dune exec bin/cheri_run.exe -- program.s [--trace] [--disasm] [--stats]
+
+   The program runs under the kernel model with the full user address
+   space delegated (Section 4.3); console output (putchar/write/print_int
+   syscalls) goes to stdout, and the process exit code becomes this
+   tool's exit code. *)
+
+open Cmdliner
+
+let run file disasm trace stats max_insns =
+  let source = In_channel.with_open_text file In_channel.input_all in
+  let program =
+    try Asm.Assembler.assemble source
+    with Asm.Assembler.Error (line, msg) ->
+      Fmt.epr "%s:%d: %s@." file line msg;
+      exit 2
+  in
+  if disasm then
+    List.iter
+      (fun (base, bytes) ->
+        Fmt.pr "; segment at 0x%Lx (%d bytes)@." base (String.length bytes);
+        if Int64.compare base 0x100_000L < 0 then
+          let m = Machine.create () in
+          Mem.Phys.write_bytes m.Machine.phys base (Bytes.of_string bytes);
+          List.iter print_endline
+            (Asm.Disasm.range m ~addr:base ~count:(String.length bytes / 4)))
+      program.Asm.Assembler.segments;
+  let machine = Machine.create () in
+  let kernel = Os.Kernel.attach machine in
+  Os.Kernel.set_fault_handler kernel (fun _k fault ->
+      Fmt.epr "fatal fault at pc=0x%Lx: %s (badvaddr=0x%Lx, capcause=%s/C%d)@."
+        fault.Os.Kernel.pc
+        (Beri.Cp0.exc_to_string fault.Os.Kernel.exc)
+        fault.Os.Kernel.badvaddr
+        (Cap.Cause.to_string fault.Os.Kernel.capcause)
+        fault.Os.Kernel.capreg;
+      Machine.Halt 139);
+  if trace then
+    Machine.set_trace_hook machine (fun m marker a b ->
+        Fmt.epr "[trace] cycle %Ld: %s %Ld %Ld@." m.Machine.cycles
+          (Beri.Insn.marker_name marker) a b);
+  Os.Kernel.exec kernel program;
+  let code = Machine.run ~max_insns machine in
+  print_string (Os.Kernel.console kernel);
+  if stats then begin
+    Fmt.epr "instructions: %Ld@." machine.Machine.instret;
+    Fmt.epr "cycles:       %Ld@." machine.Machine.cycles;
+    Fmt.epr "%a@." Mem.Hierarchy.pp_stats machine.Machine.hier
+  end;
+  exit code
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.S")
+let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Print a disassembly before running.")
+let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print instrumentation markers.")
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and cache statistics.")
+
+let max_insns =
+  Arg.(value & opt int64 1_000_000_000L & info [ "max-insns" ] ~doc:"Instruction budget.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cheri_run" ~doc:"Run a BERI/CHERI assembly program on the simulated machine")
+    Term.(const run $ file $ disasm $ trace $ stats $ max_insns)
+
+let () = exit (Cmd.eval cmd)

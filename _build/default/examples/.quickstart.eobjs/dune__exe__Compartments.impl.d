@@ -1,0 +1,1 @@
+examples/compartments.ml: Cap Fmt Machine Os String

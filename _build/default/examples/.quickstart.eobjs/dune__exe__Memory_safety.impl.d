@@ -1,0 +1,1 @@
+examples/memory_safety.ml: Cap Fmt Machine Minic Os String

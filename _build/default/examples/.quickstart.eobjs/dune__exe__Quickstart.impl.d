@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cap Fmt Machine Os String

@@ -1,0 +1,1 @@
+examples/sandbox.ml: Asm Beri Fmt Machine Mem Os

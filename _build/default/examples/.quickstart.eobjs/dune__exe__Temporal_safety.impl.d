@@ -1,0 +1,1 @@
+examples/temporal_safety.ml: Asm Beri Cap Fmt Insn Machine Os

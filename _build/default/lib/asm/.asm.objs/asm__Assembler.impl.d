@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Array Beri Buffer Bytes Cap Char Code Fmt Hashtbl Insn Int64 List Machine Mem Option Printf Regs String

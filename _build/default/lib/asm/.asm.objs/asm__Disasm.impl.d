@@ -1,0 +1,1 @@
+lib/asm/disasm.ml: Beri Int64 List Machine Mem Printf

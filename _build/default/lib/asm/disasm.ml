@@ -1,0 +1,15 @@
+(* Disassembler: binary words back to assembly text, used by debug tooling
+   and the encode/decode round-trip tests. *)
+
+let word w =
+  match Beri.Code.decode w with
+  | insn -> Beri.Insn.to_string insn
+  | exception Beri.Code.Decode_error _ -> Printf.sprintf ".word 0x%08x" w
+
+(* Disassemble [count] instructions starting at [addr] in a machine's
+   memory. *)
+let range (m : Machine.t) ~addr ~count =
+  List.init count (fun i ->
+      let a = Int64.add addr (Int64.of_int (4 * i)) in
+      let w = Mem.Phys.read_u32 m.Machine.phys a in
+      Printf.sprintf "%8Lx:  %08x  %s" a w (word w))

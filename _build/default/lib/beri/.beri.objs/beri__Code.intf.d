@@ -1,0 +1,1 @@
+lib/beri/code.mli: Insn

@@ -1,0 +1,1 @@
+lib/beri/cp0.ml: Cap Int64

@@ -1,0 +1,1 @@
+lib/beri/insn.ml: Array Fmt

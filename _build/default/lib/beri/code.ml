@@ -1,0 +1,358 @@
+(* Binary encoding of the BERI/CHERI instruction set.
+
+   The MIPS subset uses the standard MIPS IV encodings.  The CHERI
+   extensions live in the coprocessor-2 opcode space the base architecture
+   reserves for them (COP2 = 0x12, LWC2/SWC2/LDC2/SDC2 for the
+   capability-relative memory operations); the 2014 paper does not publish
+   binary encodings so the CP2 layout here is our own, documented in
+   docs/ISA.md.  [decode] is the inverse of [encode] on all constructible
+   instructions (a QCheck property in the test suite). *)
+
+exception Decode_error of int
+
+open Insn
+
+(* Field extraction. *)
+let bits word hi lo = (word lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let op word = bits word 31 26
+let rs word = bits word 25 21
+let rt word = bits word 20 16
+let rd word = bits word 15 11
+let shamt word = bits word 10 6
+let funct word = bits word 5 0
+let imm16 word = bits word 15 0
+let simm16 word =
+  let v = imm16 word in
+  if v land 0x8000 <> 0 then v - 0x10000 else v
+let target26 word = bits word 25 0
+
+(* Field packing. *)
+let r_type ~op:o ~rs:s ~rt:t ~rd:d ~shamt:sa ~funct:f =
+  (o lsl 26) lor (s lsl 21) lor (t lsl 16) lor (d lsl 11) lor (sa lsl 6) lor f
+
+let i_type ~op:o ~rs:s ~rt:t ~imm =
+  (o lsl 26) lor (s lsl 21) lor (t lsl 16) lor (imm land 0xFFFF)
+
+let j_type ~op:o ~target = (o lsl 26) lor (target land 0x3FF_FFFF)
+
+(* --- MIPS SPECIAL (opcode 0) function codes ---------------------------- *)
+
+let special = 0x00
+let regimm = 0x01
+let cop0 = 0x10
+let cop2 = 0x12
+let cop3_trace = 0x13
+
+let f_sll = 0x00 and f_srl = 0x02 and f_sra = 0x03
+let f_sllv = 0x04 and f_srlv = 0x06 and f_srav = 0x07
+let f_jr = 0x08 and f_jalr = 0x09
+let f_syscall = 0x0C and f_break = 0x0D
+let f_mfhi = 0x10 and f_mthi = 0x11 and f_mflo = 0x12 and f_mtlo = 0x13
+let f_dsllv = 0x14 and f_dsrlv = 0x16 and f_dsrav = 0x17
+let f_mult = 0x18 and f_multu = 0x19 and f_div = 0x1A and f_divu = 0x1B
+let f_dmult = 0x1C and f_dmultu = 0x1D and f_ddiv = 0x1E and f_ddivu = 0x1F
+let f_add = 0x20 and f_addu = 0x21 and f_sub = 0x22 and f_subu = 0x23
+let f_and = 0x24 and f_or = 0x25 and f_xor = 0x26 and f_nor = 0x27
+let f_slt = 0x2A and f_sltu = 0x2B
+let f_dadd = 0x2C and f_daddu = 0x2D and f_dsubu = 0x2F
+let f_dsll = 0x38 and f_dsrl = 0x3A and f_dsra = 0x3B
+let f_dsll32 = 0x3C and f_dsrl32 = 0x3E
+
+(* --- CP2 register-format function codes (rs field = 0x10) -------------- *)
+
+let cp2_regfmt = 0x10
+let cp2_cbtu = 0x0A
+let cp2_cbts = 0x0B
+
+let c_getbase = 0 and c_getlen = 1 and c_gettag = 2 and c_getperm = 3
+let c_getpcc = 4 and c_getcause = 5
+let c_incbase = 6 and c_setlen = 7 and c_cleartag = 8 and c_andperm = 9
+let c_move = 10 and c_toptr = 11 and c_fromptr = 12
+let c_jr = 13 and c_jalr = 14
+let c_seal = 15 and c_unseal = 16 and c_call = 17 and c_return = 18
+let c_lld = 19 and c_scd = 20
+
+let cp2_r ~f1 ~f2 ~f3 ~func =
+  (cop2 lsl 26) lor (cp2_regfmt lsl 21) lor (f1 lsl 16) lor (f2 lsl 11)
+  lor (f3 lsl 6) lor func
+
+let width_code = function B -> 0 | H -> 1 | W -> 2 | D -> 3
+let width_of_code = function 0 -> B | 1 -> H | 2 -> W | _ -> D
+
+(* Capability-relative scalar load/store: imm is a signed 8-bit byte offset. *)
+let cmem ~opc ~r1 ~cb ~rt ~imm ~w ~u =
+  (opc lsl 26) lor (r1 lsl 21) lor (cb lsl 16) lor (rt lsl 11)
+  lor ((imm land 0xFF) lsl 3)
+  lor (width_code w lsl 1)
+  lor (if u then 1 else 0)
+
+let simm8 v = if v land 0x80 <> 0 then v - 0x100 else v
+let simm11 v = if v land 0x400 <> 0 then v - 0x800 else v
+
+(* CLC/CSC: imm is a signed 11-bit offset scaled by 16 bytes (the
+   alignment of the smaller, 128-bit capability format). *)
+let ccap_mem ~opc ~c1 ~cb ~rt ~imm =
+  if imm mod 16 <> 0 then invalid_arg "capability load/store offset must be 16-byte aligned";
+  (opc lsl 26) lor (c1 lsl 21) lor (cb lsl 16) lor (rt lsl 11)
+  lor ((imm / 16) land 0x7FF)
+
+let opc_cload = 0x32 (* LWC2 *)
+let opc_cstore = 0x3A (* SWC2 *)
+let opc_clc = 0x36 (* LDC2 *)
+let opc_csc = 0x3E (* SDC2 *)
+
+let load_op = function
+  | B, false -> 0x20
+  | H, false -> 0x21
+  | W, false -> 0x23
+  | B, true -> 0x24
+  | H, true -> 0x25
+  | W, true -> 0x27
+  | D, _ -> 0x37
+
+let store_op = function B -> 0x28 | H -> 0x29 | W -> 0x2B | D -> 0x3F
+
+let marker_code = function
+  | M_alloc -> 0
+  | M_free -> 1
+  | M_phase_begin -> 2
+  | M_phase_end -> 3
+
+let marker_of_code = function
+  | 0 -> M_alloc
+  | 1 -> M_free
+  | 2 -> M_phase_begin
+  | _ -> M_phase_end
+
+let encode insn =
+  let sp ?(rs = 0) ?(rt = 0) ?(rd = 0) ?(shamt = 0) funct =
+    r_type ~op:special ~rs ~rt ~rd ~shamt ~funct
+  in
+  match insn with
+  | Add (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_add
+  | Addu (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_addu
+  | Dadd (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_dadd
+  | Daddu (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_daddu
+  | Sub (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_sub
+  | Subu (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_subu
+  | Dsubu (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_dsubu
+  | And (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_and
+  | Or (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_or
+  | Xor (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_xor
+  | Nor (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_nor
+  | Slt (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_slt
+  | Sltu (d, s, t) -> sp ~rs:s ~rt:t ~rd:d f_sltu
+  | Addiu (t, s, i) -> i_type ~op:0x09 ~rs:s ~rt:t ~imm:i
+  | Daddiu (t, s, i) -> i_type ~op:0x19 ~rs:s ~rt:t ~imm:i
+  | Andi (t, s, i) -> i_type ~op:0x0C ~rs:s ~rt:t ~imm:i
+  | Ori (t, s, i) -> i_type ~op:0x0D ~rs:s ~rt:t ~imm:i
+  | Xori (t, s, i) -> i_type ~op:0x0E ~rs:s ~rt:t ~imm:i
+  | Slti (t, s, i) -> i_type ~op:0x0A ~rs:s ~rt:t ~imm:i
+  | Sltiu (t, s, i) -> i_type ~op:0x0B ~rs:s ~rt:t ~imm:i
+  | Lui (t, i) -> i_type ~op:0x0F ~rs:0 ~rt:t ~imm:i
+  | Sll (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_sll
+  | Srl (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_srl
+  | Sra (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_sra
+  | Dsll (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_dsll
+  | Dsrl (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_dsrl
+  | Dsra (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_dsra
+  | Dsll32 (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_dsll32
+  | Dsrl32 (d, t, sa) -> sp ~rt:t ~rd:d ~shamt:sa f_dsrl32
+  | Sllv (d, t, s) -> sp ~rs:s ~rt:t ~rd:d f_sllv
+  | Srlv (d, t, s) -> sp ~rs:s ~rt:t ~rd:d f_srlv
+  | Srav (d, t, s) -> sp ~rs:s ~rt:t ~rd:d f_srav
+  | Dsllv (d, t, s) -> sp ~rs:s ~rt:t ~rd:d f_dsllv
+  | Dsrlv (d, t, s) -> sp ~rs:s ~rt:t ~rd:d f_dsrlv
+  | Dsrav (d, t, s) -> sp ~rs:s ~rt:t ~rd:d f_dsrav
+  | Mult (s, t) -> sp ~rs:s ~rt:t f_mult
+  | Multu (s, t) -> sp ~rs:s ~rt:t f_multu
+  | Dmult (s, t) -> sp ~rs:s ~rt:t f_dmult
+  | Dmultu (s, t) -> sp ~rs:s ~rt:t f_dmultu
+  | Div (s, t) -> sp ~rs:s ~rt:t f_div
+  | Divu (s, t) -> sp ~rs:s ~rt:t f_divu
+  | Ddiv (s, t) -> sp ~rs:s ~rt:t f_ddiv
+  | Ddivu (s, t) -> sp ~rs:s ~rt:t f_ddivu
+  | Mfhi d -> sp ~rd:d f_mfhi
+  | Mflo d -> sp ~rd:d f_mflo
+  | Mthi s -> sp ~rs:s f_mthi
+  | Mtlo s -> sp ~rs:s f_mtlo
+  | Load (w, u, t, b, o) -> i_type ~op:(load_op (w, u)) ~rs:b ~rt:t ~imm:o
+  | Store (w, t, b, o) -> i_type ~op:(store_op w) ~rs:b ~rt:t ~imm:o
+  | Lld (t, b, o) -> i_type ~op:0x34 ~rs:b ~rt:t ~imm:o
+  | Scd (t, b, o) -> i_type ~op:0x3C ~rs:b ~rt:t ~imm:o
+  | J t -> j_type ~op:0x02 ~target:t
+  | Jal t -> j_type ~op:0x03 ~target:t
+  | Jr s -> sp ~rs:s f_jr
+  | Jalr (d, s) -> sp ~rs:s ~rd:d f_jalr
+  | Beq (s, t, o) -> i_type ~op:0x04 ~rs:s ~rt:t ~imm:o
+  | Bne (s, t, o) -> i_type ~op:0x05 ~rs:s ~rt:t ~imm:o
+  | Blez (s, o) -> i_type ~op:0x06 ~rs:s ~rt:0 ~imm:o
+  | Bgtz (s, o) -> i_type ~op:0x07 ~rs:s ~rt:0 ~imm:o
+  | Bltz (s, o) -> i_type ~op:regimm ~rs:s ~rt:0x00 ~imm:o
+  | Bgez (s, o) -> i_type ~op:regimm ~rs:s ~rt:0x01 ~imm:o
+  | Syscall -> sp f_syscall
+  | Break -> sp f_break
+  | Eret -> r_type ~op:cop0 ~rs:0x10 ~rt:0 ~rd:0 ~shamt:0 ~funct:0x18
+  | Mfc0 (t, d) -> r_type ~op:cop0 ~rs:0x00 ~rt:t ~rd:d ~shamt:0 ~funct:0
+  | Mtc0 (t, d) -> r_type ~op:cop0 ~rs:0x04 ~rt:t ~rd:d ~shamt:0 ~funct:0
+  | Trace (m, a, b) ->
+      r_type ~op:cop3_trace ~rs:(marker_code m) ~rt:a ~rd:b ~shamt:0 ~funct:0
+  | CGetBase (d, cb) -> cp2_r ~f1:d ~f2:cb ~f3:0 ~func:c_getbase
+  | CGetLen (d, cb) -> cp2_r ~f1:d ~f2:cb ~f3:0 ~func:c_getlen
+  | CGetTag (d, cb) -> cp2_r ~f1:d ~f2:cb ~f3:0 ~func:c_gettag
+  | CGetPerm (d, cb) -> cp2_r ~f1:d ~f2:cb ~f3:0 ~func:c_getperm
+  | CGetPCC (d, cd) -> cp2_r ~f1:d ~f2:cd ~f3:0 ~func:c_getpcc
+  | CGetCause d -> cp2_r ~f1:d ~f2:0 ~f3:0 ~func:c_getcause
+  | CIncBase (cd, cb, rt) -> cp2_r ~f1:cd ~f2:cb ~f3:rt ~func:c_incbase
+  | CSetLen (cd, cb, rt) -> cp2_r ~f1:cd ~f2:cb ~f3:rt ~func:c_setlen
+  | CClearTag (cd, cb) -> cp2_r ~f1:cd ~f2:cb ~f3:0 ~func:c_cleartag
+  | CAndPerm (cd, cb, rt) -> cp2_r ~f1:cd ~f2:cb ~f3:rt ~func:c_andperm
+  | CMove (cd, cb) -> cp2_r ~f1:cd ~f2:cb ~f3:0 ~func:c_move
+  | CToPtr (rd, cb, ct) -> cp2_r ~f1:rd ~f2:cb ~f3:ct ~func:c_toptr
+  | CFromPtr (cd, cb, rt) -> cp2_r ~f1:cd ~f2:cb ~f3:rt ~func:c_fromptr
+  | CBTU (cb, o) -> i_type ~op:cop2 ~rs:cp2_cbtu ~rt:cb ~imm:o
+  | CBTS (cb, o) -> i_type ~op:cop2 ~rs:cp2_cbts ~rt:cb ~imm:o
+  | CLC (cd, cb, rt, i) -> ccap_mem ~opc:opc_clc ~c1:cd ~cb ~rt ~imm:i
+  | CSC (cs, cb, rt, i) -> ccap_mem ~opc:opc_csc ~c1:cs ~cb ~rt ~imm:i
+  | CLoad (w, u, rd, cb, rt, i) -> cmem ~opc:opc_cload ~r1:rd ~cb ~rt ~imm:i ~w ~u
+  | CStore (w, rs, cb, rt, i) -> cmem ~opc:opc_cstore ~r1:rs ~cb ~rt ~imm:i ~w ~u:false
+  | CLLD (rd, cb) -> cp2_r ~f1:rd ~f2:cb ~f3:0 ~func:c_lld
+  | CSCD (rd, rs, cb) -> cp2_r ~f1:rd ~f2:rs ~f3:cb ~func:c_scd
+  | CJR cb -> cp2_r ~f1:cb ~f2:0 ~f3:0 ~func:c_jr
+  | CJALR (cd, cb) -> cp2_r ~f1:cd ~f2:cb ~f3:0 ~func:c_jalr
+  | CSeal (cd, cs, ct) -> cp2_r ~f1:cd ~f2:cs ~f3:ct ~func:c_seal
+  | CUnseal (cd, cs, ct) -> cp2_r ~f1:cd ~f2:cs ~f3:ct ~func:c_unseal
+  | CCall (cs, cb) -> cp2_r ~f1:cs ~f2:cb ~f3:0 ~func:c_call
+  | CReturn -> cp2_r ~f1:0 ~f2:0 ~f3:0 ~func:c_return
+
+let decode_special word =
+  let s = rs word and t = rt word and d = rd word and sa = shamt word in
+  match funct word with
+  | 0x00 -> Sll (d, t, sa)
+  | 0x02 -> Srl (d, t, sa)
+  | 0x03 -> Sra (d, t, sa)
+  | 0x04 -> Sllv (d, t, s)
+  | 0x06 -> Srlv (d, t, s)
+  | 0x07 -> Srav (d, t, s)
+  | 0x08 -> Jr s
+  | 0x09 -> Jalr (d, s)
+  | 0x0C -> Syscall
+  | 0x0D -> Break
+  | 0x10 -> Mfhi d
+  | 0x11 -> Mthi s
+  | 0x12 -> Mflo d
+  | 0x13 -> Mtlo s
+  | 0x14 -> Dsllv (d, t, s)
+  | 0x16 -> Dsrlv (d, t, s)
+  | 0x17 -> Dsrav (d, t, s)
+  | 0x18 -> Mult (s, t)
+  | 0x19 -> Multu (s, t)
+  | 0x1A -> Div (s, t)
+  | 0x1B -> Divu (s, t)
+  | 0x1C -> Dmult (s, t)
+  | 0x1D -> Dmultu (s, t)
+  | 0x1E -> Ddiv (s, t)
+  | 0x1F -> Ddivu (s, t)
+  | 0x20 -> Add (d, s, t)
+  | 0x21 -> Addu (d, s, t)
+  | 0x22 -> Sub (d, s, t)
+  | 0x23 -> Subu (d, s, t)
+  | 0x24 -> And (d, s, t)
+  | 0x25 -> Or (d, s, t)
+  | 0x26 -> Xor (d, s, t)
+  | 0x27 -> Nor (d, s, t)
+  | 0x2A -> Slt (d, s, t)
+  | 0x2B -> Sltu (d, s, t)
+  | 0x2C -> Dadd (d, s, t)
+  | 0x2D -> Daddu (d, s, t)
+  | 0x2F -> Dsubu (d, s, t)
+  | 0x38 -> Dsll (d, t, sa)
+  | 0x3A -> Dsrl (d, t, sa)
+  | 0x3B -> Dsra (d, t, sa)
+  | 0x3C -> Dsll32 (d, t, sa)
+  | 0x3E -> Dsrl32 (d, t, sa)
+  | _ -> raise (Decode_error word)
+
+let decode_cp2 word =
+  match rs word with
+  | r when r = cp2_cbtu -> CBTU (rt word, simm16 word)
+  | r when r = cp2_cbts -> CBTS (rt word, simm16 word)
+  | r when r = cp2_regfmt -> (
+      let f1 = rt word and f2 = rd word and f3 = shamt word in
+      match funct word with
+      | f when f = c_getbase -> CGetBase (f1, f2)
+      | f when f = c_getlen -> CGetLen (f1, f2)
+      | f when f = c_gettag -> CGetTag (f1, f2)
+      | f when f = c_getperm -> CGetPerm (f1, f2)
+      | f when f = c_getpcc -> CGetPCC (f1, f2)
+      | f when f = c_getcause -> CGetCause f1
+      | f when f = c_incbase -> CIncBase (f1, f2, f3)
+      | f when f = c_setlen -> CSetLen (f1, f2, f3)
+      | f when f = c_cleartag -> CClearTag (f1, f2)
+      | f when f = c_andperm -> CAndPerm (f1, f2, f3)
+      | f when f = c_move -> CMove (f1, f2)
+      | f when f = c_toptr -> CToPtr (f1, f2, f3)
+      | f when f = c_fromptr -> CFromPtr (f1, f2, f3)
+      | f when f = c_jr -> CJR f1
+      | f when f = c_jalr -> CJALR (f1, f2)
+      | f when f = c_seal -> CSeal (f1, f2, f3)
+      | f when f = c_unseal -> CUnseal (f1, f2, f3)
+      | f when f = c_call -> CCall (f1, f2)
+      | f when f = c_return -> CReturn
+      | f when f = c_lld -> CLLD (f1, f2)
+      | f when f = c_scd -> CSCD (f1, f2, f3)
+      | _ -> raise (Decode_error word))
+  | _ -> raise (Decode_error word)
+
+let decode word =
+  match op word with
+  | 0x00 -> decode_special word
+  | 0x01 -> (
+      match rt word with
+      | 0x00 -> Bltz (rs word, simm16 word)
+      | 0x01 -> Bgez (rs word, simm16 word)
+      | _ -> raise (Decode_error word))
+  | 0x02 -> J (target26 word)
+  | 0x03 -> Jal (target26 word)
+  | 0x04 -> Beq (rs word, rt word, simm16 word)
+  | 0x05 -> Bne (rs word, rt word, simm16 word)
+  | 0x06 -> Blez (rs word, simm16 word)
+  | 0x07 -> Bgtz (rs word, simm16 word)
+  | 0x09 -> Addiu (rt word, rs word, simm16 word)
+  | 0x0A -> Slti (rt word, rs word, simm16 word)
+  | 0x0B -> Sltiu (rt word, rs word, simm16 word)
+  | 0x0C -> Andi (rt word, rs word, imm16 word)
+  | 0x0D -> Ori (rt word, rs word, imm16 word)
+  | 0x0E -> Xori (rt word, rs word, imm16 word)
+  | 0x0F -> Lui (rt word, imm16 word)
+  | 0x10 -> (
+      match rs word with
+      | 0x00 -> Mfc0 (rt word, rd word)
+      | 0x04 -> Mtc0 (rt word, rd word)
+      | 0x10 when funct word = 0x18 -> Eret
+      | _ -> raise (Decode_error word))
+  | o when o = cop2 -> decode_cp2 word
+  | o when o = cop3_trace -> Trace (marker_of_code (rs word), rt word, rd word)
+  | 0x19 -> Daddiu (rt word, rs word, simm16 word)
+  | 0x20 -> Load (B, false, rt word, rs word, simm16 word)
+  | 0x21 -> Load (H, false, rt word, rs word, simm16 word)
+  | 0x23 -> Load (W, false, rt word, rs word, simm16 word)
+  | 0x24 -> Load (B, true, rt word, rs word, simm16 word)
+  | 0x25 -> Load (H, true, rt word, rs word, simm16 word)
+  | 0x27 -> Load (W, true, rt word, rs word, simm16 word)
+  | 0x28 -> Store (B, rt word, rs word, simm16 word)
+  | 0x29 -> Store (H, rt word, rs word, simm16 word)
+  | 0x2B -> Store (W, rt word, rs word, simm16 word)
+  | 0x34 -> Lld (rt word, rs word, simm16 word)
+  | 0x37 -> Load (D, false, rt word, rs word, simm16 word)
+  | 0x3C -> Scd (rt word, rs word, simm16 word)
+  | 0x3F -> Store (D, rt word, rs word, simm16 word)
+  | o when o = opc_cload ->
+      let w = width_of_code (bits word 2 1) in
+      CLoad (w, bits word 0 0 = 1, rs word, rt word, rd word, simm8 (bits word 10 3))
+  | o when o = opc_cstore ->
+      let w = width_of_code (bits word 2 1) in
+      CStore (w, rs word, rt word, rd word, simm8 (bits word 10 3))
+  | o when o = opc_clc -> CLC (rs word, rt word, rd word, 16 * simm11 (bits word 10 0))
+  | o when o = opc_csc -> CSC (rs word, rt word, rd word, 16 * simm11 (bits word 10 0))
+  | _ -> raise (Decode_error word)

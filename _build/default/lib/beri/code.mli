@@ -1,0 +1,17 @@
+(** Binary encoding of the BERI/CHERI instruction set.
+
+    The MIPS subset uses standard MIPS IV encodings; the CHERI extensions
+    live in the coprocessor-2 opcode space (layout in docs/ISA.md).
+    [decode] is the inverse of [encode] on all constructible instructions
+    (a QCheck property in the test suite). *)
+
+exception Decode_error of int
+
+(** Encode to a 32-bit instruction word.
+    @raise Invalid_argument for unencodable operands (e.g. an unaligned
+    CLC/CSC offset). *)
+val encode : Insn.t -> int
+
+(** Decode a 32-bit word.
+    @raise Decode_error on an unallocated encoding. *)
+val decode : int -> Insn.t

@@ -1,0 +1,97 @@
+(* System coprocessor 0 state: the minimum of the MIPS R4000's CP0 that the
+   kernel model needs — privilege mode, exception bookkeeping, and cycle
+   count.  Address translation state lives in [Mem.Tlb]. *)
+
+type exc =
+  | Interrupt
+  | Tlb_load
+  | Tlb_store
+  | Address_error_load
+  | Address_error_store
+  | Syscall
+  | Breakpoint
+  | Reserved_instruction
+  | Coprocessor_unusable
+  | Overflow
+  | Trap
+  | Cp2 of Cap.Cause.t (* capability coprocessor exception, cause attached *)
+
+(* MIPS ExcCode values; the CHERI prototype uses 18 (C2E) for CP2. *)
+let exc_code = function
+  | Interrupt -> 0
+  | Tlb_load -> 2
+  | Tlb_store -> 3
+  | Address_error_load -> 4
+  | Address_error_store -> 5
+  | Syscall -> 8
+  | Breakpoint -> 9
+  | Reserved_instruction -> 10
+  | Coprocessor_unusable -> 11
+  | Overflow -> 12
+  | Trap -> 13
+  | Cp2 _ -> 18
+
+let exc_to_string = function
+  | Interrupt -> "interrupt"
+  | Tlb_load -> "TLB load miss"
+  | Tlb_store -> "TLB store miss"
+  | Address_error_load -> "address error (load)"
+  | Address_error_store -> "address error (store)"
+  | Syscall -> "syscall"
+  | Breakpoint -> "breakpoint"
+  | Reserved_instruction -> "reserved instruction"
+  | Coprocessor_unusable -> "coprocessor unusable"
+  | Overflow -> "arithmetic overflow"
+  | Trap -> "trap"
+  | Cp2 cause -> "CP2 exception: " ^ Cap.Cause.to_string cause
+
+type mode = Kernel | User
+
+type t = {
+  mutable mode : mode;
+  mutable exl : bool; (* exception level: set while handling an exception *)
+  mutable epc : int64; (* exception return address *)
+  mutable badvaddr : int64;
+  mutable last_exc : exc option;
+  mutable count : int64; (* cycle counter, mirrored from the timing model *)
+  mutable capcause : Cap.Cause.t; (* CP2 cause register *)
+  mutable capcause_reg : int; (* offending capability register *)
+}
+
+let create () =
+  {
+    mode = Kernel;
+    exl = false;
+    epc = 0L;
+    badvaddr = 0L;
+    last_exc = None;
+    count = 0L;
+    capcause = Cap.Cause.None_;
+    capcause_reg = 0;
+  }
+
+let in_kernel_mode t = t.mode = Kernel || t.exl
+
+(* Register numbers accepted by MFC0/MTC0. *)
+let reg_badvaddr = 8
+let reg_count = 9
+let reg_status = 12
+let reg_cause = 13
+let reg_epc = 14
+
+let read t = function
+  | n when n = reg_badvaddr -> t.badvaddr
+  | n when n = reg_count -> t.count
+  | n when n = reg_status ->
+      Int64.logor (if t.mode = User then 0x10L else 0L) (if t.exl then 2L else 0L)
+  | n when n = reg_cause ->
+      Int64.of_int (match t.last_exc with None -> 0 | Some e -> exc_code e lsl 2)
+  | n when n = reg_epc -> t.epc
+  | _ -> 0L
+
+let write t n v =
+  if n = reg_epc then t.epc <- v
+  else if n = reg_status then begin
+    t.mode <- (if Int64.logand v 0x10L <> 0L then User else Kernel);
+    t.exl <- Int64.logand v 2L <> 0L
+  end

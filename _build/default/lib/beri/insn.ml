@@ -1,0 +1,261 @@
+(* The BERI instruction set: a 64-bit MIPS IV subset, plus the CHERI
+   capability extensions of Table 1 and the Section 11 experimental
+   domain-crossing instructions.
+
+   [t] is the decoded form manipulated by the assembler, disassembler and
+   interpreter; [Encode]/[Decode] (separate modules) map it to and from the
+   32-bit binary encoding documented in docs/ISA.md. *)
+
+type reg = int (* general-purpose register index, 0..31; $0 is hardwired *)
+type creg = int (* capability register index, 0..31; C0 is the implicit data capability *)
+
+(* Width of a scalar memory access. *)
+type width = B | H | W | D
+
+let width_bytes = function B -> 1 | H -> 2 | W -> 4 | D -> 8
+
+(* Instrumentation markers (reserved opcode space): the simulator's analogue
+   of the paper's offline trace annotation — they let compiled programs mark
+   allocation events and benchmark phases without perturbing the metrics
+   (markers cost zero cycles and are excluded from instruction counts). *)
+type marker =
+  | M_alloc (* rd = size requested, rt = returned address *)
+  | M_free (* rt = address freed *)
+  | M_phase_begin (* rd = phase id *)
+  | M_phase_end
+
+type t =
+  (* --- arithmetic / logic (register) --- *)
+  | Add of reg * reg * reg (* 32-bit signed add, traps on overflow *)
+  | Addu of reg * reg * reg
+  | Dadd of reg * reg * reg
+  | Daddu of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Subu of reg * reg * reg
+  | Dsubu of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Nor of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  (* --- arithmetic / logic (immediate) --- *)
+  | Addiu of reg * reg * int
+  | Daddiu of reg * reg * int
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Slti of reg * reg * int
+  | Sltiu of reg * reg * int
+  | Lui of reg * int
+  (* --- shifts --- *)
+  | Sll of reg * reg * int
+  | Srl of reg * reg * int
+  | Sra of reg * reg * int
+  | Dsll of reg * reg * int
+  | Dsrl of reg * reg * int
+  | Dsra of reg * reg * int
+  | Dsll32 of reg * reg * int
+  | Dsrl32 of reg * reg * int
+  | Sllv of reg * reg * reg
+  | Srlv of reg * reg * reg
+  | Srav of reg * reg * reg
+  | Dsllv of reg * reg * reg
+  | Dsrlv of reg * reg * reg
+  | Dsrav of reg * reg * reg
+  (* --- multiply / divide --- *)
+  | Mult of reg * reg
+  | Multu of reg * reg
+  | Dmult of reg * reg
+  | Dmultu of reg * reg
+  | Div of reg * reg
+  | Divu of reg * reg
+  | Ddiv of reg * reg
+  | Ddivu of reg * reg
+  | Mfhi of reg
+  | Mflo of reg
+  | Mthi of reg
+  | Mtlo of reg
+  (* --- loads / stores (legacy, implicitly offset via C0: Section 4.1) --- *)
+  | Load of width * bool * reg * reg * int (* width, unsigned?, rt, base, offset *)
+  | Store of width * reg * reg * int
+  | Lld of reg * reg * int (* load linked doubleword *)
+  | Scd of reg * reg * int (* store conditional doubleword *)
+  (* --- control flow --- *)
+  | J of int (* 26-bit region target (word index) *)
+  | Jal of int
+  | Jr of reg
+  | Jalr of reg * reg (* rd, rs *)
+  | Beq of reg * reg * int (* signed 16-bit word offset *)
+  | Bne of reg * reg * int
+  | Blez of reg * int
+  | Bgtz of reg * int
+  | Bltz of reg * int
+  | Bgez of reg * int
+  (* --- system --- *)
+  | Syscall
+  | Break
+  | Eret
+  | Mfc0 of reg * int (* rt, cp0 register *)
+  | Mtc0 of reg * int
+  | Trace of marker * reg * reg
+  (* --- CHERI: capability inspection (Table 1) --- *)
+  | CGetBase of reg * creg
+  | CGetLen of reg * creg
+  | CGetTag of reg * creg
+  | CGetPerm of reg * creg
+  | CGetPCC of reg * creg (* move PC to rd and PCC to cd *)
+  | CGetCause of reg (* capability cause register, for handlers *)
+  (* --- CHERI: capability manipulation (monotonic) --- *)
+  | CIncBase of creg * creg * reg
+  | CSetLen of creg * creg * reg
+  | CClearTag of creg * creg
+  | CAndPerm of creg * creg * reg
+  | CMove of creg * creg (* raw 257-bit register copy *)
+  (* --- CHERI: pointer interoperation --- *)
+  | CToPtr of reg * creg * creg
+  | CFromPtr of creg * creg * reg
+  (* --- CHERI: tag branches --- *)
+  | CBTU of creg * int
+  | CBTS of creg * int
+  (* --- CHERI: memory (capability-relative) --- *)
+  | CLC of creg * creg * reg * int (* cd, cb, rt, imm: load capability *)
+  | CSC of creg * creg * reg * int
+  | CLoad of width * bool * reg * creg * reg * int (* rd, cb, rt, imm *)
+  | CStore of width * reg * creg * reg * int
+  | CLLD of reg * creg (* load linked via capability *)
+  | CSCD of reg * reg * creg (* rd (success), rs (value), cb *)
+  (* --- CHERI: control flow --- *)
+  | CJR of creg
+  | CJALR of creg * creg (* cd (link), cb (target) *)
+  (* --- CHERI: sealing and domain crossing (Section 11 extensions) --- *)
+  | CSeal of creg * creg * creg (* cd, cs, ct (authority) *)
+  | CUnseal of creg * creg * creg
+  | CCall of creg * creg (* code capability, data capability: traps *)
+  | CReturn (* traps *)
+
+let nop = Sll (0, 0, 0)
+
+(* Register names for the disassembler and assembler. *)
+let reg_names =
+  [| "zero"; "at"; "v0"; "v1"; "a0"; "a1"; "a2"; "a3";
+     "a4"; "a5"; "a6"; "a7"; "t0"; "t1"; "t2"; "t3";
+     "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+     "t8"; "t9"; "k0"; "k1"; "gp"; "sp"; "fp"; "ra" |]
+
+let pp_reg ppf r = Fmt.pf ppf "$%s" reg_names.(r)
+let pp_creg ppf r = Fmt.pf ppf "$c%d" r
+
+let width_letter = function B -> "b" | H -> "h" | W -> "w" | D -> "d"
+
+let marker_name = function
+  | M_alloc -> "alloc"
+  | M_free -> "free"
+  | M_phase_begin -> "phase_begin"
+  | M_phase_end -> "phase_end"
+
+let pp ppf insn =
+  let r = pp_reg and c = pp_creg in
+  let rrr m a b cc = Fmt.pf ppf "%s %a, %a, %a" m r a r b r cc in
+  let rri m a b i = Fmt.pf ppf "%s %a, %a, %d" m r a r b i in
+  match insn with
+  | Add (d, s, t) -> rrr "add" d s t
+  | Addu (d, s, t) -> rrr "addu" d s t
+  | Dadd (d, s, t) -> rrr "dadd" d s t
+  | Daddu (d, s, t) -> rrr "daddu" d s t
+  | Sub (d, s, t) -> rrr "sub" d s t
+  | Subu (d, s, t) -> rrr "subu" d s t
+  | Dsubu (d, s, t) -> rrr "dsubu" d s t
+  | And (d, s, t) -> rrr "and" d s t
+  | Or (d, s, t) -> rrr "or" d s t
+  | Xor (d, s, t) -> rrr "xor" d s t
+  | Nor (d, s, t) -> rrr "nor" d s t
+  | Slt (d, s, t) -> rrr "slt" d s t
+  | Sltu (d, s, t) -> rrr "sltu" d s t
+  | Addiu (t, s, i) -> rri "addiu" t s i
+  | Daddiu (t, s, i) -> rri "daddiu" t s i
+  | Andi (t, s, i) -> rri "andi" t s i
+  | Ori (t, s, i) -> rri "ori" t s i
+  | Xori (t, s, i) -> rri "xori" t s i
+  | Slti (t, s, i) -> rri "slti" t s i
+  | Sltiu (t, s, i) -> rri "sltiu" t s i
+  | Lui (t, i) -> Fmt.pf ppf "lui %a, %d" r t i
+  | Sll (d, t, sa) -> rri "sll" d t sa
+  | Srl (d, t, sa) -> rri "srl" d t sa
+  | Sra (d, t, sa) -> rri "sra" d t sa
+  | Dsll (d, t, sa) -> rri "dsll" d t sa
+  | Dsrl (d, t, sa) -> rri "dsrl" d t sa
+  | Dsra (d, t, sa) -> rri "dsra" d t sa
+  | Dsll32 (d, t, sa) -> rri "dsll32" d t sa
+  | Dsrl32 (d, t, sa) -> rri "dsrl32" d t sa
+  | Sllv (d, t, s) -> rrr "sllv" d t s
+  | Srlv (d, t, s) -> rrr "srlv" d t s
+  | Srav (d, t, s) -> rrr "srav" d t s
+  | Dsllv (d, t, s) -> rrr "dsllv" d t s
+  | Dsrlv (d, t, s) -> rrr "dsrlv" d t s
+  | Dsrav (d, t, s) -> rrr "dsrav" d t s
+  | Mult (s, t) -> Fmt.pf ppf "mult %a, %a" r s r t
+  | Multu (s, t) -> Fmt.pf ppf "multu %a, %a" r s r t
+  | Dmult (s, t) -> Fmt.pf ppf "dmult %a, %a" r s r t
+  | Dmultu (s, t) -> Fmt.pf ppf "dmultu %a, %a" r s r t
+  | Div (s, t) -> Fmt.pf ppf "div %a, %a" r s r t
+  | Divu (s, t) -> Fmt.pf ppf "divu %a, %a" r s r t
+  | Ddiv (s, t) -> Fmt.pf ppf "ddiv %a, %a" r s r t
+  | Ddivu (s, t) -> Fmt.pf ppf "ddivu %a, %a" r s r t
+  | Mfhi d -> Fmt.pf ppf "mfhi %a" r d
+  | Mflo d -> Fmt.pf ppf "mflo %a" r d
+  | Mthi s -> Fmt.pf ppf "mthi %a" r s
+  | Mtlo s -> Fmt.pf ppf "mtlo %a" r s
+  | Load (w, u, t, b, o) ->
+      Fmt.pf ppf "l%s%s %a, %d(%a)" (width_letter w) (if u then "u" else "") r t o r b
+  | Store (w, t, b, o) -> Fmt.pf ppf "s%s %a, %d(%a)" (width_letter w) r t o r b
+  | Lld (t, b, o) -> Fmt.pf ppf "lld %a, %d(%a)" r t o r b
+  | Scd (t, b, o) -> Fmt.pf ppf "scd %a, %d(%a)" r t o r b
+  | J t -> Fmt.pf ppf "j 0x%x" (t * 4)
+  | Jal t -> Fmt.pf ppf "jal 0x%x" (t * 4)
+  | Jr s -> Fmt.pf ppf "jr %a" r s
+  | Jalr (d, s) -> Fmt.pf ppf "jalr %a, %a" r d r s
+  | Beq (s, t, o) -> Fmt.pf ppf "beq %a, %a, %d" r s r t o
+  | Bne (s, t, o) -> Fmt.pf ppf "bne %a, %a, %d" r s r t o
+  | Blez (s, o) -> Fmt.pf ppf "blez %a, %d" r s o
+  | Bgtz (s, o) -> Fmt.pf ppf "bgtz %a, %d" r s o
+  | Bltz (s, o) -> Fmt.pf ppf "bltz %a, %d" r s o
+  | Bgez (s, o) -> Fmt.pf ppf "bgez %a, %d" r s o
+  | Syscall -> Fmt.string ppf "syscall"
+  | Break -> Fmt.string ppf "break"
+  | Eret -> Fmt.string ppf "eret"
+  | Mfc0 (t, d) -> Fmt.pf ppf "mfc0 %a, $%d" r t d
+  | Mtc0 (t, d) -> Fmt.pf ppf "mtc0 %a, $%d" r t d
+  | Trace (m, a, b) -> Fmt.pf ppf "trace.%s %a, %a" (marker_name m) r a r b
+  | CGetBase (d, cb) -> Fmt.pf ppf "cgetbase %a, %a" r d c cb
+  | CGetLen (d, cb) -> Fmt.pf ppf "cgetlen %a, %a" r d c cb
+  | CGetTag (d, cb) -> Fmt.pf ppf "cgettag %a, %a" r d c cb
+  | CGetPerm (d, cb) -> Fmt.pf ppf "cgetperm %a, %a" r d c cb
+  | CGetPCC (d, cd) -> Fmt.pf ppf "cgetpcc %a, %a" r d c cd
+  | CGetCause d -> Fmt.pf ppf "cgetcause %a" r d
+  | CIncBase (cd, cb, rt) -> Fmt.pf ppf "cincbase %a, %a, %a" c cd c cb r rt
+  | CSetLen (cd, cb, rt) -> Fmt.pf ppf "csetlen %a, %a, %a" c cd c cb r rt
+  | CClearTag (cd, cb) -> Fmt.pf ppf "ccleartag %a, %a" c cd c cb
+  | CAndPerm (cd, cb, rt) -> Fmt.pf ppf "candperm %a, %a, %a" c cd c cb r rt
+  | CMove (cd, cb) -> Fmt.pf ppf "cmove %a, %a" c cd c cb
+  | CToPtr (rd, cb, ct) -> Fmt.pf ppf "ctoptr %a, %a, %a" r rd c cb c ct
+  | CFromPtr (cd, cb, rt) -> Fmt.pf ppf "cfromptr %a, %a, %a" c cd c cb r rt
+  | CBTU (cb, o) -> Fmt.pf ppf "cbtu %a, %d" c cb o
+  | CBTS (cb, o) -> Fmt.pf ppf "cbts %a, %d" c cb o
+  | CLC (cd, cb, rt, i) -> Fmt.pf ppf "clc %a, %a, %d(%a)" c cd r rt i c cb
+  | CSC (cs, cb, rt, i) -> Fmt.pf ppf "csc %a, %a, %d(%a)" c cs r rt i c cb
+  | CLoad (w, u, rd, cb, rt, i) ->
+      Fmt.pf ppf "cl%s%s %a, %a, %d(%a)" (width_letter w) (if u then "u" else "")
+        r rd r rt i c cb
+  | CStore (w, rs, cb, rt, i) ->
+      Fmt.pf ppf "cs%s %a, %a, %d(%a)" (width_letter w) r rs r rt i c cb
+  | CLLD (rd, cb) -> Fmt.pf ppf "clld %a, 0(%a)" r rd c cb
+  | CSCD (rd, rs, cb) -> Fmt.pf ppf "cscd %a, %a, 0(%a)" r rd r rs c cb
+  | CJR cb -> Fmt.pf ppf "cjr %a" c cb
+  | CJALR (cd, cb) -> Fmt.pf ppf "cjalr %a, %a" c cd c cb
+  | CSeal (cd, cs, ct) -> Fmt.pf ppf "cseal %a, %a, %a" c cd c cs c ct
+  | CUnseal (cd, cs, ct) -> Fmt.pf ppf "cunseal %a, %a, %a" c cd c cs c ct
+  | CCall (cs, cb) -> Fmt.pf ppf "ccall %a, %a" c cs c cb
+  | CReturn -> Fmt.string ppf "creturn"
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,44 @@
+(* The general-purpose register file: 32 64-bit registers with $0 hardwired
+   to zero, plus the HI/LO multiply-divide pair. *)
+
+type t = { r : int64 array; mutable hi : int64; mutable lo : int64 }
+
+let create () = { r = Array.make 32 0L; hi = 0L; lo = 0L }
+
+let get t i = if i = 0 then 0L else t.r.(i)
+
+let set t i v = if i <> 0 then t.r.(i) <- v
+
+let copy t = { r = Array.copy t.r; hi = t.hi; lo = t.lo }
+
+let load t src =
+  Array.blit src.r 0 t.r 0 32;
+  t.hi <- src.hi;
+  t.lo <- src.lo
+
+(* Conventional MIPS ABI register assignments used by the assembler,
+   compiler, and kernel. *)
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 12
+let t1 = 13
+let t2 = 14
+let t3 = 15
+let s0 = 16
+let s1 = 17
+let s2 = 18
+let s3 = 19
+let t8 = 24
+let t9 = 25
+let k0 = 26
+let k1 = 27
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31

@@ -1,0 +1,44 @@
+(** The general-purpose register file: 32 64-bit registers with $0
+    hardwired to zero, plus HI/LO. *)
+
+type t = { r : int64 array; mutable hi : int64; mutable lo : int64 }
+
+val create : unit -> t
+
+(** [get t 0] is always 0. *)
+val get : t -> int -> int64
+
+(** Writes to register 0 are discarded. *)
+val set : t -> int -> int64 -> unit
+
+val copy : t -> t
+
+(** [load t src] overwrites [t] with [src] (context restore). *)
+val load : t -> t -> unit
+
+(** {1 ABI register numbers} *)
+
+val zero : int
+val at : int
+val v0 : int
+val v1 : int
+val a0 : int
+val a1 : int
+val a2 : int
+val a3 : int
+val t0 : int
+val t1 : int
+val t2 : int
+val t3 : int
+val s0 : int
+val s1 : int
+val s2 : int
+val s3 : int
+val t8 : int
+val t9 : int
+val k0 : int
+val k1 : int
+val gp : int
+val sp : int
+val fp : int
+val ra : int

@@ -1,0 +1,1 @@
+lib/core/cap128.ml: Bytes Capability Cause Fmt Int64 Perms U64

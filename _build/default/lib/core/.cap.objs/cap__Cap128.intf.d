@@ -1,0 +1,1 @@
+lib/core/cap128.mli: Capability Cause Format

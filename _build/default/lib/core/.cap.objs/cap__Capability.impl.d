@@ -1,0 +1,1 @@
+lib/core/capability.ml: Bytes Cause Fmt Int64 Perms Printf U64

@@ -1,0 +1,1 @@
+lib/core/cause.ml: Fmt

@@ -1,0 +1,1 @@
+lib/core/cause.mli: Format

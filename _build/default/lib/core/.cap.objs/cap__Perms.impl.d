@@ -1,0 +1,1 @@
+lib/core/perms.ml: Fmt List Printf

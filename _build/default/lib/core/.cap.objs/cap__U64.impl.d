@@ -1,0 +1,1 @@
+lib/core/u64.ml: Fmt Int64 Printf

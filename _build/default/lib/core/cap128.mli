@@ -1,0 +1,32 @@
+(** The 128-bit compressed capability of Section 4.1 ("128 bits using
+    40-bit virtual addresses"), as modelled by the limit study's
+    "128b CHERI" configuration.
+
+    Base and length are held exactly in 40 bits each, permissions in 16
+    bits, and the object type in 16 bits.  Compression is exact-or-refused
+    ({!Cause.Non_exact_bounds}): bounds never grow silently. *)
+
+type t
+
+(** Virtual address width of the compressed format. *)
+val va_bits : int
+
+(** [representable c] is true when [c] compresses losslessly: fields within
+    range, or [c] untagged (plain data). *)
+val representable : Capability.t -> bool
+
+(** [compress c] packs [c]; fails with [Non_exact_bounds] when not
+    {!representable}. *)
+val compress : Capability.t -> (t, Cause.t) result
+
+(** [decompress ~tag t] recovers the architectural capability; the tag
+    comes from the tag table. *)
+val decompress : tag:bool -> t -> Capability.t
+
+(** 16: the in-memory size in bytes. *)
+val size_bytes : int
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

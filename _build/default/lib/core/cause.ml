@@ -1,0 +1,65 @@
+(* Capability exception causes.  When a capability check fails the CHERI
+   coprocessor raises a CP2 exception with a cause code identifying the
+   violated rule and the offending capability register.  These mirror the
+   cause codes of the CHERI ISA reference (UCAM-CL-TR-850). *)
+
+type t =
+  | None_
+  | Length_violation
+  | Tag_violation
+  | Seal_violation
+  | Type_violation
+  | Call_trap (* CCall: trap to the kernel's protected-call handler *)
+  | Return_trap (* CReturn: trap to the kernel's return handler *)
+  | User_defined_violation
+  | Non_exact_bounds (* compressed (128-bit) capability could not represent requested bounds *)
+  | Permit_execute_violation
+  | Permit_load_violation
+  | Permit_store_violation
+  | Permit_load_capability_violation
+  | Permit_store_capability_violation
+  | Permit_store_local_capability_violation
+  | Permit_seal_violation
+  | Access_system_registers_violation
+
+let code = function
+  | None_ -> 0x00
+  | Length_violation -> 0x01
+  | Tag_violation -> 0x02
+  | Seal_violation -> 0x03
+  | Type_violation -> 0x04
+  | Call_trap -> 0x05
+  | Return_trap -> 0x06
+  | User_defined_violation -> 0x09
+  | Non_exact_bounds -> 0x0A
+  | Permit_execute_violation -> 0x11
+  | Permit_load_violation -> 0x12
+  | Permit_store_violation -> 0x13
+  | Permit_load_capability_violation -> 0x14
+  | Permit_store_capability_violation -> 0x15
+  | Permit_store_local_capability_violation -> 0x16
+  | Permit_seal_violation -> 0x17
+  | Access_system_registers_violation -> 0x18
+
+let to_string = function
+  | None_ -> "none"
+  | Length_violation -> "length violation"
+  | Tag_violation -> "tag violation"
+  | Seal_violation -> "seal violation"
+  | Type_violation -> "type violation"
+  | Call_trap -> "call trap"
+  | Return_trap -> "return trap"
+  | User_defined_violation -> "user-defined violation"
+  | Non_exact_bounds -> "non-exact bounds"
+  | Permit_execute_violation -> "permit-execute violation"
+  | Permit_load_violation -> "permit-load violation"
+  | Permit_store_violation -> "permit-store violation"
+  | Permit_load_capability_violation -> "permit-load-capability violation"
+  | Permit_store_capability_violation -> "permit-store-capability violation"
+  | Permit_store_local_capability_violation ->
+      "permit-store-local-capability violation"
+  | Permit_seal_violation -> "permit-seal violation"
+  | Access_system_registers_violation -> "access-system-registers violation"
+
+let pp ppf c = Fmt.string ppf (to_string c)
+let equal (a : t) b = a = b

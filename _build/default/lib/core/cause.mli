@@ -1,0 +1,32 @@
+(** Capability exception causes.
+
+    When a capability check fails, the CP2 coprocessor raises an exception
+    carrying one of these cause codes (mirroring the CHERI ISA reference,
+    UCAM-CL-TR-850) plus the offending register number. *)
+
+type t =
+  | None_
+  | Length_violation  (** access outside [\[base, base+length)] *)
+  | Tag_violation  (** operation through an untagged capability *)
+  | Seal_violation  (** dereference or mutation of a sealed capability *)
+  | Type_violation  (** otype mismatch on unseal/CCall *)
+  | Call_trap  (** CCall: trap to the kernel's protected-call handler *)
+  | Return_trap  (** CReturn: trap to the kernel's return handler *)
+  | User_defined_violation
+  | Non_exact_bounds
+      (** a compressed (128-bit) capability could not represent the bounds *)
+  | Permit_execute_violation
+  | Permit_load_violation
+  | Permit_store_violation
+  | Permit_load_capability_violation
+  | Permit_store_capability_violation
+  | Permit_store_local_capability_violation
+  | Permit_seal_violation
+  | Access_system_registers_violation
+
+(** The architectural 8-bit cause code. *)
+val code : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,61 @@
+(* The 31-bit permissions vector of a CHERI-256 capability (Figure 1 of the
+   paper).  A set bit grants the corresponding right.  The paper names five
+   architectural permissions (load data, store data, execute, load
+   capability, store capability); the remaining bits are reserved for
+   experimentation — we model the ones the 2014 prototype used for sealing
+   and exception handling, plus a user-defined region. *)
+
+type t = int (* bits 0..30 *)
+
+(* Bit assignments.  These follow the CHERI ISA layout: the low bits carry
+   the architecturally meaningful permissions. *)
+let global = 1 lsl 0
+let execute = 1 lsl 1
+let load = 1 lsl 2
+let store = 1 lsl 3
+let load_cap = 1 lsl 4
+let store_cap = 1 lsl 5
+let store_local_cap = 1 lsl 6
+let seal = 1 lsl 7
+let set_type = 1 lsl 8
+(* bits 9..14 reserved; bits 15..30 user-defined *)
+let user_shift = 15
+
+let mask = (1 lsl 31) - 1
+let all = mask
+let none = 0
+
+let user n =
+  if n < 0 || n > 15 then invalid_arg "Perms.user";
+  1 lsl (user_shift + n)
+
+let of_int v = v land mask
+let to_int p = p
+
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b land mask
+
+(* [subset a b]: every permission in [a] is also in [b]. *)
+let subset a b = a land lnot b = 0
+let has p bit = p land bit = bit
+let equal (a : t) b = a = b
+
+let names =
+  [ (global, "Global");
+    (execute, "Permit_Execute");
+    (load, "Permit_Load");
+    (store, "Permit_Store");
+    (load_cap, "Permit_Load_Capability");
+    (store_cap, "Permit_Store_Capability");
+    (store_local_cap, "Permit_Store_Local_Capability");
+    (seal, "Permit_Seal");
+    (set_type, "Permit_Set_Type") ]
+
+let pp ppf p =
+  let named = List.filter (fun (bit, _) -> has p bit) names in
+  let extra = diff p (List.fold_left (fun acc (b, _) -> acc lor b) 0 names) in
+  let strs = List.map snd named in
+  let strs = if extra <> 0 then strs @ [ Printf.sprintf "0x%x" extra ] else strs in
+  if strs = [] then Fmt.string ppf "(none)"
+  else Fmt.(list ~sep:(any "|") string) ppf strs

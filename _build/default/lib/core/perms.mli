@@ -1,0 +1,51 @@
+(** The 31-bit permissions vector of a CHERI-256 capability (Figure 1).
+
+    A set bit grants the corresponding right.  Five permissions are
+    architecturally meaningful in the 2014 paper (load, store, execute,
+    load-capability, store-capability); the rest model the prototype's
+    experimentation bits (sealing) and a 16-bit user-defined region. *)
+
+type t
+
+(** {1 Individual permissions} *)
+
+val global : t
+val execute : t
+val load : t
+val store : t
+val load_cap : t
+val store_cap : t
+val store_local_cap : t
+val seal : t
+val set_type : t
+
+(** [user n] is user-defined permission bit [n], for [0 <= n <= 15].
+    @raise Invalid_argument otherwise. *)
+val user : int -> t
+
+(** {1 The lattice} *)
+
+(** Every permission. *)
+val all : t
+
+(** No permissions. *)
+val none : t
+
+(** [of_int v] masks [v] to the low 31 bits. *)
+val of_int : int -> t
+
+val to_int : t -> int
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b] removes [b]'s permissions from [a]. *)
+val diff : t -> t -> t
+
+(** [subset a b] is true when every permission in [a] is also in [b]. *)
+val subset : t -> t -> bool
+
+(** [has p bit] is true when [p] grants [bit]. *)
+val has : t -> t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

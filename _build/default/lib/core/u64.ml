@@ -1,0 +1,70 @@
+(* Unsigned 64-bit arithmetic helpers on top of [Int64].
+
+   The CHERI-256 capability format uses full 64-bit unsigned base and length
+   fields.  OCaml's native [int] is 63-bit, so every architectural quantity
+   in this code base is an [Int64.t] interpreted as unsigned.  This module
+   centralises the unsigned comparisons and the overflow-sensitive bounds
+   arithmetic so that the rest of the model never touches signedness
+   directly. *)
+
+type t = int64
+
+let zero = 0L
+let one = 1L
+let max_value = 0xFFFF_FFFF_FFFF_FFFFL
+
+let of_int = Int64.of_int
+let to_int = Int64.to_int
+let add = Int64.add
+let sub = Int64.sub
+let mul = Int64.mul
+let logand = Int64.logand
+let logor = Int64.logor
+let logxor = Int64.logxor
+let lognot = Int64.lognot
+let shift_left = Int64.shift_left
+let shift_right_logical = Int64.shift_right_logical
+let shift_right = Int64.shift_right
+
+let compare = Int64.unsigned_compare
+let equal = Int64.equal
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+let min a b = if le a b then a else b
+let max a b = if ge a b then a else b
+
+let div = Int64.unsigned_div
+let rem = Int64.unsigned_rem
+
+(* [add_overflows a b] is true when the unsigned sum wraps past 2^64. *)
+let add_overflows a b =
+  let s = Int64.add a b in
+  lt s a
+
+(* [in_range ~addr ~size ~base ~length] checks that the [size]-byte access
+   starting at [addr] lies entirely within the segment [base, base+length).
+   The arithmetic is careful about 2^64 wrap-around: a segment with
+   base=0, length=2^64-1 must admit an access at address 2^64-2 of size 1. *)
+let in_range ~addr ~size ~base ~length =
+  le size length && ge addr base && le (sub addr base) (sub length size)
+
+(* Alignment helpers; [align] must be a power of two. *)
+let is_aligned v align = equal (logand v (sub align 1L)) 0L
+let align_down v align = logand v (lognot (sub align 1L))
+
+let align_up v align =
+  let down = align_down v align in
+  if equal down v then v else add down align
+
+(* Smallest power of two >= v (saturating at 2^63 for the model's use on
+   allocation sizes, which are far smaller). *)
+let round_up_pow2 v =
+  if le v 1L then 1L
+  else
+    let rec go p = if ge p v then p else go (shift_left p 1) in
+    go 1L
+
+let pp ppf v = Fmt.pf ppf "0x%Lx" v
+let to_string v = Printf.sprintf "0x%Lx" v

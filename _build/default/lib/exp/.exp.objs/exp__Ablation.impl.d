@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Bench_run Int64 List Machine Mem Minic Olden Os

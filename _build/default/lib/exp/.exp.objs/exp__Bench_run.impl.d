@@ -1,0 +1,1 @@
+lib/exp/bench_run.ml: Beri Int64 List Machine Mem Minic Olden Os String

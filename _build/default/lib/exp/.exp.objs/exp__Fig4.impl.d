@@ -1,0 +1,1 @@
+lib/exp/fig4.ml: Bench_run List Minic Olden

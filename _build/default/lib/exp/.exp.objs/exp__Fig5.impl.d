@@ -1,0 +1,1 @@
+lib/exp/fig5.ml: Bench_run Int64 List Minic Olden

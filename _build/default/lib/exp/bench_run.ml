@@ -1,0 +1,83 @@
+(* Compile-and-execute harness for the Section 8 experiments: runs a minic
+   source on the simulated machine and collects the measurements Figures 4
+   and 5 are built from — cycles split by benchmark phase (the trace
+   markers are free, so instrumentation does not perturb the clock),
+   instruction counts, cache/TLB statistics, and heap footprint. *)
+
+type phase_times = { alloc_cycles : int64; compute_cycles : int64 }
+
+type result = {
+  bench : string;
+  mode : Minic.Layout.mode;
+  exit_code : int;
+  output : string list; (* print_int lines *)
+  cycles : int64;
+  instrs : int64;
+  phases : phase_times;
+  heap_bytes : int64;
+  l1d_misses : int;
+  l2_misses : int;
+  tlb_misses : int;
+}
+
+let phase_alloc = 0L
+let phase_compute = 1L
+
+(* A machine configured for the mode: cheri128 code needs the 128-bit
+   capability machine (16-byte capability accesses, 16-byte tag lines);
+   [big_mem] (paper-size workloads) provisions 512 MB. *)
+let machine_for ?(big_mem = false) (mode : Minic.Layout.mode) =
+  let config =
+    match mode with
+    | Minic.Layout.Cheri128 -> { Machine.default_config with Machine.cap_width = Machine.W128 }
+    | _ -> Machine.default_config
+  in
+  let config =
+    if big_mem then { config with Machine.mem_size = 512 * 1024 * 1024 } else config
+  in
+  Machine.create ~config ()
+
+(* Execute [source] (after @PARAM@ substitution) under [mode]. *)
+let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ~bench ~mode ~param
+    source =
+  let source = Olden.Minic_src.instantiate ~iters source ~param in
+  let asm = Minic.Driver.compile ~mode source in
+  let m = machine_for ~big_mem mode in
+  let k = Os.Kernel.attach m in
+  let alloc = ref 0L and compute = ref 0L in
+  let allocated_bytes = ref 0L in
+  let current = ref None in
+  Machine.set_trace_hook m (fun m marker a _b ->
+      match marker with
+      | Beri.Insn.M_phase_begin -> current := Some (a, m.Machine.cycles)
+      | Beri.Insn.M_phase_end -> (
+          match !current with
+          | Some (id, start) ->
+              let dt = Int64.sub m.Machine.cycles start in
+              if Int64.equal id phase_alloc then alloc := Int64.add !alloc dt
+              else if Int64.equal id phase_compute then compute := Int64.add !compute dt;
+              current := None
+          | None -> ())
+      | Beri.Insn.M_alloc -> allocated_bytes := Int64.add !allocated_bytes a
+      | Beri.Insn.M_free -> ());
+  let exit_code, console = Os.Kernel.run_program ~max_insns k asm in
+  let output =
+    String.split_on_char '\n' console |> List.filter (fun s -> String.trim s <> "")
+  in
+  {
+    bench;
+    mode;
+    exit_code;
+    output;
+    cycles = m.Machine.cycles;
+    instrs = m.Machine.instret;
+    phases = { alloc_cycles = !alloc; compute_cycles = !compute };
+    heap_bytes = !allocated_bytes;
+    l1d_misses = m.Machine.hier.Mem.Hierarchy.l1d.Mem.Cache.misses;
+    l2_misses = m.Machine.hier.Mem.Hierarchy.l2.Mem.Cache.misses;
+    tlb_misses = m.Machine.hier.Mem.Hierarchy.tlb.Mem.Tlb.misses;
+  }
+
+let pct_overhead ~baseline v =
+  if Int64.equal baseline 0L then 0.0
+  else 100.0 *. Int64.to_float (Int64.sub v baseline) /. Int64.to_float baseline

@@ -1,0 +1,75 @@
+(* Figure 4: execution-time overhead of CCured-style software enforcement
+   and CHERI hardware enforcement over the unsafe MIPS baseline, for four
+   Olden benchmarks, decomposed into allocation and computation phases.
+
+   Paper parameters: bisort 250000, mst 1024, treeadd 21, perimeter 12.
+   The interpreter runs scaled-down defaults (EXPERIMENTS.md); pass
+   [~paper_size:true] for the original sizes. *)
+
+type row = {
+  bench : string;
+  mode : Minic.Layout.mode;
+  alloc_overhead_pct : float;
+  compute_overhead_pct : float;
+  total_overhead_pct : float;
+  result : Bench_run.result;
+}
+
+(* (benchmark, default param, paper param).  treeadd/bisort parameters are
+   tree levels (the paper's 250000-node bisort ~ 2^18 nodes; treeadd 21
+   levels); perimeter is quadtree depth; mst is the vertex count. *)
+let benchmarks =
+  [
+    ("bisort", 12, 18);
+    ("mst", 160, 1024);
+    ("treeadd", 14, 21);
+    ("perimeter", 8, 12);
+  ]
+
+(* Beyond the paper's four: the same three-way comparison on our minic
+   ports of em3d and health (the latter exercises free()). *)
+let extended_benchmarks = [ ("em3d", 250, 1500); ("health", 4, 6) ]
+
+let source name = List.assoc name Olden.Minic_src.all
+
+let modes = [ Minic.Layout.Legacy; Minic.Layout.Softcheck; Minic.Layout.Cheri ]
+
+let run_benchmark ?(paper_size = false) name =
+  let _, small, paper =
+    List.find (fun (n, _, _) -> n = name)
+      (List.map (fun (n, s, p) -> (n, s, p)) (benchmarks @ extended_benchmarks))
+  in
+  let param = if paper_size then paper else small in
+  (* iterated kernels: em3d sweeps, health timesteps *)
+  let iters = match name with "em3d" -> 4 | "health" -> 40 | _ -> 1 in
+  let src = source name in
+  let results =
+    List.map
+      (fun mode -> Bench_run.run ~iters ~big_mem:paper_size ~bench:name ~mode ~param src)
+      modes
+  in
+  let baseline = List.hd results in
+  List.map
+    (fun (r : Bench_run.result) ->
+      {
+        bench = name;
+        mode = r.Bench_run.mode;
+        alloc_overhead_pct =
+          Bench_run.pct_overhead
+            ~baseline:baseline.Bench_run.phases.Bench_run.alloc_cycles
+            r.Bench_run.phases.Bench_run.alloc_cycles;
+        compute_overhead_pct =
+          Bench_run.pct_overhead
+            ~baseline:baseline.Bench_run.phases.Bench_run.compute_cycles
+            r.Bench_run.phases.Bench_run.compute_cycles;
+        total_overhead_pct =
+          Bench_run.pct_overhead ~baseline:baseline.Bench_run.cycles r.Bench_run.cycles;
+        result = r;
+      })
+    results
+
+let run_all ?paper_size () =
+  List.concat_map (fun (name, _, _) -> run_benchmark ?paper_size name) benchmarks
+
+let run_extended ?paper_size () =
+  List.concat_map (fun (name, _, _) -> run_benchmark ?paper_size name) extended_benchmarks

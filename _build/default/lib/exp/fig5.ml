@@ -1,0 +1,58 @@
+(* Figure 5: CHERI slowdown relative to MIPS as the working set grows
+   (4 KB .. 1024 KB heaps).  As the set of live capabilities outgrows the
+   16 KB L1, the 64 KB L2, and the 1 MB TLB reach, the slowdown climbs in
+   visible steps — the effect this sweep reproduces. *)
+
+type point = {
+  bench : string;
+  param : int;
+  heap_kb : int; (* measured baseline heap footprint *)
+  slowdown_pct : float;
+  cheri_l1d_misses : int;
+  legacy_l1d_misses : int;
+}
+
+(* Parameters chosen so the *legacy* heap footprint lands near each target
+   size; treeadd/bisort double per level. *)
+let sweeps =
+  [
+    ("treeadd", [ 7; 8; 9; 10; 11; 12; 13; 14; 15 ]);
+    ("bisort", [ 7; 8; 9; 10; 11; 12; 13; 14; 15 ]);
+    ("perimeter", [ 4; 5; 6; 7; 8; 9; 10 ]);
+    ("mst", [ 16; 32; 64; 128; 256; 384; 512 ]);
+  ]
+
+let source name = List.assoc name Olden.Minic_src.all
+
+(* Iterate the computation enough to amortize cold-cache effects (the
+   paper's FPGA runs are long; a single traversal of a tiny tree would be
+   all compulsory misses). *)
+let iters_for ~bench ~param =
+  match bench with
+  | "treeadd" | "bisort" -> max 1 (1 lsl (max 0 (14 - param)))
+  | _ -> 1
+
+let run_point ~bench ~param =
+  let src = source bench in
+  let iters = iters_for ~bench ~param in
+  let legacy = Bench_run.run ~iters ~bench ~mode:Minic.Layout.Legacy ~param src in
+  let cheri = Bench_run.run ~iters ~bench ~mode:Minic.Layout.Cheri ~param src in
+  {
+    bench;
+    param;
+    heap_kb = Int64.to_int (Int64.div legacy.Bench_run.heap_bytes 1024L);
+    slowdown_pct =
+      (* steady-state: compare the computation phases *)
+      Bench_run.pct_overhead
+        ~baseline:legacy.Bench_run.phases.Bench_run.compute_cycles
+        cheri.Bench_run.phases.Bench_run.compute_cycles;
+    cheri_l1d_misses = cheri.Bench_run.l1d_misses;
+    legacy_l1d_misses = legacy.Bench_run.l1d_misses;
+  }
+
+let run_sweep ?(benches = [ "treeadd"; "bisort"; "perimeter"; "mst" ]) () =
+  List.concat_map
+    (fun (name, params) ->
+      if List.mem name benches then List.map (fun p -> run_point ~bench:name ~param:p) params
+      else [])
+    sweeps

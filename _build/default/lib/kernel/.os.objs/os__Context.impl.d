@@ -1,0 +1,1 @@
+lib/kernel/context.ml: Array Beri Cap Machine Regs

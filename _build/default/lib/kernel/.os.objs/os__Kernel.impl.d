@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Asm Beri Buffer Cap Char Cp0 Fmt Int64 Layout Machine Mem Regs

@@ -1,0 +1,1 @@
+lib/kernel/revoke.ml: Cap Capability Int64 Machine Mem U64

@@ -1,0 +1,1 @@
+lib/kernel/sandbox.ml: Beri Cap Context Int64 Machine Regs

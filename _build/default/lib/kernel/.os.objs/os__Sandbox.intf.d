@@ -1,0 +1,1 @@
+lib/kernel/sandbox.mli: Machine

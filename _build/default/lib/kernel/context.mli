@@ -1,0 +1,13 @@
+(** Per-thread context switching (§4.3: "The kernel saves and restores
+    per-thread capability-register state on context switches"). *)
+
+type t
+
+(** Snapshot the GPR file, the full capability file, PCC, and PC. *)
+val save : Machine.t -> t
+
+val restore : Machine.t -> t -> unit
+
+(** Bytes moved per switch: 32 GPRs x 8 B + 33 capabilities x 32 B — the
+    cost the paper's remark about smaller register files refers to. *)
+val switch_bytes : int

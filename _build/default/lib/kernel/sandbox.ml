@@ -1,0 +1,46 @@
+(* Sandboxing of unmodified (capability-unaware) code (Section 5.3):
+   "Conventional binaries are sandboxed in micro-address spaces within
+   existing processes by constraining C0 and PCC."
+
+   [enter] installs a restricted C0/PCC pair covering only the sandbox
+   region and jumps to the sandbox entry point; legacy loads, stores, and
+   fetches inside the sandbox are then implicitly bounded.  Any attempt to
+   reach outside raises a CP2 exception, which the kernel fault handler
+   observes.  The sandboxed code needs no recompilation — its ordinary
+   MIPS loads and stores are offset and bounded via C0 transparently. *)
+
+open Beri
+
+type t = {
+  base : int64;
+  length : int64;
+  entry : int64; (* absolute address of the sandbox entry point *)
+  saved : Context.t; (* host context to restore on exit *)
+}
+
+(* Enter a sandbox: [base]/[length] delimit the micro-address space;
+   [entry] is the absolute entry address within it.  Returns the sandbox
+   handle for [leave]. *)
+let enter (m : Machine.t) ~base ~length ~entry =
+  if Int64.unsigned_compare entry base < 0
+     || Int64.unsigned_compare entry (Int64.add base length) >= 0 then
+    invalid_arg "Sandbox.enter: entry outside sandbox";
+  let saved = Context.save m in
+  let data_perms =
+    Cap.Perms.union Cap.Perms.load (Cap.Perms.union Cap.Perms.store Cap.Perms.global)
+  in
+  let region perms = Cap.Capability.make ~perms ~base ~length in
+  (* The sandbox receives a no-capability view: it can neither load nor
+     store capabilities, so it cannot exfiltrate authority. *)
+  Machine.set_cap m 0 (region data_perms);
+  for i = 1 to 31 do
+    Machine.set_cap m i Cap.Capability.null
+  done;
+  m.Machine.pcc <- region (Cap.Perms.union Cap.Perms.execute Cap.Perms.global);
+  m.Machine.pc <- entry;
+  (* Legacy code addresses memory C0-relative, so rebase SP to the top of
+     the sandbox region. *)
+  Machine.set_gpr m Regs.sp (Int64.sub length 32L);
+  { base; length; entry; saved }
+
+let leave (m : Machine.t) t = Context.restore m t.saved

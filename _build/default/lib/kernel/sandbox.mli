@@ -1,0 +1,15 @@
+(** Sandboxing of unmodified legacy code (§5.3): "Conventional binaries
+    are sandboxed in micro-address spaces within existing processes by
+    constraining C0 and PCC." *)
+
+type t
+
+(** [enter machine ~base ~length ~entry] saves the host context and
+    installs a restricted C0/PCC over [base, base+length): the sandboxed
+    code's ordinary MIPS loads, stores, and fetches are transparently
+    relocated and bounded, and it receives no capability rights at all.
+    @raise Invalid_argument when [entry] lies outside the region. *)
+val enter : Machine.t -> base:int64 -> length:int64 -> entry:int64 -> t
+
+(** Restore the host context saved at {!enter}. *)
+val leave : Machine.t -> t -> unit

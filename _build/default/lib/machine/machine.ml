@@ -1,0 +1,623 @@
+(* The CHERI machine: BERI's MIPS64 pipeline with the CP2 capability
+   coprocessor (Figure 2), an in-order single-issue execution model with a
+   cycle cost of one per instruction plus memory-hierarchy penalties.
+
+   Privilege structure: user code runs *simulated* (fetched, decoded, and
+   executed from the memory image); the kernel is a *native* model — an
+   OCaml callback invoked on every exception, mirroring how the paper's
+   FreeBSD kernel sits below the user program.  The callback inspects and
+   mutates the architectural state, then resumes or halts.
+
+   Addressing (Section 4.1): legacy MIPS loads and stores are implicitly
+   offset via capability register 0 (C0) and bounded by it; instruction
+   fetch is validated against PCC.  Capability-relative accesses name their
+   capability register explicitly. *)
+
+open Beri
+
+type exn_ctx = { exc : Cp0.exc; victim_pc : int64 }
+
+(* What the kernel tells the machine to do after handling an exception. *)
+type kernel_action =
+  | Resume_at of int64 (* continue execution at this PC *)
+  | Halt of int (* stop the machine with this exit code *)
+
+exception Halted of int
+
+(* Raised internally while executing one instruction; [step] catches it. *)
+exception Exn of Cp0.exc * int64 (* exception, bad virtual address *)
+
+(* Capability width: the 256-bit research format or the 128-bit
+   compressed format of Section 4.1 (the ablation of Section 8's
+   "CHERI will benefit from capability compression"). *)
+type cap_width = W256 | W128
+
+type config = {
+  mem_size : int;
+  hierarchy : Mem.Hierarchy.config;
+  mult_cycles : int;
+  div_cycles : int;
+  cap_width : cap_width;
+}
+
+let default_config =
+  {
+    mem_size = 64 * 1024 * 1024;
+    hierarchy = Mem.Hierarchy.default_config;
+    mult_cycles = 4;
+    div_cycles = 32;
+    cap_width = W256;
+  }
+
+type t = {
+  config : config;
+  regs : Regs.t;
+  caps : Cap.Capability.t array; (* 32 capability registers; index 0 = C0 *)
+  mutable pcc : Cap.Capability.t;
+  mutable pc : int64;
+  cp0 : Cp0.t;
+  phys : Mem.Phys.t;
+  tags : Mem.Tags.t;
+  hier : Mem.Hierarchy.t;
+  mutable cycles : int64;
+  mutable instret : int64;
+  mutable ll_bit : bool;
+  mutable ll_addr : int64;
+  mutable kernel : t -> exn_ctx -> kernel_action;
+  mutable on_trace : t -> Insn.marker -> int64 -> int64 -> unit;
+  mutable timing : bool; (* drive the cache/TLB model (off = fast functional mode) *)
+  (* Decoded-instruction cache, keyed by PC.  Purely an interpreter
+     optimisation: the architectural I-fetch (PCC check, TLB, I-cache
+     model) still happens every step; only binary decode is memoized.
+     Invalidated on [invalidate_icache] (the loader calls it). *)
+  decoded : (int64, Insn.t) Hashtbl.t;
+}
+
+let default_kernel _t ctx =
+  match ctx.exc with
+  | Cp0.Syscall -> Halt 0
+  | e -> failwith ("unhandled machine exception: " ^ Cp0.exc_to_string e)
+
+let create ?(config = default_config) () =
+  {
+    config;
+    regs = Regs.create ();
+    caps = Array.make 32 Cap.Capability.almighty;
+    pcc = Cap.Capability.almighty;
+    pc = 0L;
+    cp0 = Cp0.create ();
+    phys = Mem.Phys.create ~size_bytes:config.mem_size;
+    tags =
+      Mem.Tags.create
+        ~line_bytes:(match config.cap_width with W256 -> 32 | W128 -> 16)
+        ~mem_size:config.mem_size ();
+    hier = Mem.Hierarchy.create ~config:config.hierarchy ();
+    cycles = 0L;
+    instret = 0L;
+    ll_bit = false;
+    ll_addr = 0L;
+    kernel = default_kernel;
+    on_trace = (fun _ _ _ _ -> ());
+    timing = true;
+    decoded = Hashtbl.create 4096;
+  }
+
+let set_kernel t f = t.kernel <- f
+let set_trace_hook t f = t.on_trace <- f
+let set_timing t b = t.timing <- b
+
+let gpr t i = Regs.get t.regs i
+let set_gpr t i v = Regs.set t.regs i v
+let cap t i = t.caps.(i)
+let set_cap t i c = t.caps.(i) <- c
+
+(* Convenience: identity-map a virtual range with full permissions. *)
+let map_identity t ~vaddr ~len prot = Mem.Tlb.map t.hier.Mem.Hierarchy.tlb ~vaddr ~len prot
+
+let charge t n = if t.timing then t.cycles <- Int64.add t.cycles (Int64.of_int n)
+
+(* --- 64-bit helpers ---------------------------------------------------- *)
+
+let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+let sext16 v = if v land 0x8000 <> 0 then Int64.of_int (v - 0x10000) else Int64.of_int v
+let bool64 b = if b then 1L else 0L
+
+(* --- memory access ----------------------------------------------------- *)
+
+let check_cap t ~reg c access ~addr ~size =
+  match Cap.Capability.check_access c access ~addr ~size:(Int64.of_int size) with
+  | Ok () -> ()
+  | Error cause ->
+      t.cp0.Cp0.capcause <- cause;
+      t.cp0.Cp0.capcause_reg <- reg;
+      raise (Exn (Cp0.Cp2 cause, addr))
+
+let check_alignment addr size store =
+  if size > 1 && Int64.rem addr (Int64.of_int size) <> 0L then
+    raise (Exn ((if store then Cp0.Address_error_store else Cp0.Address_error_load), addr))
+
+let check_page t addr ~write ~size =
+  let tlb = t.hier.Mem.Hierarchy.tlb in
+  let prot = Mem.Tlb.protection tlb addr in
+  if not prot.Mem.Tlb.valid then
+    raise (Exn ((if write then Cp0.Tlb_store else Cp0.Tlb_load), addr));
+  if write && not prot.Mem.Tlb.writable then raise (Exn (Cp0.Tlb_store, addr));
+  (* Accesses must not straddle a page boundary in this model; our ABI
+     aligns all scalars naturally so this cannot occur for valid code. *)
+  ignore size;
+  prot
+
+let data_penalty t ~addr ~size ~write =
+  if t.timing then charge t (Mem.Hierarchy.access_data t.hier ~addr ~size ~write)
+
+(* Scalar load through an explicit capability [c] (register index [reg]). *)
+let load_scalar t ~reg c ~addr ~width ~unsigned =
+  let size = Insn.width_bytes width in
+  check_alignment addr size false;
+  check_cap t ~reg c Cap.Capability.Load ~addr ~size;
+  ignore (check_page t addr ~write:false ~size);
+  data_penalty t ~addr ~size ~write:false;
+  try
+    match (width, unsigned) with
+    | Insn.B, true -> Int64.of_int (Mem.Phys.read_u8 t.phys addr)
+    | Insn.B, false ->
+        let v = Mem.Phys.read_u8 t.phys addr in
+        Int64.of_int (if v land 0x80 <> 0 then v - 0x100 else v)
+    | Insn.H, true -> Int64.of_int (Mem.Phys.read_u16 t.phys addr)
+    | Insn.H, false -> sext16 (Mem.Phys.read_u16 t.phys addr)
+    | Insn.W, true -> Int64.of_int (Mem.Phys.read_u32 t.phys addr)
+    | Insn.W, false -> sext32 (Int64.of_int (Mem.Phys.read_u32 t.phys addr))
+    | Insn.D, _ -> Mem.Phys.read_u64 t.phys addr
+  with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_load, a))
+
+let store_scalar t ~reg c ~addr ~width v =
+  let size = Insn.width_bytes width in
+  check_alignment addr size true;
+  check_cap t ~reg c Cap.Capability.Store ~addr ~size;
+  ignore (check_page t addr ~write:true ~size);
+  data_penalty t ~addr ~size ~write:true;
+  (try
+     match width with
+     | Insn.B -> Mem.Phys.write_u8 t.phys addr (Int64.to_int (Int64.logand v 0xFFL))
+     | Insn.H -> Mem.Phys.write_u16 t.phys addr (Int64.to_int (Int64.logand v 0xFFFFL))
+     | Insn.W -> Mem.Phys.write_u32 t.phys addr (Int64.to_int (Int64.logand v 0xFFFF_FFFFL))
+     | Insn.D -> Mem.Phys.write_u64 t.phys addr v
+   with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
+  (* A general-purpose store clears the tag of the overlapped line(s):
+     the architectural rule that makes in-memory capabilities unforgeable. *)
+  Mem.Tags.clear_range t.tags addr size;
+  if t.ll_bit && Mem.Tags.line_index t.tags addr = Mem.Tags.line_index t.tags t.ll_addr
+  then t.ll_bit <- false
+
+let cap_size t = match t.config.cap_width with W256 -> 32 | W128 -> 16
+
+let load_cap t ~reg c ~addr =
+  let size = cap_size t in
+  check_alignment addr size false;
+  check_cap t ~reg c Cap.Capability.Load_cap ~addr ~size;
+  let prot = check_page t addr ~write:false ~size in
+  data_penalty t ~addr ~size ~write:false;
+  try
+    let tag = Mem.Tags.get t.tags addr in
+    (* The CHERI page-table extension: a page without the capability-load
+       bit yields data with the tag stripped (Section 6.1), giving the OS
+       shared mappings that cannot carry capabilities between processes. *)
+    let tag = tag && prot.Mem.Tlb.cap_load in
+    match t.config.cap_width with
+    | W256 -> Cap.Capability.of_bytes ~tag (Mem.Phys.read_bytes t.phys addr 32)
+    | W128 ->
+        Cap.Cap128.decompress ~tag (Cap.Cap128.of_bytes (Mem.Phys.read_bytes t.phys addr 16))
+  with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_load, a))
+
+let store_cap t ~reg c ~addr v =
+  let size = cap_size t in
+  check_alignment addr size true;
+  check_cap t ~reg c Cap.Capability.Store_cap ~addr ~size;
+  let prot = check_page t addr ~write:true ~size in
+  if Cap.Capability.tag v && not prot.Mem.Tlb.cap_store then begin
+    t.cp0.Cp0.capcause <- Cap.Cause.Permit_store_capability_violation;
+    t.cp0.Cp0.capcause_reg <- reg;
+    raise (Exn (Cp0.Cp2 Cap.Cause.Permit_store_capability_violation, addr))
+  end;
+  let image =
+    match t.config.cap_width with
+    | W256 -> Cap.Capability.to_bytes v
+    | W128 -> (
+        (* The compressed machine refuses to store a capability whose
+           bounds the 128-bit format cannot represent exactly. *)
+        match Cap.Cap128.compress v with
+        | Ok c -> Cap.Cap128.to_bytes c
+        | Error cause ->
+            t.cp0.Cp0.capcause <- cause;
+            t.cp0.Cp0.capcause_reg <- reg;
+            raise (Exn (Cp0.Cp2 cause, addr)))
+  in
+  data_penalty t ~addr ~size ~write:true;
+  (try Mem.Phys.write_bytes t.phys addr image
+   with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
+  Mem.Tags.set t.tags addr (Cap.Capability.tag v)
+
+(* --- CP2 helpers -------------------------------------------------------- *)
+
+let cap_op t ~reg result =
+  match result with
+  | Ok c -> c
+  | Error cause ->
+      t.cp0.Cp0.capcause <- cause;
+      t.cp0.Cp0.capcause_reg <- reg;
+      raise (Exn (Cp0.Cp2 cause, 0L))
+
+(* Effective address of a capability-relative access: base + index + imm. *)
+let cap_ea c rt_val imm = Int64.add (Cap.Capability.base c) (Int64.add rt_val (Int64.of_int imm))
+
+(* Effective address of a legacy access: C0-relative (Section 4.1). *)
+let legacy_ea t base offset =
+  let va = Int64.add (gpr t base) (sext16 (offset land 0xFFFF)) in
+  Int64.add (Cap.Capability.base t.caps.(0)) va
+
+let branch_target pc offset = Int64.add pc (Int64.of_int (4 + (offset * 4)))
+
+(* --- the interpreter ----------------------------------------------------- *)
+
+let overflow_add a b =
+  let s = Int64.add a b in
+  (Int64.logxor s a) < 0L && (Int64.logxor s b) < 0L
+
+(* Execute one decoded instruction.  Returns the next PC. *)
+let execute t insn =
+  let pc = t.pc in
+  let next = Int64.add pc 4L in
+  let g = gpr t and sg = set_gpr t in
+  match insn with
+  | Insn.Add (d, s, u) ->
+      let a = sext32 (g s) and b = sext32 (g u) in
+      let sum = Int64.add a b in
+      (* 32-bit signed overflow: the 64-bit sum of sign-extended operands
+         falls outside the 32-bit range *)
+      if not (Int64.equal (sext32 sum) sum) then raise (Exn (Cp0.Overflow, 0L));
+      sg d sum;
+      next
+  | Insn.Addu (d, s, u) -> sg d (sext32 (Int64.add (g s) (g u))); next
+  | Insn.Dadd (d, s, u) ->
+      if overflow_add (g s) (g u) then raise (Exn (Cp0.Overflow, 0L));
+      sg d (Int64.add (g s) (g u));
+      next
+  | Insn.Daddu (d, s, u) -> sg d (Int64.add (g s) (g u)); next
+  | Insn.Sub (d, s, u) ->
+      let diff = Int64.sub (sext32 (g s)) (sext32 (g u)) in
+      if not (Int64.equal (sext32 diff) diff) then raise (Exn (Cp0.Overflow, 0L));
+      sg d diff;
+      next
+  | Insn.Subu (d, s, u) -> sg d (sext32 (Int64.sub (g s) (g u))); next
+  | Insn.Dsubu (d, s, u) -> sg d (Int64.sub (g s) (g u)); next
+  | Insn.And (d, s, u) -> sg d (Int64.logand (g s) (g u)); next
+  | Insn.Or (d, s, u) -> sg d (Int64.logor (g s) (g u)); next
+  | Insn.Xor (d, s, u) -> sg d (Int64.logxor (g s) (g u)); next
+  | Insn.Nor (d, s, u) -> sg d (Int64.lognot (Int64.logor (g s) (g u))); next
+  | Insn.Slt (d, s, u) -> sg d (bool64 (Int64.compare (g s) (g u) < 0)); next
+  | Insn.Sltu (d, s, u) -> sg d (bool64 (Int64.unsigned_compare (g s) (g u) < 0)); next
+  | Insn.Addiu (r, s, i) -> sg r (sext32 (Int64.add (g s) (sext16 (i land 0xFFFF)))); next
+  | Insn.Daddiu (r, s, i) -> sg r (Int64.add (g s) (sext16 (i land 0xFFFF))); next
+  | Insn.Andi (r, s, i) -> sg r (Int64.logand (g s) (Int64.of_int (i land 0xFFFF))); next
+  | Insn.Ori (r, s, i) -> sg r (Int64.logor (g s) (Int64.of_int (i land 0xFFFF))); next
+  | Insn.Xori (r, s, i) -> sg r (Int64.logxor (g s) (Int64.of_int (i land 0xFFFF))); next
+  | Insn.Slti (r, s, i) -> sg r (bool64 (Int64.compare (g s) (sext16 (i land 0xFFFF)) < 0)); next
+  | Insn.Sltiu (r, s, i) ->
+      sg r (bool64 (Int64.unsigned_compare (g s) (sext16 (i land 0xFFFF)) < 0));
+      next
+  | Insn.Lui (r, i) -> sg r (sext32 (Int64.shift_left (Int64.of_int (i land 0xFFFF)) 16)); next
+  | Insn.Sll (d, s, sa) -> sg d (sext32 (Int64.shift_left (g s) sa)); next
+  | Insn.Srl (d, s, sa) ->
+      sg d (sext32 (Int64.shift_right_logical (Int64.logand (g s) 0xFFFF_FFFFL) sa));
+      next
+  | Insn.Sra (d, s, sa) -> sg d (sext32 (Int64.shift_right (sext32 (g s)) sa)); next
+  | Insn.Dsll (d, s, sa) -> sg d (Int64.shift_left (g s) sa); next
+  | Insn.Dsrl (d, s, sa) -> sg d (Int64.shift_right_logical (g s) sa); next
+  | Insn.Dsra (d, s, sa) -> sg d (Int64.shift_right (g s) sa); next
+  | Insn.Dsll32 (d, s, sa) -> sg d (Int64.shift_left (g s) (sa + 32)); next
+  | Insn.Dsrl32 (d, s, sa) -> sg d (Int64.shift_right_logical (g s) (sa + 32)); next
+  | Insn.Sllv (d, u, s) -> sg d (sext32 (Int64.shift_left (g u) (Int64.to_int (g s) land 31))); next
+  | Insn.Srlv (d, u, s) ->
+      sg d (sext32 (Int64.shift_right_logical (Int64.logand (g u) 0xFFFF_FFFFL)
+                      (Int64.to_int (g s) land 31)));
+      next
+  | Insn.Srav (d, u, s) -> sg d (sext32 (Int64.shift_right (sext32 (g u)) (Int64.to_int (g s) land 31))); next
+  | Insn.Dsllv (d, u, s) -> sg d (Int64.shift_left (g u) (Int64.to_int (g s) land 63)); next
+  | Insn.Dsrlv (d, u, s) -> sg d (Int64.shift_right_logical (g u) (Int64.to_int (g s) land 63)); next
+  | Insn.Dsrav (d, u, s) -> sg d (Int64.shift_right (g u) (Int64.to_int (g s) land 63)); next
+  | Insn.Mult (s, u) ->
+      charge t t.config.mult_cycles;
+      let p = Int64.mul (sext32 (g s)) (sext32 (g u)) in
+      t.regs.Regs.lo <- sext32 p;
+      t.regs.Regs.hi <- sext32 (Int64.shift_right p 32);
+      next
+  | Insn.Multu (s, u) ->
+      charge t t.config.mult_cycles;
+      let a = Int64.logand (g s) 0xFFFF_FFFFL and b = Int64.logand (g u) 0xFFFF_FFFFL in
+      let p = Int64.mul a b in
+      t.regs.Regs.lo <- sext32 p;
+      t.regs.Regs.hi <- sext32 (Int64.shift_right_logical p 32);
+      next
+  | Insn.Dmult (s, u) | Insn.Dmultu (s, u) ->
+      charge t t.config.mult_cycles;
+      (* 128-bit product truncated to LO; HI receives the (approximate) high
+         word — full 128-bit multiply is not needed by any workload. *)
+      t.regs.Regs.lo <- Int64.mul (g s) (g u);
+      t.regs.Regs.hi <- 0L;
+      next
+  | Insn.Div (s, u) ->
+      charge t t.config.div_cycles;
+      let a = sext32 (g s) and b = sext32 (g u) in
+      if Int64.equal b 0L then begin
+        t.regs.Regs.lo <- 0L;
+        t.regs.Regs.hi <- 0L
+      end
+      else begin
+        t.regs.Regs.lo <- sext32 (Int64.div a b);
+        t.regs.Regs.hi <- sext32 (Int64.rem a b)
+      end;
+      next
+  | Insn.Divu (s, u) ->
+      charge t t.config.div_cycles;
+      let a = Int64.logand (g s) 0xFFFF_FFFFL and b = Int64.logand (g u) 0xFFFF_FFFFL in
+      if Int64.equal b 0L then begin
+        t.regs.Regs.lo <- 0L;
+        t.regs.Regs.hi <- 0L
+      end
+      else begin
+        t.regs.Regs.lo <- sext32 (Int64.unsigned_div a b);
+        t.regs.Regs.hi <- sext32 (Int64.unsigned_rem a b)
+      end;
+      next
+  | Insn.Ddiv (s, u) ->
+      charge t t.config.div_cycles;
+      if Int64.equal (g u) 0L then begin
+        t.regs.Regs.lo <- 0L;
+        t.regs.Regs.hi <- 0L
+      end
+      else begin
+        t.regs.Regs.lo <- Int64.div (g s) (g u);
+        t.regs.Regs.hi <- Int64.rem (g s) (g u)
+      end;
+      next
+  | Insn.Ddivu (s, u) ->
+      charge t t.config.div_cycles;
+      if Int64.equal (g u) 0L then begin
+        t.regs.Regs.lo <- 0L;
+        t.regs.Regs.hi <- 0L
+      end
+      else begin
+        t.regs.Regs.lo <- Int64.unsigned_div (g s) (g u);
+        t.regs.Regs.hi <- Int64.unsigned_rem (g s) (g u)
+      end;
+      next
+  | Insn.Mfhi d -> sg d t.regs.Regs.hi; next
+  | Insn.Mflo d -> sg d t.regs.Regs.lo; next
+  | Insn.Mthi s -> t.regs.Regs.hi <- g s; next
+  | Insn.Mtlo s -> t.regs.Regs.lo <- g s; next
+  | Insn.Load (w, u, r, b, o) ->
+      let addr = legacy_ea t b o in
+      sg r (load_scalar t ~reg:0 t.caps.(0) ~addr ~width:w ~unsigned:u);
+      next
+  | Insn.Store (w, r, b, o) ->
+      let addr = legacy_ea t b o in
+      store_scalar t ~reg:0 t.caps.(0) ~addr ~width:w (g r);
+      next
+  | Insn.Lld (r, b, o) ->
+      let addr = legacy_ea t b o in
+      let v = load_scalar t ~reg:0 t.caps.(0) ~addr ~width:Insn.D ~unsigned:false in
+      t.ll_bit <- true;
+      t.ll_addr <- addr;
+      sg r v;
+      next
+  | Insn.Scd (r, b, o) ->
+      let addr = legacy_ea t b o in
+      if t.ll_bit && Int64.equal addr t.ll_addr then begin
+        store_scalar t ~reg:0 t.caps.(0) ~addr ~width:Insn.D (g r);
+        t.ll_bit <- false;
+        sg r 1L
+      end
+      else sg r 0L;
+      next
+  | Insn.J target ->
+      Int64.logor (Int64.logand next 0xFFFF_FFFF_F000_0000L) (Int64.of_int (target * 4))
+  | Insn.Jal target ->
+      sg Regs.ra next;
+      Int64.logor (Int64.logand next 0xFFFF_FFFF_F000_0000L) (Int64.of_int (target * 4))
+  | Insn.Jr s -> g s
+  | Insn.Jalr (d, s) ->
+      let dest = g s in
+      sg d next;
+      dest
+  | Insn.Beq (s, u, o) -> if Int64.equal (g s) (g u) then branch_target pc o else next
+  | Insn.Bne (s, u, o) -> if not (Int64.equal (g s) (g u)) then branch_target pc o else next
+  | Insn.Blez (s, o) -> if Int64.compare (g s) 0L <= 0 then branch_target pc o else next
+  | Insn.Bgtz (s, o) -> if Int64.compare (g s) 0L > 0 then branch_target pc o else next
+  | Insn.Bltz (s, o) -> if Int64.compare (g s) 0L < 0 then branch_target pc o else next
+  | Insn.Bgez (s, o) -> if Int64.compare (g s) 0L >= 0 then branch_target pc o else next
+  | Insn.Syscall -> raise (Exn (Cp0.Syscall, 0L))
+  | Insn.Break -> raise (Exn (Cp0.Breakpoint, 0L))
+  | Insn.Eret ->
+      if not (Cp0.in_kernel_mode t.cp0) then raise (Exn (Cp0.Reserved_instruction, 0L));
+      t.cp0.Cp0.exl <- false;
+      t.cp0.Cp0.epc
+  | Insn.Mfc0 (r, d) ->
+      if not (Cp0.in_kernel_mode t.cp0) then raise (Exn (Cp0.Coprocessor_unusable, 0L));
+      sg r (Cp0.read t.cp0 d);
+      next
+  | Insn.Mtc0 (r, d) ->
+      if not (Cp0.in_kernel_mode t.cp0) then raise (Exn (Cp0.Coprocessor_unusable, 0L));
+      Cp0.write t.cp0 d (g r);
+      next
+  | Insn.Trace (m, a, b) ->
+      t.on_trace t m (g a) (g b);
+      next
+  (* --- CP2 ----------------------------------------------------------- *)
+  | Insn.CGetBase (d, cb) -> sg d (Cap.Capability.base t.caps.(cb)); next
+  | Insn.CGetLen (d, cb) -> sg d (Cap.Capability.length t.caps.(cb)); next
+  | Insn.CGetTag (d, cb) -> sg d (bool64 (Cap.Capability.tag t.caps.(cb))); next
+  | Insn.CGetPerm (d, cb) ->
+      sg d (Int64.of_int (Cap.Perms.to_int (Cap.Capability.perms t.caps.(cb))));
+      next
+  | Insn.CGetPCC (d, cd) ->
+      t.caps.(cd) <- t.pcc;
+      sg d pc;
+      next
+  | Insn.CGetCause d ->
+      sg d
+        (Int64.of_int
+           ((Cap.Cause.code t.cp0.Cp0.capcause lsl 8) lor t.cp0.Cp0.capcause_reg));
+      next
+  | Insn.CIncBase (cd, cb, rt) ->
+      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.inc_base t.caps.(cb) (g rt));
+      next
+  | Insn.CSetLen (cd, cb, rt) ->
+      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.set_len t.caps.(cb) (g rt));
+      next
+  | Insn.CClearTag (cd, cb) ->
+      t.caps.(cd) <- Cap.Capability.clear_tag t.caps.(cb);
+      next
+  | Insn.CAndPerm (cd, cb, rt) ->
+      t.caps.(cd) <-
+        cap_op t ~reg:cb
+          (Cap.Capability.and_perm t.caps.(cb)
+             (Cap.Perms.of_int (Int64.to_int (Int64.logand (g rt) 0x7FFF_FFFFL))));
+      next
+  | Insn.CMove (cd, cb) ->
+      t.caps.(cd) <- t.caps.(cb);
+      next
+  | Insn.CToPtr (rd, cb, ct) ->
+      sg rd (Cap.Capability.to_ptr t.caps.(cb) ~relative_to:t.caps.(ct));
+      next
+  | Insn.CFromPtr (cd, cb, rt) ->
+      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.from_ptr t.caps.(cb) (g rt));
+      next
+  | Insn.CBTU (cb, o) ->
+      if not (Cap.Capability.tag t.caps.(cb)) then branch_target pc o else next
+  | Insn.CBTS (cb, o) ->
+      if Cap.Capability.tag t.caps.(cb) then branch_target pc o else next
+  | Insn.CLC (cd, cb, rt, i) ->
+      let c = t.caps.(cb) in
+      t.caps.(cd) <- load_cap t ~reg:cb c ~addr:(cap_ea c (g rt) i);
+      next
+  | Insn.CSC (cs, cb, rt, i) ->
+      let c = t.caps.(cb) in
+      store_cap t ~reg:cb c ~addr:(cap_ea c (g rt) i) t.caps.(cs);
+      next
+  | Insn.CLoad (w, u, rd, cb, rt, i) ->
+      let c = t.caps.(cb) in
+      sg rd (load_scalar t ~reg:cb c ~addr:(cap_ea c (g rt) i) ~width:w ~unsigned:u);
+      next
+  | Insn.CStore (w, rs, cb, rt, i) ->
+      let c = t.caps.(cb) in
+      store_scalar t ~reg:cb c ~addr:(cap_ea c (g rt) i) ~width:w (g rs);
+      next
+  | Insn.CLLD (rd, cb) ->
+      let c = t.caps.(cb) in
+      let addr = Cap.Capability.base c in
+      let v = load_scalar t ~reg:cb c ~addr ~width:Insn.D ~unsigned:false in
+      t.ll_bit <- true;
+      t.ll_addr <- addr;
+      sg rd v;
+      next
+  | Insn.CSCD (rd, rs, cb) ->
+      let c = t.caps.(cb) in
+      let addr = Cap.Capability.base c in
+      if t.ll_bit && Int64.equal addr t.ll_addr then begin
+        store_scalar t ~reg:cb c ~addr ~width:Insn.D (g rs);
+        t.ll_bit <- false;
+        sg rd 1L
+      end
+      else sg rd 0L;
+      next
+  | Insn.CJR cb ->
+      let c = t.caps.(cb) in
+      check_cap t ~reg:cb c Cap.Capability.Execute ~addr:(Cap.Capability.base c) ~size:4;
+      t.pcc <- c;
+      Cap.Capability.base c
+  | Insn.CJALR (cd, cb) ->
+      let c = t.caps.(cb) in
+      check_cap t ~reg:cb c Cap.Capability.Execute ~addr:(Cap.Capability.base c) ~size:4;
+      (* Link: derive a return capability whose base is the return point —
+         a monotonic restriction of the current PCC. *)
+      let delta = Int64.sub next (Cap.Capability.base t.pcc) in
+      t.caps.(cd) <- cap_op t ~reg:cd (Cap.Capability.inc_base t.pcc delta);
+      t.pcc <- c;
+      Cap.Capability.base c
+  | Insn.CSeal (cd, cs, ct) ->
+      let authority = t.caps.(ct) in
+      let ot = Int64.to_int (Int64.logand (Cap.Capability.base authority) 0xFF_FFFFL) in
+      t.caps.(cd) <- cap_op t ~reg:cs (Cap.Capability.seal t.caps.(cs) ~authority ~otype:ot);
+      next
+  | Insn.CUnseal (cd, cs, ct) ->
+      let authority = t.caps.(ct) in
+      let ot = Int64.to_int (Int64.logand (Cap.Capability.base authority) 0xFF_FFFFL) in
+      t.caps.(cd) <-
+        cap_op t ~reg:cs (Cap.Capability.unseal t.caps.(cs) ~authority ~otype:ot);
+      next
+  | Insn.CCall (_, _) ->
+      t.cp0.Cp0.capcause <- Cap.Cause.Call_trap;
+      raise (Exn (Cp0.Cp2 Cap.Cause.Call_trap, 0L))
+  | Insn.CReturn ->
+      t.cp0.Cp0.capcause <- Cap.Cause.Return_trap;
+      raise (Exn (Cp0.Cp2 Cap.Cause.Return_trap, 0L))
+
+(* Fetch the instruction word at PC, validated against PCC (Section 4.4:
+   the absolute PC is checked against PCC in Execute). *)
+let fetch t =
+  check_cap t ~reg:0xFF t.pcc Cap.Capability.Execute ~addr:t.pc ~size:4;
+  let prot = Mem.Tlb.protection t.hier.Mem.Hierarchy.tlb t.pc in
+  if not (prot.Mem.Tlb.valid && prot.Mem.Tlb.executable) then
+    raise (Exn (Cp0.Tlb_load, t.pc));
+  if t.timing then charge t (Mem.Hierarchy.access_insn t.hier ~addr:t.pc);
+  try Mem.Phys.read_u32 t.phys t.pc
+  with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_load, a))
+
+(* Execute a single instruction, routing exceptions to the kernel model. *)
+let invalidate_icache t = Hashtbl.reset t.decoded
+
+let step t =
+  try
+    let insn =
+      match Hashtbl.find_opt t.decoded t.pc with
+      | Some insn ->
+          (* Architectural fetch costs still apply. *)
+          check_cap t ~reg:0xFF t.pcc Cap.Capability.Execute ~addr:t.pc ~size:4;
+          if t.timing then charge t (Mem.Hierarchy.access_insn t.hier ~addr:t.pc);
+          insn
+      | None ->
+          let word = fetch t in
+          let insn =
+            try Code.decode word
+            with Code.Decode_error _ -> raise (Exn (Cp0.Reserved_instruction, 0L))
+          in
+          Hashtbl.replace t.decoded t.pc insn;
+          insn
+    in
+    (match insn with
+    | Insn.Trace _ -> () (* instrumentation: free, and excluded from instret *)
+    | _ ->
+        t.instret <- Int64.add t.instret 1L;
+        charge t 1);
+    t.pc <- execute t insn
+  with Exn (exc, badv) -> (
+    t.cp0.Cp0.epc <- t.pc;
+    t.cp0.Cp0.badvaddr <- badv;
+    t.cp0.Cp0.last_exc <- Some exc;
+    t.cp0.Cp0.exl <- true;
+    t.ll_bit <- false;
+    match t.kernel t { exc; victim_pc = t.pc } with
+    | Resume_at pc ->
+        t.cp0.Cp0.exl <- false;
+        t.pc <- pc
+    | Halt code -> raise (Halted code))
+
+(* Run until the kernel halts the machine or [max_insns] is exceeded. *)
+let run ?(max_insns = Int64.max_int) t =
+  let start = t.instret in
+  try
+    while Int64.sub t.instret start < max_insns do
+      step t
+    done;
+    failwith "machine: instruction budget exhausted"
+  with Halted code -> code

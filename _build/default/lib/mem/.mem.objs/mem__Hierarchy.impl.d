@@ -1,0 +1,1 @@
+lib/mem/hierarchy.ml: Cache Fmt Int64 List Tlb

@@ -1,0 +1,1 @@
+lib/mem/phys.ml: Bytes Char Int32 Int64

@@ -1,0 +1,1 @@
+lib/mem/tags.ml: Bytes Char Int64

@@ -1,0 +1,106 @@
+(* A set-associative, write-back, write-allocate cache model with LRU
+   replacement.  Purely a performance model: data lives in [Phys]; the
+   cache tracks only which lines are resident, so it can be driven by both
+   the machine and the trace-replay simulators. *)
+
+type line = { mutable tag : int64; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  name : string;
+  line_bytes : int;
+  sets : int;
+  assoc : int;
+  data : line array array; (* [set].[way] *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let create ~name ~size_bytes ~line_bytes ~assoc =
+  if size_bytes mod (line_bytes * assoc) <> 0 then invalid_arg "Cache.create";
+  let sets = size_bytes / (line_bytes * assoc) in
+  {
+    name;
+    line_bytes;
+    sets;
+    assoc;
+    data =
+      Array.init sets (fun _ ->
+          Array.init assoc (fun _ -> { tag = 0L; valid = false; dirty = false; lru = 0 }));
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let size_bytes t = t.sets * t.assoc * t.line_bytes
+
+let set_of t addr =
+  Int64.to_int (Int64.unsigned_rem (Int64.div addr (Int64.of_int t.line_bytes))
+                  (Int64.of_int t.sets))
+
+let tag_of t addr = Int64.div addr (Int64.of_int (t.line_bytes * t.sets))
+
+(* Result of touching one line. *)
+type outcome = Hit | Miss of { writeback : bool }
+
+(* [access t ~addr ~write] touches the line containing [addr].  On a miss
+   the LRU way is evicted (recording a writeback if it was dirty) and the
+   new line installed. *)
+let access t ~addr ~write =
+  t.tick <- t.tick + 1;
+  let set = t.data.(set_of t addr) in
+  let tag = tag_of t addr in
+  let rec find i =
+    if i >= t.assoc then None
+    else if set.(i).valid && Int64.equal set.(i).tag tag then Some set.(i)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some line ->
+      t.hits <- t.hits + 1;
+      line.lru <- t.tick;
+      if write then line.dirty <- true;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Prefer an invalid way; otherwise evict the least recently used. *)
+      let victim =
+        match Array.to_list set |> List.find_opt (fun l -> not l.valid) with
+        | Some l -> l
+        | None ->
+            Array.fold_left (fun best l -> if l.lru < best.lru then l else best) set.(0) set
+      in
+      let writeback = victim.valid && victim.dirty in
+      if writeback then t.writebacks <- t.writebacks + 1;
+      victim.valid <- true;
+      victim.dirty <- write;
+      victim.tag <- tag;
+      victim.lru <- t.tick;
+      Miss { writeback }
+
+(* Lines touched by a [size]-byte access at [addr]. *)
+let lines_spanned t ~addr ~size =
+  let lb = Int64.of_int t.line_bytes in
+  let first = Int64.div addr lb in
+  let last = Int64.div (Int64.add addr (Int64.of_int (max 1 size - 1))) lb in
+  let rec go acc l =
+    if Int64.compare l first < 0 then acc else go (Int64.mul l lb :: acc) (Int64.sub l 1L)
+  in
+  go [] last
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let flush t =
+  Array.iter (Array.iter (fun l -> l.valid <- false; l.dirty <- false)) t.data
+
+let pp_stats ppf t =
+  let total = t.hits + t.misses in
+  Fmt.pf ppf "%s: %d accesses, %d misses (%.2f%%), %d writebacks" t.name total
+    t.misses
+    (if total = 0 then 0.0 else 100.0 *. float_of_int t.misses /. float_of_int total)
+    t.writebacks

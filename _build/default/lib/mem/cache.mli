@@ -1,0 +1,46 @@
+(** A set-associative, write-back, write-allocate cache model with LRU
+    replacement.
+
+    Purely a performance model: data lives in {!Phys}; the cache tracks
+    which lines are resident so both the machine and the trace-replay
+    simulators can drive it. *)
+
+type t = {
+  name : string;
+  line_bytes : int;
+  sets : int;
+  assoc : int;
+  data : line array array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+and line = { mutable tag : int64; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+
+(** [create ~name ~size_bytes ~line_bytes ~assoc] — capacity must be a
+    multiple of [line_bytes * assoc].
+    @raise Invalid_argument otherwise. *)
+val create : name:string -> size_bytes:int -> line_bytes:int -> assoc:int -> t
+
+val size_bytes : t -> int
+
+type outcome =
+  | Hit
+  | Miss of { writeback : bool }  (** the victim line was dirty *)
+
+(** [access t ~addr ~write] touches the line containing [addr]; on a miss
+    the LRU way is evicted and the line installed. *)
+val access : t -> addr:int64 -> write:bool -> outcome
+
+(** Line-aligned addresses of every line a [size]-byte access at [addr]
+    touches. *)
+val lines_spanned : t -> addr:int64 -> size:int -> int64 list
+
+val reset_stats : t -> unit
+
+(** Invalidate every line (drops dirty data — a model-level reset). *)
+val flush : t -> unit
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(* Physical memory: a flat byte array with little-endian scalar accessors.
+
+   (BERI is big-endian MIPS; we model memory little-endian since no
+   reproduced result depends on byte order — noted in DESIGN.md.)  Raises
+   [Bus_error] for accesses outside the populated range, which the machine
+   turns into an address-error exception. *)
+
+exception Bus_error of int64
+
+type t = { data : Bytes.t; size : int }
+
+let create ~size_bytes =
+  { data = Bytes.make size_bytes '\000'; size = size_bytes }
+
+let size t = t.size
+
+let index t addr size =
+  let i = Int64.to_int addr in
+  if i < 0 || i + size > t.size || Int64.compare addr (Int64.of_int t.size) >= 0
+  then raise (Bus_error addr)
+  else i
+
+let read_u8 t addr = Char.code (Bytes.get t.data (index t addr 1))
+let write_u8 t addr v = Bytes.set t.data (index t addr 1) (Char.chr (v land 0xFF))
+
+let read_u16 t addr = Bytes.get_uint16_le t.data (index t addr 2)
+let write_u16 t addr v = Bytes.set_uint16_le t.data (index t addr 2) (v land 0xFFFF)
+
+let read_u32 t addr = Int32.to_int (Bytes.get_int32_le t.data (index t addr 4)) land 0xFFFF_FFFF
+let write_u32 t addr v = Bytes.set_int32_le t.data (index t addr 4) (Int32.of_int v)
+
+let read_u64 t addr = Bytes.get_int64_le t.data (index t addr 8)
+let write_u64 t addr v = Bytes.set_int64_le t.data (index t addr 8) v
+
+let read_bytes t addr len =
+  let i = index t addr len in
+  Bytes.sub t.data i len
+
+let write_bytes t addr b =
+  let i = index t addr (Bytes.length b) in
+  Bytes.blit b 0 t.data i (Bytes.length b)

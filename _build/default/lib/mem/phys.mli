@@ -1,0 +1,21 @@
+(** Physical memory: a flat byte array with little-endian scalar
+    accessors.  Raises {!Bus_error} outside the populated range, which the
+    machine turns into an address-error exception. *)
+
+exception Bus_error of int64
+
+type t
+
+val create : size_bytes:int -> t
+val size : t -> int
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+val read_u16 : t -> int64 -> int
+val write_u16 : t -> int64 -> int -> unit
+val read_u32 : t -> int64 -> int
+val write_u32 : t -> int64 -> int -> unit
+val read_u64 : t -> int64 -> int64
+val write_u64 : t -> int64 -> int64 -> unit
+val read_bytes : t -> int64 -> int -> bytes
+val write_bytes : t -> int64 -> bytes -> unit

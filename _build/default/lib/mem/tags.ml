@@ -1,0 +1,55 @@
+(* The capability tag table (Section 4.2).
+
+   CHERI tags *physical* memory: one tag bit per 256-bit (32-byte) line,
+   i.e. 4 MB of tag space per gigabyte.  A tag manager below the last-level
+   cache associates each transaction with its tag.  The architectural
+   rules, enforced here:
+
+     - a capability store with a valid tag sets the line's tag;
+     - a capability store of an untagged register leaves the tag clear
+       (capability registers may carry plain data — this is what lets
+       memcpy move mixed data/capability structures);
+     - ANY other store to the line clears the tag, protecting capability
+       integrity against forgery through data writes. *)
+
+type t = { bits : Bytes.t; mem_size : int; line_bytes : int }
+
+(* Default tag granularity: one bit per 256-bit (32-byte) line; a 128-bit
+   capability machine tags 16-byte lines instead. *)
+let line_bytes = 32
+
+let create ?(line_bytes = line_bytes) ~mem_size () =
+  { bits = Bytes.make (((mem_size / line_bytes) + 7) / 8) '\000'; mem_size; line_bytes }
+
+let line_index t addr = Int64.to_int (Int64.div addr (Int64.of_int t.line_bytes))
+
+let get t addr =
+  let i = line_index t addr in
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit t i v =
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let b = if v then b lor (1 lsl (i land 7)) else b land lnot (1 lsl (i land 7)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr b)
+
+let set t addr v = set_bit t (line_index t addr) v
+
+(* Clear the tags of every line overlapped by a [size]-byte store at [addr]:
+   the consequence of a general-purpose (non-capability) store. *)
+let clear_range t addr size =
+  let first = line_index t addr in
+  let last = line_index t (Int64.add addr (Int64.of_int (size - 1))) in
+  for i = first to last do
+    set_bit t i false
+  done
+
+let count_set t =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let c = Char.code c in
+      for b = 0 to 7 do
+        if c land (1 lsl b) <> 0 then incr n
+      done)
+    t.bits;
+  !n

@@ -1,0 +1,32 @@
+(** The capability tag table (Section 4.2 of the paper).
+
+    CHERI tags {e physical} memory: one tag bit per capability-sized line
+    (32 bytes for the 256-bit format, 16 for the compressed machine).
+    The architectural rules enforced through this module:
+
+    - a capability store with a valid tag sets the line's tag;
+    - storing an untagged register leaves the tag clear;
+    - any general-purpose store to the line {e clears} the tag — in-memory
+      capabilities cannot be forged by data writes. *)
+
+type t
+
+(** Default tag granularity in bytes (32 = one bit per 256 bits). *)
+val line_bytes : int
+
+val create : ?line_bytes:int -> mem_size:int -> unit -> t
+
+(** Index of the tag line covering a physical address. *)
+val line_index : t -> int64 -> int
+
+(** Tag of the line containing the address. *)
+val get : t -> int64 -> bool
+
+val set : t -> int64 -> bool -> unit
+
+(** Clear the tags of every line overlapped by a [size]-byte store at the
+    address: the effect of a general-purpose store. *)
+val clear_range : t -> int64 -> int -> unit
+
+(** Number of tagged lines (used by sweeps and tests). *)
+val count_set : t -> int

@@ -1,0 +1,108 @@
+(* Address translation: a page table plus a TLB reach model.
+
+   The reproduction uses identity virtual-to-physical mapping (each process
+   image is loaded at its virtual addresses), so what matters
+   architecturally is (a) per-page permissions — including the CHERI page
+   table extension bits that authorise capability loads and stores
+   (Section 6.1) — and (b) TLB reach: the paper's Figure 5 'steps' come
+   from a TLB covering 1 MB (256 entries x 4 KB), which this model
+   reproduces by counting hits and misses over a fully-associative LRU
+   entry set. *)
+
+let page_bits = 12
+let page_bytes = 1 lsl page_bits
+
+type prot = {
+  valid : bool;
+  writable : bool;
+  executable : bool;
+  cap_load : bool; (* CHERI PTE extension: authorise capability loads *)
+  cap_store : bool; (* ... and capability stores *)
+}
+
+let prot_none = { valid = false; writable = false; executable = false; cap_load = false; cap_store = false }
+let prot_rwx = { valid = true; writable = true; executable = true; cap_load = true; cap_store = true }
+
+type t = {
+  entries : int; (* TLB capacity in page entries *)
+  table : (int64, prot) Hashtbl.t; (* the page table: VPN -> protections *)
+  resident : (int64, int) Hashtbl.t; (* VPN -> last-use tick, models TLB residency *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 256) () =
+  {
+    entries;
+    table = Hashtbl.create 1024;
+    resident = Hashtbl.create 512;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let vpn addr = Int64.shift_right_logical addr page_bits
+
+let map t ~vaddr ~len prot =
+  let first = vpn vaddr in
+  let last = vpn (Int64.add vaddr (Int64.of_int (max 1 len - 1))) in
+  let rec go p =
+    if Int64.compare p last <= 0 then begin
+      Hashtbl.replace t.table p prot;
+      go (Int64.add p 1L)
+    end
+  in
+  go first
+
+let protection t vaddr =
+  match Hashtbl.find_opt t.table (vpn vaddr) with
+  | Some p -> p
+  | None -> prot_none
+
+(* Touch the TLB for a translation; returns [true] on a TLB hit.  On a miss
+   the least-recently-used entry is evicted (modelling the software refill
+   the timing model charges for). *)
+let touch t vaddr =
+  t.tick <- t.tick + 1;
+  let p = vpn vaddr in
+  match Hashtbl.find_opt t.resident p with
+  | Some _ ->
+      t.hits <- t.hits + 1;
+      Hashtbl.replace t.resident p t.tick;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.resident >= t.entries then begin
+        let victim =
+          Hashtbl.fold
+            (fun k v acc ->
+              match acc with
+              | Some (_, bv) when bv <= v -> acc
+              | _ -> Some (k, v))
+            t.resident None
+        in
+        match victim with Some (k, _) -> Hashtbl.remove t.resident k | None -> ()
+      end;
+      Hashtbl.replace t.resident p t.tick;
+      false
+
+let flush t = Hashtbl.reset t.resident
+
+let unmap t ~vaddr ~len =
+  let first = vpn vaddr in
+  let last = vpn (Int64.add vaddr (Int64.of_int (max 1 len - 1))) in
+  let rec go p =
+    if Int64.compare p last <= 0 then begin
+      Hashtbl.remove t.table p;
+      Hashtbl.remove t.resident p;
+      go (Int64.add p 1L)
+    end
+  in
+  go first
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let mapped_pages t = Hashtbl.length t.table

@@ -1,0 +1,52 @@
+(** Address translation: a page table plus a TLB-reach model.
+
+    The model uses identity virtual-to-physical mapping; what matters
+    architecturally is (a) per-page permissions, including the CHERI page
+    table extension bits authorising capability loads and stores (§6.1),
+    and (b) TLB reach — Figure 5's steps come from a TLB covering 1 MB
+    (256 x 4 KB entries), reproduced by counting hits and misses over a
+    fully-associative LRU entry set. *)
+
+val page_bits : int
+val page_bytes : int
+
+type prot = {
+  valid : bool;
+  writable : bool;
+  executable : bool;
+  cap_load : bool;  (** CHERI PTE extension: authorise capability loads *)
+  cap_store : bool;  (** ... and capability stores *)
+}
+
+val prot_none : prot
+
+(** Read/write/execute plus both capability bits. *)
+val prot_rwx : prot
+
+type t = {
+  entries : int;
+  table : (int64, prot) Hashtbl.t;
+  resident : (int64, int) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : ?entries:int -> unit -> t
+
+(** Map (or remap) the pages covering [vaddr, vaddr+len). *)
+val map : t -> vaddr:int64 -> len:int -> prot -> unit
+
+val unmap : t -> vaddr:int64 -> len:int -> unit
+
+(** Protections of the page containing the address ({!prot_none} when
+    unmapped). *)
+val protection : t -> int64 -> prot
+
+(** Touch the TLB for a translation; [false] = miss (LRU refill
+    modelled). *)
+val touch : t -> int64 -> bool
+
+val flush : t -> unit
+val reset_stats : t -> unit
+val mapped_pages : t -> int

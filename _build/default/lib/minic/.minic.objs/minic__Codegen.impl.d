@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Buffer Fmt Hashtbl Layout List Printf Runtime_asm

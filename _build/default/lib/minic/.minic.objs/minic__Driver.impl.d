@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Codegen Layout Lexer Parser Printf

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Int64 List Printf String

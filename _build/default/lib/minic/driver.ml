@@ -1,0 +1,15 @@
+(* The compiler driver: minic source -> assembly text for one of the three
+   pointer-lowering modes. *)
+
+exception Error of string
+
+let compile ~(mode : Layout.mode) source =
+  try
+    let program = Parser.parse_program source in
+    let layout = Layout.create mode program in
+    Codegen.compile_program layout program
+  with
+  | Lexer.Error (line, m) -> raise (Error (Printf.sprintf "lex error at line %d: %s" line m))
+  | Parser.Error (line, m) ->
+      raise (Error (Printf.sprintf "parse error at line %d: %s" line m))
+  | Layout.Error m | Codegen.Error m -> raise (Error m)

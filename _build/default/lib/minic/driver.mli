@@ -1,0 +1,11 @@
+(** The minic compiler driver. *)
+
+exception Error of string
+
+(** [compile ~mode source] translates a minic program to BERI/CHERI
+    assembly text under the given pointer lowering.  The output assembles
+    with [Asm.Assembler.assemble] and runs under the kernel model (on a
+    [Machine.W128] machine for [Cheri128]).
+    @raise Error with a located message on any lex/parse/type/codegen
+    failure. *)
+val compile : mode:Layout.mode -> string -> string

@@ -1,0 +1,125 @@
+(* Hand-written lexer for minic. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW of string (* int, void, struct, if, else, while, for, return, sizeof, __capability *)
+  | PUNCT of string (* operators and delimiters *)
+  | EOF
+
+exception Error of int * string (* line, message *)
+
+let keywords =
+  [ "int"; "void"; "struct"; "if"; "else"; "while"; "for"; "return"; "sizeof";
+    "__capability"; "NULL" ]
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let create src = { src; pos = 0; line = 1 }
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+let advance t = t.pos <- t.pos + 1
+
+let is_ident_start c = c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r') ->
+      advance t;
+      skip_ws t
+  | Some '\n' ->
+      t.line <- t.line + 1;
+      advance t;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do
+        advance t
+      done;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      advance t;
+      advance t;
+      let rec go () =
+        match peek_char t with
+        | None -> raise (Error (t.line, "unterminated comment"))
+        | Some '*' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+            advance t;
+            advance t
+        | Some c ->
+            if c = '\n' then t.line <- t.line + 1;
+            advance t;
+            go ()
+      in
+      go ();
+      skip_ws t
+  | _ -> ()
+
+let two_char_ops = [ "->"; "<="; ">="; "=="; "!="; "&&"; "||"; "<<"; ">>" ]
+
+let next t =
+  skip_ws t;
+  match peek_char t with
+  | None -> (EOF, t.line)
+  | Some c when is_digit c ->
+      let start = t.pos in
+      if c = '0' && t.pos + 1 < String.length t.src
+         && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X') then begin
+        advance t;
+        advance t;
+        while
+          match peek_char t with
+          | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+          | None -> false
+        do
+          advance t
+        done
+      end
+      else
+        while match peek_char t with Some c -> is_digit c | None -> false do
+          advance t
+        done;
+      let text = String.sub t.src start (t.pos - start) in
+      (INT (Int64.of_string text), t.line)
+  | Some c when is_ident_start c ->
+      let start = t.pos in
+      while match peek_char t with Some c -> is_ident c | None -> false do
+        advance t
+      done;
+      let text = String.sub t.src start (t.pos - start) in
+      if List.mem text keywords then (KW text, t.line) else (IDENT text, t.line)
+  | Some c ->
+      if t.pos + 1 < String.length t.src then begin
+        let two = String.sub t.src t.pos 2 in
+        if List.mem two two_char_ops then begin
+          advance t;
+          advance t;
+          (PUNCT two, t.line)
+        end
+        else begin
+          advance t;
+          (PUNCT (String.make 1 c), t.line)
+        end
+      end
+      else begin
+        advance t;
+        (PUNCT (String.make 1 c), t.line)
+      end
+
+(* Tokenize the whole input (with line numbers). *)
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    match next t with
+    | EOF, line -> List.rev ((EOF, line) :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | INT v -> Int64.to_string v
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "<eof>"

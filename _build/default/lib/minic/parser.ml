@@ -1,0 +1,429 @@
+(* Recursive-descent parser for minic. *)
+
+open Ast
+
+exception Error of int * string
+
+type t = { mutable toks : (Lexer.token * int) list }
+
+let err t fmt =
+  let line = match t.toks with (_, l) :: _ -> l | [] -> 0 in
+  Fmt.kstr (fun m -> raise (Error (line, m))) fmt
+
+let peek t = match t.toks with (tok, _) :: _ -> tok | [] -> Lexer.EOF
+
+let peek2 t = match t.toks with _ :: (tok, _) :: _ -> tok | _ -> Lexer.EOF
+
+let advance t = match t.toks with _ :: rest -> t.toks <- rest | [] -> ()
+
+let eat t tok =
+  if peek t = tok then advance t
+  else err t "expected %s, found %s" (Lexer.token_to_string tok) (Lexer.token_to_string (peek t))
+
+let eat_punct t s = eat t (Lexer.PUNCT s)
+
+let ident t =
+  match peek t with
+  | Lexer.IDENT s ->
+      advance t;
+      s
+  | tok -> err t "expected identifier, found %s" (Lexer.token_to_string tok)
+
+(* type := ("int" | "void" | "struct" IDENT) ("*" | "__capability")* *)
+let is_type_start t =
+  match peek t with Lexer.KW ("int" | "void" | "struct") -> true | _ -> false
+
+let parse_type t =
+  let base =
+    match peek t with
+    | Lexer.KW "int" ->
+        advance t;
+        Tint
+    | Lexer.KW "void" ->
+        advance t;
+        Tvoid
+    | Lexer.KW "struct" ->
+        advance t;
+        Tstruct (ident t)
+    | tok -> err t "expected type, found %s" (Lexer.token_to_string tok)
+  in
+  let rec stars ty =
+    match peek t with
+    | Lexer.PUNCT "*" ->
+        advance t;
+        stars (Tptr ty)
+    | Lexer.KW "__capability" ->
+        advance t;
+        stars ty (* qualifier erased: cheri mode capabilities all pointers *)
+    | _ -> ty
+  in
+  stars base
+
+(* --- expressions, precedence climbing --- *)
+
+let rec parse_expr t = parse_or t
+
+and parse_or t =
+  let lhs = parse_and t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "||" ->
+        advance t;
+        go (Binop (Or, lhs, parse_and t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_and t =
+  let lhs = parse_bitor t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "&&" ->
+        advance t;
+        go (Binop (And, lhs, parse_bitor t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_bitor t =
+  let lhs = parse_bitxor t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "|" ->
+        advance t;
+        go (Binop (Bor, lhs, parse_bitxor t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_bitxor t =
+  let lhs = parse_bitand t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "^" ->
+        advance t;
+        go (Binop (Bxor, lhs, parse_bitand t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_bitand t =
+  let lhs = parse_equality t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "&" ->
+        advance t;
+        go (Binop (Band, lhs, parse_equality t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_equality t =
+  let lhs = parse_relational t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "==" ->
+        advance t;
+        go (Binop (Eq, lhs, parse_relational t))
+    | Lexer.PUNCT "!=" ->
+        advance t;
+        go (Binop (Ne, lhs, parse_relational t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_relational t =
+  let lhs = parse_shift t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "<" ->
+        advance t;
+        go (Binop (Lt, lhs, parse_shift t))
+    | Lexer.PUNCT "<=" ->
+        advance t;
+        go (Binop (Le, lhs, parse_shift t))
+    | Lexer.PUNCT ">" ->
+        advance t;
+        go (Binop (Gt, lhs, parse_shift t))
+    | Lexer.PUNCT ">=" ->
+        advance t;
+        go (Binop (Ge, lhs, parse_shift t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_shift t =
+  let lhs = parse_additive t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "<<" ->
+        advance t;
+        go (Binop (Shl, lhs, parse_additive t))
+    | Lexer.PUNCT ">>" ->
+        advance t;
+        go (Binop (Shr, lhs, parse_additive t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_additive t =
+  let lhs = parse_multiplicative t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "+" ->
+        advance t;
+        go (Binop (Add, lhs, parse_multiplicative t))
+    | Lexer.PUNCT "-" ->
+        advance t;
+        go (Binop (Sub, lhs, parse_multiplicative t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_multiplicative t =
+  let lhs = parse_unary t in
+  let rec go lhs =
+    match peek t with
+    | Lexer.PUNCT "*" ->
+        advance t;
+        go (Binop (Mul, lhs, parse_unary t))
+    | Lexer.PUNCT "/" ->
+        advance t;
+        go (Binop (Div, lhs, parse_unary t))
+    | Lexer.PUNCT "%" ->
+        advance t;
+        go (Binop (Mod, lhs, parse_unary t))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary t =
+  match peek t with
+  | Lexer.PUNCT "-" ->
+      advance t;
+      Unop (Neg, parse_unary t)
+  | Lexer.PUNCT "!" ->
+      advance t;
+      Unop (Not, parse_unary t)
+  | Lexer.PUNCT "~" ->
+      advance t;
+      Unop (Bnot, parse_unary t)
+  | Lexer.PUNCT "&" ->
+      advance t;
+      (* address-of: only &e->f is supported (field pointers) *)
+      let e = parse_unary t in
+      (match e with
+      | Field (b, f) -> Addr_field (b, f)
+      | _ -> err t "only &expr->field is supported")
+  | Lexer.PUNCT "(" when is_cast t ->
+      advance t;
+      let ty = parse_type t in
+      eat_punct t ")";
+      Cast (ty, parse_unary t)
+  | _ -> parse_postfix t
+
+(* A '(' starts a cast iff followed by a type keyword. *)
+and is_cast t =
+  match peek2 t with Lexer.KW ("int" | "void" | "struct") -> true | _ -> false
+
+and parse_postfix t =
+  let e = parse_primary t in
+  let rec go e =
+    match peek t with
+    | Lexer.PUNCT "->" ->
+        advance t;
+        go (Field (e, ident t))
+    | Lexer.PUNCT "[" ->
+        advance t;
+        let i = parse_expr t in
+        eat_punct t "]";
+        go (Index (e, i))
+    | _ -> e
+  in
+  go e
+
+and parse_primary t =
+  match peek t with
+  | Lexer.INT v ->
+      advance t;
+      Int v
+  | Lexer.KW "NULL" ->
+      advance t;
+      Null
+  | Lexer.KW "sizeof" ->
+      advance t;
+      eat_punct t "(";
+      let ty = parse_type t in
+      eat_punct t ")";
+      Sizeof ty
+  | Lexer.IDENT name ->
+      advance t;
+      if peek t = Lexer.PUNCT "(" then begin
+        advance t;
+        let rec args acc =
+          if peek t = Lexer.PUNCT ")" then List.rev acc
+          else begin
+            let a = parse_expr t in
+            if peek t = Lexer.PUNCT "," then begin
+              advance t;
+              args (a :: acc)
+            end
+            else List.rev (a :: acc)
+          end
+        in
+        let a = args [] in
+        eat_punct t ")";
+        Call (name, a)
+      end
+      else Var name
+  | Lexer.PUNCT "(" ->
+      advance t;
+      let e = parse_expr t in
+      eat_punct t ")";
+      e
+  | tok -> err t "unexpected token %s" (Lexer.token_to_string tok)
+
+(* --- statements --- *)
+
+let rec parse_stmt t =
+  match peek t with
+  | Lexer.PUNCT "{" -> Block (parse_block t)
+  | Lexer.KW "if" ->
+      advance t;
+      eat_punct t "(";
+      let cond = parse_expr t in
+      eat_punct t ")";
+      let then_ = stmt_as_list t in
+      let else_ =
+        if peek t = Lexer.KW "else" then begin
+          advance t;
+          stmt_as_list t
+        end
+        else []
+      in
+      If (cond, then_, else_)
+  | Lexer.KW "while" ->
+      advance t;
+      eat_punct t "(";
+      let cond = parse_expr t in
+      eat_punct t ")";
+      While (cond, stmt_as_list t)
+  | Lexer.KW "for" ->
+      advance t;
+      eat_punct t "(";
+      let init = if peek t = Lexer.PUNCT ";" then None else Some (parse_simple t) in
+      eat_punct t ";";
+      let cond = if peek t = Lexer.PUNCT ";" then Int 1L else parse_expr t in
+      eat_punct t ";";
+      let step = if peek t = Lexer.PUNCT ")" then None else Some (parse_simple t) in
+      eat_punct t ")";
+      let body = stmt_as_list t in
+      let loop = While (cond, body @ Option.to_list step) in
+      Block (Option.to_list init @ [ loop ])
+  | Lexer.KW "return" ->
+      advance t;
+      let e = if peek t = Lexer.PUNCT ";" then None else Some (parse_expr t) in
+      eat_punct t ";";
+      Return e
+  | Lexer.KW ("int" | "void" | "struct") ->
+      let ty = parse_type t in
+      let name = ident t in
+      let init =
+        if peek t = Lexer.PUNCT "=" then begin
+          advance t;
+          Some (parse_expr t)
+        end
+        else None
+      in
+      eat_punct t ";";
+      Decl (ty, name, init)
+  | _ ->
+      let s = parse_simple t in
+      eat_punct t ";";
+      s
+
+and parse_simple t =
+  let e = parse_expr t in
+  if peek t = Lexer.PUNCT "=" then begin
+    advance t;
+    let rhs = parse_expr t in
+    Assign (e, rhs)
+  end
+  else Expr e
+
+and stmt_as_list t = match parse_stmt t with Block ss -> ss | s -> [ s ]
+
+and parse_block t =
+  eat_punct t "{";
+  let rec go acc =
+    if peek t = Lexer.PUNCT "}" then begin
+      advance t;
+      List.rev acc
+    end
+    else go (parse_stmt t :: acc)
+  in
+  go []
+
+(* --- top level --- *)
+
+let parse_program src =
+  let t = { toks = Lexer.tokenize src } in
+  let structs = ref [] and globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek t with
+    | Lexer.EOF -> ()
+    | Lexer.KW "struct" when (match peek2 t with Lexer.IDENT _ -> true | _ -> false)
+                             && (match t.toks with
+                                | _ :: _ :: (Lexer.PUNCT "{", _) :: _ -> true
+                                | _ -> false) ->
+        advance t;
+        let name = ident t in
+        eat_punct t "{";
+        let rec fields acc =
+          if peek t = Lexer.PUNCT "}" then begin
+            advance t;
+            List.rev acc
+          end
+          else begin
+            let ty = parse_type t in
+            let fname = ident t in
+            eat_punct t ";";
+            fields ((ty, fname) :: acc)
+          end
+        in
+        let fs = fields [] in
+        eat_punct t ";";
+        structs := { sname = name; fields = fs } :: !structs;
+        go ()
+    | _ when is_type_start t ->
+        let ty = parse_type t in
+        let name = ident t in
+        if peek t = Lexer.PUNCT "(" then begin
+          advance t;
+          let rec params acc =
+            if peek t = Lexer.PUNCT ")" then List.rev acc
+            else begin
+              let pty = parse_type t in
+              let pname = ident t in
+              if peek t = Lexer.PUNCT "," then begin
+                advance t;
+                params ((pty, pname) :: acc)
+              end
+              else List.rev ((pty, pname) :: acc)
+            end
+          in
+          let ps = if peek t = Lexer.KW "void" then (advance t; []) else params [] in
+          eat_punct t ")";
+          let body = parse_block t in
+          funcs := { fname = name; ret = ty; params = ps; body } :: !funcs;
+          go ()
+        end
+        else begin
+          eat_punct t ";";
+          globals := (ty, name) :: !globals;
+          go ()
+        end
+    | tok -> err t "unexpected top-level token %s" (Lexer.token_to_string tok)
+  in
+  go ();
+  { structs = List.rev !structs; globals = List.rev !globals; funcs = List.rev !funcs }

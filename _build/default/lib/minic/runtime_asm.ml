@@ -1,0 +1,96 @@
+(* The minic runtime library, in assembly, specialized per mode.
+
+   __malloc is a bump allocator that acquires memory from the kernel in
+   64 KB sbrk chunks — the amortization Section 4.2 notes real allocators
+   perform ("malloc() implementations typically amortize kernel entry").
+   Its epilogue is where the three modes differ, and is exactly the code
+   the paper describes:
+
+     legacy     return the raw address;
+     cheri      CIncBase + CSetLen construct the bounded capability
+                ("a malloc() that returns a capability will use the
+                CIncBase and CSetLen instructions", Section 5.1);
+     softcheck  return the (addr, base, end) triple in three registers.
+
+   Every allocation emits a trace.alloc marker so the harness can split
+   Figure 4's allocation and computation phases without perturbing the
+   cycle counts (markers are free in the machine model). *)
+
+let malloc_common =
+  {|
+__malloc:
+  daddiu $t0, $a0, 31
+  li $at, -32
+  and $t0, $t0, $at          # size rounded to 32
+  la $t1, __heap_cur
+  ld $t2, 0($t1)             # cur
+  la $t3, __heap_end
+  ld $t4, 0($t3)             # end
+  daddu $t5, $t2, $t0
+  sltu $at, $t4, $t5         # end < cur + size ?
+  beqz $at, __malloc_ok
+  # grow the arena: grant = max(size, 64 KB); sbrk is contiguous
+  move $t6, $t0
+  li $t7, 65536
+  sltu $at, $t7, $t6
+  bnez $at, __malloc_grant
+  move $t6, $t7
+__malloc_grant:
+  move $t8, $a0
+  move $a0, $t6
+  li $v0, 3
+  syscall                    # v0 = old brk
+  move $a0, $t8
+  bnez $t2, __malloc_grown
+  move $t2, $v0              # first allocation: start of arena
+__malloc_grown:
+  daddu $t4, $v0, $t6
+  sd $t4, 0($t3)             # new end
+  daddu $t5, $t2, $t0
+__malloc_ok:
+  sd $t5, 0($t1)             # cur += size
+  move $v0, $t2
+  trace.alloc $a0, $v0
+|}
+
+let runtime (mode : Layout.mode) =
+  let malloc_epilogue =
+    match mode with
+    | Layout.Legacy -> "  jr $ra\n"
+    | Layout.Cheri | Layout.Cheri128 ->
+        (* the two instructions of Section 5.1 *)
+        "  cfromptr $c3, $c0, $v0\n  csetlen $c3, $c3, $t0\n  jr $ra\n"
+    | Layout.Softcheck -> "  move $v1, $v0\n  daddu $t9, $v0, $t0\n  jr $ra\n"
+  in
+  let free_body =
+    match mode with
+    | Layout.Cheri | Layout.Cheri128 -> "__free:\n  ctoptr $v1, $c3, $c0\n  trace.free $v1\n  jr $ra\n"
+    | Layout.Legacy | Layout.Softcheck -> "__free:\n  trace.free $a0\n  jr $ra\n"
+  in
+  malloc_common ^ malloc_epilogue ^ free_body
+  ^ {|
+__random:
+  la $v1, __rand_state
+  ld $v0, 0($v1)
+  dsll $at, $v0, 13
+  xor $v0, $v0, $at
+  dsrl $at, $v0, 7
+  xor $v0, $v0, $at
+  dsll $at, $v0, 17
+  xor $v0, $v0, $at
+  sd $v0, 0($v1)
+  dsrl $v0, $v0, 1
+  ddivu $v0, $a0
+  mfhi $v0
+  jr $ra
+__bounds_fail:
+  li $a0, 97
+  li $v0, 1
+  syscall
+|}
+
+let data =
+  {|__heap_cur: .dword 0
+__heap_end: .dword 0
+__rand_state: .dword 0x9E3779B97F4A7C15
+|}

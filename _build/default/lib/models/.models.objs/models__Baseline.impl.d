@@ -1,0 +1,1 @@
+lib/models/baseline.ml: Replay

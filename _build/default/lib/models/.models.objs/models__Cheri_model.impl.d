@@ -1,0 +1,1 @@
+lib/models/cheri_model.ml: Metrics Printf Replay

@@ -1,0 +1,1 @@
+lib/models/hardbound.ml: Hashtbl Int64 Mem Option Replay

@@ -1,0 +1,1 @@
+lib/models/impx.ml: Int64 Replay Workload

@@ -1,0 +1,1 @@
+lib/models/metrics.ml: Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/models/mmachine.ml: Replay

@@ -1,0 +1,1 @@
+lib/models/mondrian.ml: Int64 Mem Replay Workload

@@ -1,0 +1,1 @@
+lib/models/replay.ml: Array Event Hashtbl Int64 Metrics Workload

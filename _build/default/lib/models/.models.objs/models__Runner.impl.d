@@ -1,0 +1,1 @@
+lib/models/runner.ml: Baseline Cheri_model Hardbound Impx List Metrics Mmachine Mondrian Replay Soft_fp Workload

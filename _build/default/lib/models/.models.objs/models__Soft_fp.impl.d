@@ -1,0 +1,1 @@
+lib/models/soft_fp.ml: Replay Workload

@@ -1,0 +1,70 @@
+(* Section 9 / Figure 6: FPGA area and timing model.
+
+   A component-level logic-element model calibrated against the published
+   synthesis: the Figure 6 breakdown percentages, the 32% logic-element
+   overhead of CHERI over BERI, and the 110.84 -> 102.54 MHz fmax drop
+   (8.1%).  Components are tagged with whether they exist in BERI, are
+   CHERI additions, or grow when capability support is added (the paper:
+   the overhead "includes not only the capability coprocessor and the tag
+   manager, but also logic in the main pipeline to allow loading and
+   storing 256-bit capabilities into the data cache"). *)
+
+type kind =
+  | Base (* present and unchanged in BERI *)
+  | Cheri_only (* added by the capability extensions *)
+  | Widened of float (* present in BERI but grown by this factor in CHERI *)
+
+type component = { name : string; cheri_les : int; kind : kind }
+
+(* Logic-element counts scaled to a ~48k LE CHERI synthesis; percentages
+   match Figure 6. *)
+let total_cheri_les = 48_000
+
+let pct_of name p kind = { name; cheri_les = int_of_float (float_of_int total_cheri_les *. p /. 100.0); kind }
+
+(* The data path through the pipeline and caches carries 257-bit lines in
+   CHERI; we attribute the residual (non-coprocessor, non-tag-cache) area
+   delta to those components via widening factors chosen to reproduce the
+   aggregate +32%. *)
+let components =
+  [
+    pct_of "BERI Pipeline" 18.6 (Widened 1.25);
+    pct_of "Floating Point" 31.8 Base;
+    pct_of "Capability Unit" 14.7 Cheri_only;
+    pct_of "Tag Cache" 4.0 Cheri_only;
+    pct_of "CPro0 & TLB" 7.8 Base;
+    pct_of "Level 2 Cache" 6.6 (Widened 1.20);
+    pct_of "L1 Data Cache" 4.6 (Widened 1.25);
+    pct_of "L1 Instr. Cache" 2.4 Base;
+    pct_of "Debug" 4.7 Base;
+    pct_of "Multiply & Divide" 2.6 Base;
+    pct_of "Branch Predictor" 2.3 Base;
+  ]
+
+let cheri_total () = List.fold_left (fun a c -> a + c.cheri_les) 0 components
+
+let beri_les c =
+  match c.kind with
+  | Base -> c.cheri_les
+  | Cheri_only -> 0
+  | Widened f -> int_of_float (float_of_int c.cheri_les /. f)
+
+let beri_total () = List.fold_left (fun a c -> a + beri_les c) 0 components
+
+let area_overhead_pct () =
+  let b = float_of_int (beri_total ()) and c = float_of_int (cheri_total ()) in
+  100.0 *. (c -. b) /. b
+
+let pct c = 100.0 *. float_of_int c.cheri_les /. float_of_int (cheri_total ())
+
+(* Published synthesis frequencies (Section 9). *)
+let fmax_beri_mhz = 110.84
+let fmax_cheri_mhz = 102.54
+(* "our current implementation reduces clock speed by 8.1%" — the paper
+   expresses the drop relative to the CHERI frequency:
+   (110.84 - 102.54) / 102.54 = 8.1%. *)
+let fmax_penalty_pct = 100.0 *. (fmax_beri_mhz -. fmax_cheri_mhz) /. fmax_cheri_mhz
+
+(* Paper-reported values, for the EXPERIMENTS.md comparison. *)
+let paper_area_overhead_pct = 32.0
+let paper_fmax_penalty_pct = 8.1

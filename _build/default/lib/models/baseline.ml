@@ -1,0 +1,4 @@
+(* The unprotected MIPS baseline: 8-byte pointers, no metadata, no checks.
+   All overheads in Figure 3 are normalized against this model's counts. *)
+
+let create () = Replay.create ~name:"baseline" ~ptr_bytes:8 ()

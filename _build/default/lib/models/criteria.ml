@@ -1,0 +1,122 @@
+(* Table 2: functional comparison of the protection models against the
+   paper's criteria (Section 2 / Section 6). *)
+
+type verdict = Yes | No | Na | Partial of string
+
+type row = {
+  mechanism : string;
+  unprivileged : verdict;
+  fine_grained : verdict;
+  unforgeable : verdict;
+  access_control : verdict;
+  pointer_safety : verdict;
+  segment_scalability : verdict;
+  domain_scalability : verdict;
+  incremental_deployment : verdict;
+}
+
+let table =
+  [
+    {
+      mechanism = "MMU";
+      unprivileged = No;
+      fine_grained = No;
+      unforgeable = No;
+      access_control = Yes;
+      pointer_safety = No;
+      segment_scalability = No;
+      domain_scalability = No;
+      incremental_deployment = Yes;
+    };
+    {
+      mechanism = "Mondrian";
+      unprivileged = No;
+      fine_grained = Partial "heap only: not stack or globals";
+      unforgeable = No;
+      access_control = Yes;
+      pointer_safety = No;
+      segment_scalability = Yes;
+      domain_scalability = No;
+      incremental_deployment = Yes;
+    };
+    {
+      mechanism = "Hardbound";
+      unprivileged = Yes;
+      fine_grained = Yes;
+      unforgeable = Yes;
+      access_control = No;
+      pointer_safety = Yes;
+      segment_scalability = Yes;
+      domain_scalability = Na;
+      incremental_deployment = Yes;
+    };
+    {
+      mechanism = "iMPX";
+      unprivileged = Yes;
+      fine_grained = Yes;
+      unforgeable = Yes;
+      access_control = No;
+      pointer_safety = Yes;
+      segment_scalability = Yes;
+      domain_scalability = Na;
+      incremental_deployment = Yes;
+    };
+    {
+      mechanism = "iMPX Fat Pointers";
+      unprivileged = Yes;
+      fine_grained = Yes;
+      unforgeable = No;
+      access_control = No;
+      pointer_safety = Yes;
+      segment_scalability = Yes;
+      domain_scalability = Na;
+      incremental_deployment = No;
+    };
+    {
+      mechanism = "M-Machine";
+      unprivileged = Yes;
+      fine_grained = No;
+      unforgeable = Yes;
+      access_control = Yes;
+      pointer_safety = Yes;
+      segment_scalability = Yes;
+      domain_scalability = Yes;
+      incremental_deployment = No;
+    };
+    {
+      mechanism = "CHERI";
+      unprivileged = Yes;
+      fine_grained = Yes;
+      unforgeable = Yes;
+      access_control = Yes;
+      pointer_safety = Yes;
+      segment_scalability = Yes;
+      domain_scalability = Yes;
+      incremental_deployment = Yes;
+    };
+  ]
+
+let verdict_mark = function
+  | Yes -> "yes"
+  | No -> "-"
+  | Na -> "n/a"
+  | Partial _ -> "yes*"
+
+let columns =
+  [ "Unprivileged"; "Fine-grained"; "Unforgeable"; "Access control"; "Pointer safety";
+    "Seg. scale"; "Dom. scale"; "Incremental" ]
+
+let cells r =
+  [ r.unprivileged; r.fine_grained; r.unforgeable; r.access_control; r.pointer_safety;
+    r.segment_scalability; r.domain_scalability; r.incremental_deployment ]
+
+(* The CHERI row must dominate: [verify_cheri_dominates] checks that no
+   other mechanism achieves a criterion CHERI lacks (used in the tests). *)
+let verify_cheri_dominates () =
+  let cheri = List.find (fun r -> r.mechanism = "CHERI") table in
+  List.for_all
+    (fun r ->
+      List.for_all2
+        (fun other ours -> match (other, ours) with Yes, Yes -> true | Yes, _ -> false | _ -> true)
+        (cells r) (cells cheri))
+    table

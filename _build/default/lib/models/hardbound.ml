@@ -1,0 +1,52 @@
+(* The Hardbound model (Section 6.3), with the paper's Section 7
+   adaptation to 64-bit MIPS:
+
+     - base and bounds extended to 64 bits: a 128-bit bounds-table entry
+       at a direct offset for every *incompressible* pointer;
+     - pointer compression: "Compressed pointers encode up to 1024 bytes
+       of length in 8 unused bits in the pointer and require length to be
+       4-byte word aligned" — a compressed pointer needs no table entry;
+     - "a 2-bit tag for each 64-bit word stored in a separate table in
+       memory": tag-table traffic is filtered through a small on-chip tag
+       cache, as Hardbound's own evaluation assumes;
+     - setbound at allocation: a single instruction;
+     - bounds are propagated and checked in hardware — no check
+       instructions under either accounting (like CHERI/M-Machine). *)
+
+let bounds_base = 0x5000_0000_0000L
+let tag_base = 0x5800_0000_0000L
+
+let compressible size = size <= 1024 && size mod 4 = 0
+
+type state = { tag_cache : Mem.Cache.t }
+
+let create () =
+  let t = Replay.create ~name:"Hardbound" ~ptr_bytes:8 () in
+  let st = { tag_cache = Mem.Cache.create ~name:"hb-tags" ~size_bytes:2048 ~line_bytes:32 ~assoc:4 } in
+  t.Replay.on_alloc <- (fun t _ -> Replay.instr_both t 1);
+  t.Replay.on_access <-
+    (fun t _info (fa : Replay.field_access) ->
+      (* Tag table: 2 bits per 64-bit word; one 32-byte tag line covers
+         4 KB of data.  Only tag-cache misses reach memory. *)
+      let tag_addr = Int64.add tag_base (Int64.div fa.Replay.faddr 128L) in
+      (match Mem.Cache.access st.tag_cache ~addr:tag_addr ~write:fa.Replay.is_write with
+      | Mem.Cache.Hit -> ()
+      | Mem.Cache.Miss _ -> Replay.meta_access t tag_addr 32);
+      if fa.Replay.is_ptr then begin
+        (* Does this pointer value need a table entry? *)
+        let needs_table =
+          match
+            if fa.Replay.is_write then
+              Option.map (fun id -> Hashtbl.find_opt t.Replay.objects id) fa.Replay.target
+              |> Option.join
+            else Replay.pointee t fa.Replay.oid fa.Replay.fidx
+          with
+          | Some pointee -> not (compressible pointee.Replay.size)
+          | None -> false
+        in
+        if needs_table then
+          Replay.meta_access t
+            (Int64.add bounds_base (Int64.mul (Int64.div fa.Replay.faddr 8L) 16L))
+            16
+      end);
+  (t, st)

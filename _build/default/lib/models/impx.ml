@@ -1,0 +1,66 @@
+(* The two iMPX models (Section 6.4).
+
+   Table mode ("MPX"): pointers stay 8 bytes (full binary compatibility).
+   Bounds live in a two-level hierarchical table: a directory entry (8 B)
+   selects a leaf table whose entry is 320 bits (40 B) per pointer-sized
+   location — "the original pointer along with 256 bits of metadata".
+   Costs:
+     - bndldx on every pointer load: 1 instruction + a directory read and
+       a leaf read;
+     - bndstx on every pointer store: 1 instruction + a directory read and
+       a leaf write;
+     - explicit bndcl/bndcu checks: 2 instructions per check — once per
+       pointer load under optimistic accounting, once per dereference
+       (approximated as heap accesses) under pessimistic.
+   The table gives iMPX the worst page footprint in Figure 3: "more than
+   4 pages for each page of memory containing pointers".
+
+   Fat-pointer mode ("MPX (FP)"): the compiler keeps bounds adjacent to
+   the pointer — a 32-byte record (ptr, lower, upper, reserved), better
+   locality, no table, but an ABI change.  Loads/stores of a pointer move
+   the bounds too (one extra reference), and checks remain explicit. *)
+
+(* --- table mode --------------------------------------------------------- *)
+
+let dir_base = 0x6000_0000_0000L
+let leaf_base = 0x7000_0000_0000L
+let leaf_entry_bytes = 40
+let check_instrs = 2
+
+(* Each leaf table covers 1 MB of address space; one directory entry per
+   leaf table. *)
+let dir_entry_addr vaddr = Int64.add dir_base (Int64.mul (Int64.div vaddr 1_048_576L) 8L)
+
+let leaf_entry_addr vaddr =
+  Int64.add leaf_base (Int64.mul (Int64.div vaddr 8L) (Int64.of_int leaf_entry_bytes))
+
+let create_table () =
+  let t = Replay.create ~name:"MPX" ~ptr_bytes:8 () in
+  t.Replay.on_access <-
+    (fun t info (fa : Replay.field_access) ->
+      if fa.Replay.is_ptr then begin
+        Replay.instr_both t 1 (* bndldx / bndstx *);
+        Replay.meta_access t (dir_entry_addr fa.Replay.faddr) 8;
+        Replay.meta_access t (leaf_entry_addr fa.Replay.faddr) leaf_entry_bytes;
+        if (not fa.Replay.is_write) && info.Replay.region = Workload.Event.Heap then
+          Replay.instr ~opt:check_instrs t
+      end;
+      if info.Replay.region = Workload.Event.Heap then Replay.instr ~pess:check_instrs t);
+  t
+
+(* --- fat-pointer mode ----------------------------------------------------- *)
+
+let create_fp () =
+  let t = Replay.create ~name:"MPX (FP)" ~ptr_bytes:32 () in
+  t.Replay.addr_mode <- `Spill;
+  t.Replay.on_access <-
+    (fun t info (fa : Replay.field_access) ->
+      if fa.Replay.is_ptr then begin
+        (* the bounds half moves as a second (bndmov) access *)
+        Replay.extra_refs t 1;
+        Replay.instr_both t 1;
+        if (not fa.Replay.is_write) && info.Replay.region = Workload.Event.Heap then
+          Replay.instr ~opt:check_instrs t
+      end;
+      if info.Replay.region = Workload.Event.Heap then Replay.instr ~pess:check_instrs t);
+  t

@@ -1,0 +1,216 @@
+(* The trace replayer underlying every protection model.
+
+   Replaying an object-level trace under a model means: lay every object
+   out in the model's address space (its pointer representation sets the
+   object sizes; its allocator sets padding), turn every field access into
+   concrete memory accesses, and let the model's hooks add the metadata
+   accesses, check instructions, and system calls an ideal implementation
+   would add (Section 7: "We simulated extra memory accesses, instructions,
+   TLB and cache behavior, and system calls that would result from ideal
+   implementations of each model").
+
+   The shared baseline costs — the instruction count of the program itself
+   and the allocator's own work — are identical across models so that
+   normalized overheads isolate each model's protection costs. *)
+
+open Workload
+
+type obj_info = {
+  layout : Event.layout;
+  region : Event.region;
+  addr : int64;
+  size : int;
+  mutable live : bool;
+}
+
+type t = {
+  name : string;
+  ptr_bytes : int;
+  metrics : Metrics.t;
+  objects : (int, obj_info) Hashtbl.t;
+  (* pointer values by location, for referent-dependent models *)
+  ptr_targets : (int * int, int) Hashtbl.t;
+  mutable heap_ptr : int64;
+  mutable stack_ptr : int64;
+  mutable global_ptr : int64;
+  mutable stack_lifo : (int * int64) list; (* (obj id, sp to restore) *)
+  (* model hooks *)
+  mutable on_alloc : t -> obj_info -> unit;
+  mutable on_free : t -> obj_info -> unit;
+  mutable on_access : t -> obj_info -> field_access -> unit;
+  (* model-specific padding: size -> (padded size, alignment) *)
+  mutable pad : int -> int * int;
+  (* Address assignment.  [Repack]: the model's allocator lays objects out
+     densely under their inflated sizes (metadata-table models, and
+     M-Machine, whose power-of-two alignment forces relocation).  [Spill]:
+     the paper's accounting for inline fat pointers — "the additional data
+     is packed into existing data and the larger structures will only
+     sometimes spill onto another page" (Section 7): objects keep their
+     baseline placement, and the inflation only extends each object's
+     reach, occasionally crossing into the next page. *)
+  mutable addr_mode : [ `Repack | `Spill ];
+}
+
+and field_access = {
+  oid : int; (* object id *)
+  fidx : int; (* field index within the object *)
+  faddr : int64;
+  fsize : int;
+  is_ptr : bool;
+  is_write : bool;
+  target : int option; (* pointee object id, for pointer writes *)
+}
+
+let heap_base = 0x1000_0000L
+let stack_base = 0x2000_0000L (* grows down from here *)
+let global_base = 0x3000_0000L
+
+(* Cost of the program's own allocator (malloc/free bookkeeping), charged
+   identically to every model: a handful of instructions and two header
+   accesses per allocation.  malloc amortizes kernel entry over many
+   allocations (Section 4.2); the baseline allocator syscalls once per
+   64 KB of fresh heap. *)
+let allocator_instrs = 30
+let free_instrs = 10
+let sbrk_chunk = 65536
+
+(* Instructions charged per field access in every model: the load/store
+   itself plus the address arithmetic and loop control around it (typical
+   compiled MIPS runs ~3 instructions per memory operation). *)
+let access_instrs = 3
+
+let default_pad size = (((size + 7) / 8) * 8, 8)
+
+let create ~name ~ptr_bytes () =
+  {
+    name;
+    ptr_bytes;
+    metrics = Metrics.create ();
+    objects = Hashtbl.create 4096;
+    ptr_targets = Hashtbl.create 4096;
+    heap_ptr = heap_base;
+    stack_ptr = stack_base;
+    global_ptr = global_base;
+    stack_lifo = [];
+    on_alloc = (fun _ _ -> ());
+    on_free = (fun _ _ -> ());
+    on_access = (fun _ _ _ -> ());
+    pad = default_pad;
+    addr_mode = `Repack;
+  }
+
+let instr ?(opt = 0) ?(pess = 0) t =
+  t.metrics.Metrics.extra_opt <- t.metrics.Metrics.extra_opt + opt;
+  t.metrics.Metrics.extra_pess <- t.metrics.Metrics.extra_pess + pess
+
+(* Extra instructions under both checking disciplines. *)
+let instr_both t n = instr ~opt:n ~pess:n t
+
+let syscall t = t.metrics.Metrics.syscalls <- t.metrics.Metrics.syscalls + 1
+
+(* A metadata (table/shadow) access attributed to the model. *)
+let meta_access t addr size = Metrics.access t.metrics addr size
+
+(* Additional discrete references within bytes already counted — e.g. a
+   24-byte fat pointer loaded as three 8-byte loads is one counted access
+   of 24 bytes plus two extra references. *)
+let extra_refs t n = t.metrics.Metrics.refs <- t.metrics.Metrics.refs + n
+
+let align_up v a = Int64.logand (Int64.add v (Int64.of_int (a - 1))) (Int64.lognot (Int64.of_int (a - 1)))
+
+let handle t (e : Event.t) =
+  let m = t.metrics in
+  match e with
+  | Event.Compute n -> m.Metrics.instrs <- m.Metrics.instrs + n
+  | Event.Alloc { id; layout; region } ->
+      let raw = Event.layout_bytes ~ptr_bytes:t.ptr_bytes layout in
+      let size, align = t.pad (max raw 1) in
+      let baseline_size, _ = default_pad (max (Event.layout_bytes ~ptr_bytes:8 layout) 1) in
+      let place_size = match t.addr_mode with `Repack -> size | `Spill -> baseline_size in
+      let addr =
+        match region with
+        | Event.Heap ->
+            let a = align_up t.heap_ptr align in
+            t.heap_ptr <- Int64.add a (Int64.of_int place_size);
+            (* Baseline allocator behaviour: occasional sbrk. *)
+            if Int64.rem (Int64.sub t.heap_ptr heap_base) (Int64.of_int sbrk_chunk)
+               < Int64.of_int size
+            then syscall t;
+            a
+        | Event.Stack ->
+            let sp = Int64.sub t.stack_ptr (Int64.of_int place_size) in
+            let sp = Int64.logand sp (Int64.lognot (Int64.of_int (align - 1))) in
+            t.stack_lifo <- (id, t.stack_ptr) :: t.stack_lifo;
+            t.stack_ptr <- sp;
+            sp
+        | Event.Global ->
+            let a = align_up t.global_ptr align in
+            t.global_ptr <- Int64.add a (Int64.of_int place_size);
+            a
+      in
+      let info = { layout; region; addr; size; live = true } in
+      Hashtbl.replace t.objects id info;
+      m.Metrics.instrs <- m.Metrics.instrs + allocator_instrs;
+      m.Metrics.storage <- m.Metrics.storage + size;
+      (* Allocator header bookkeeping: identical for every model. *)
+      Metrics.access m (Int64.sub addr 16L) 16;
+      t.on_alloc t info
+  | Event.Free { id } -> (
+      match Hashtbl.find_opt t.objects id with
+      | None -> ()
+      | Some info ->
+          info.live <- false;
+          m.Metrics.instrs <- m.Metrics.instrs + free_instrs;
+          (match info.region with
+          | Event.Stack -> (
+              (* LIFO stack discipline: pop back to the saved SP. *)
+              match t.stack_lifo with
+              | (top_id, sp) :: rest when top_id = id ->
+                  t.stack_ptr <- sp;
+                  t.stack_lifo <- rest
+              | _ -> ())
+          | Event.Heap | Event.Global -> ());
+          t.on_free t info)
+  | Event.Read { obj; field } -> (
+      match Hashtbl.find_opt t.objects obj with
+      | None -> ()
+      | Some info ->
+          let off = Event.field_offset ~ptr_bytes:t.ptr_bytes info.layout field in
+          let fsize = Event.field_size ~ptr_bytes:t.ptr_bytes info.layout.(field) in
+          let faddr = Int64.add info.addr (Int64.of_int off) in
+          Metrics.access m faddr fsize;
+          m.Metrics.instrs <- m.Metrics.instrs + access_instrs;
+          let is_ptr = info.layout.(field) = Event.Ptr in
+          t.on_access t info
+            { oid = obj; fidx = field; faddr; fsize; is_ptr; is_write = false; target = None })
+  | Event.Write { obj; field; ptr_value; target } -> (
+      match Hashtbl.find_opt t.objects obj with
+      | None -> ()
+      | Some info ->
+          let off = Event.field_offset ~ptr_bytes:t.ptr_bytes info.layout field in
+          let fsize = Event.field_size ~ptr_bytes:t.ptr_bytes info.layout.(field) in
+          let faddr = Int64.add info.addr (Int64.of_int off) in
+          Metrics.access m faddr fsize;
+          m.Metrics.instrs <- m.Metrics.instrs + access_instrs;
+          if ptr_value then begin
+            match target with
+            | Some tid -> Hashtbl.replace t.ptr_targets (obj, field) tid
+            | None -> Hashtbl.remove t.ptr_targets (obj, field)
+          end;
+          t.on_access t info
+            { oid = obj; fidx = field; faddr; fsize;
+              is_ptr = info.layout.(field) = Event.Ptr; is_write = true; target })
+
+let sink t : Event.sink = handle t
+
+(* The object a given pointer field currently points to. *)
+let pointee t obj field =
+  match Hashtbl.find_opt t.ptr_targets (obj, field) with
+  | None -> None
+  | Some id -> Hashtbl.find_opt t.objects id
+
+let data_footprint t =
+  Int64.to_int
+    (Int64.add
+       (Int64.sub t.heap_ptr heap_base)
+       (Int64.sub t.global_ptr global_base))

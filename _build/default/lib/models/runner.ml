@@ -1,0 +1,81 @@
+(* Drives the limit study: runs a workload once while every protection
+   model consumes the same event stream, then normalizes each model's
+   metrics against the baseline (Figure 3). *)
+
+type instance = { model : Replay.t; finish : unit -> unit }
+
+let all_models () =
+  let plain m = { model = m; finish = (fun () -> ()) } in
+  let baseline = Baseline.create () in
+  let c256 = Cheri_model.create_256 () in
+  let c128 = Cheri_model.create_128 () in
+  let hardbound, _ = Hardbound.create () in
+  let mondrian, _ = Mondrian.create () in
+  ( baseline,
+    [
+      plain mondrian;
+      plain (Impx.create_table ());
+      plain (Impx.create_fp ());
+      plain (Soft_fp.create ());
+      plain hardbound;
+      plain (Mmachine.create ());
+      { model = c256; finish = (fun () -> Cheri_model.finish c256) };
+      { model = c128; finish = (fun () -> Cheri_model.finish c128) };
+    ] )
+
+type result = {
+  workload : string;
+  checksum : int64;
+  baseline : Metrics.t;
+  rows : Metrics.row list;
+}
+
+(* [run ~name workload] executes [workload] against a fresh runtime with
+   every model attached and returns the normalized overhead rows. *)
+let run ~name workload =
+  let rt = Workload.Runtime.create () in
+  let baseline, models = all_models () in
+  Workload.Runtime.add_sink rt (Replay.sink baseline);
+  List.iter (fun i -> Workload.Runtime.add_sink rt (Replay.sink i.model)) models;
+  let checksum = workload rt in
+  List.iter (fun i -> i.finish ()) models;
+  let rows =
+    List.map
+      (fun i ->
+        Metrics.overhead ~name:i.model.Replay.name ~baseline:baseline.Replay.metrics
+          i.model.Replay.metrics)
+      models
+  in
+  { workload = name; checksum; baseline = baseline.Replay.metrics; rows }
+
+(* Average rows across workloads (the figure reports means over the Olden
+   suite). *)
+let average (results : result list) =
+  match results with
+  | [] -> []
+  | first :: _ ->
+      let names = List.map (fun (r : Metrics.row) -> r.Metrics.name) first.rows in
+      List.map
+        (fun name ->
+          let rows =
+            List.map
+              (fun res -> List.find (fun (r : Metrics.row) -> r.Metrics.name = name) res.rows)
+              results
+          in
+          let n = float_of_int (List.length rows) in
+          let avg f = List.fold_left (fun a r -> a +. f r) 0.0 rows /. n in
+          {
+            Metrics.name;
+            o_pages = avg (fun r -> r.Metrics.o_pages);
+            o_bytes = avg (fun r -> r.Metrics.o_bytes);
+            o_refs = avg (fun r -> r.Metrics.o_refs);
+            o_instr_opt = avg (fun r -> r.Metrics.o_instr_opt);
+            o_instr_pess = avg (fun r -> r.Metrics.o_instr_pess);
+            syscall_count =
+              List.fold_left (fun a r -> a + r.Metrics.syscall_count) 0 rows
+              / List.length rows;
+            storage_bytes =
+              List.fold_left (fun a r -> a + r.Metrics.storage_bytes) 0 rows
+              / List.length rows;
+          })
+        names

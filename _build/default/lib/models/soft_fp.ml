@@ -1,0 +1,35 @@
+(* Software fat pointers (the "Soft FP" column): the pure-software scheme
+   of Cyclone/CCured-style bounds checking.
+
+   A pointer in memory is the triple {ptr, base, bound} = 24 bytes.
+   Everything is ordinary instructions:
+     - loading a pointer is three 8-byte loads (2 extra refs and 2 extra
+       instructions beyond the baseline's single load), and storing is
+       three stores;
+     - every bounds check costs ~3 instructions (two unsigned compares and
+       a branch);
+     - optimistic accounting checks once per pointer *load*; pessimistic
+       accounting checks at every dereference, approximated as every
+       access to a heap object (stack and global accesses are statically
+       checkable). *)
+
+let check_instrs = 3
+
+let create () =
+  let t = Replay.create ~name:"Soft FP" ~ptr_bytes:24 () in
+  t.Replay.addr_mode <- `Spill;
+  t.Replay.on_access <-
+    (fun t info (fa : Replay.field_access) ->
+      if fa.Replay.is_ptr then begin
+        (* base+bound words move with the pointer as two further 8-byte
+           accesses (their bytes are already in the 24-byte field count) *)
+        Replay.extra_refs t 2;
+        Replay.instr_both t 2;
+        (* optimistic: check once per pointer loaded from a heap object
+           (reloads of register spills are statically safe) *)
+        if (not fa.Replay.is_write) && info.Replay.region = Workload.Event.Heap then
+          Replay.instr ~opt:check_instrs t
+      end;
+      if info.Replay.region = Workload.Event.Heap then
+        Replay.instr ~pess:check_instrs t);
+  t

@@ -1,0 +1,1 @@
+lib/olden/bisort.ml: Event Int64 List Option Runtime Workload

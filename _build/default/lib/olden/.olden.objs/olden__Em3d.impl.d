@@ -1,0 +1,1 @@
+lib/olden/em3d.ml: Array Event Int64 Option Runtime Workload

@@ -1,0 +1,1 @@
+lib/olden/health.ml: Event Int64 Runtime Workload

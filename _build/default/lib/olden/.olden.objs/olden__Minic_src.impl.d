@@ -1,0 +1,1 @@
+lib/olden/minic_src.ml: Str_replace

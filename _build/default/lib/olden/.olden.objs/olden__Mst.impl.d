@@ -1,0 +1,1 @@
+lib/olden/mst.ml: Array Event Int64 Option Runtime Workload

@@ -1,0 +1,1 @@
+lib/olden/perimeter.ml: Array Event Fun Int64 List Runtime Workload

@@ -1,0 +1,1 @@
+lib/olden/power.ml: Event Int64 List Runtime Workload

@@ -1,0 +1,1 @@
+lib/olden/str_replace.ml: Buffer String

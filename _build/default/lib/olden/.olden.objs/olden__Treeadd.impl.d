@@ -1,0 +1,1 @@
+lib/olden/treeadd.ml: Event Int64 Runtime Workload

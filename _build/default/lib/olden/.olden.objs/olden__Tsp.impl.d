@@ -1,0 +1,1 @@
+lib/olden/tsp.ml: Event Int64 List Option Runtime Workload

@@ -1,0 +1,91 @@
+(* Olden health: discrete-event simulation of a hierarchical health-care
+   system.  A 4-ary tree of villages; patients are generated at leaf
+   villages, wait in linked lists, are treated or referred up the tree.
+   The interesting trace property: continuous allocation *and freeing* of
+   small list cells, unlike the build-once benchmarks. *)
+
+open Workload
+
+(* village: { children x4; parent; waiting list head; treated count } *)
+let village_layout =
+  [| Event.Ptr; Event.Ptr; Event.Ptr; Event.Ptr; Event.Ptr; Event.Ptr; Event.Scalar 8 |]
+
+let v_child i = i
+let v_parent = 4
+let v_waiting = 5
+let v_treated = 6
+
+(* patient cell: { remaining treatment time; hops; next } *)
+let patient_layout = [| Event.Scalar 8; Event.Scalar 8; Event.Ptr |]
+let p_time = 0
+let p_hops = 1
+let p_next = 2
+
+let rec build rt depth parent =
+  let v = Runtime.alloc rt village_layout in
+  Runtime.write_ptr rt v v_parent parent;
+  if depth > 0 then
+    for i = 0 to 3 do
+      Runtime.write_ptr rt v (v_child i) (Some (build rt (depth - 1) (Some v)))
+    done;
+  v
+
+let push_patient rt v p =
+  Runtime.write_ptr rt p p_next (Runtime.read_ptr rt v v_waiting);
+  Runtime.write_ptr rt v v_waiting (Some p)
+
+(* One timestep over the subtree: treat the waiting patients (decrement
+   their remaining time; finished ones are freed and counted; unlucky ones
+   are referred to the parent), then maybe admit a new patient at leaves. *)
+let rec step rt v ~depth ~treated =
+  for i = 0 to 3 do
+    match Runtime.read_ptr rt v (v_child i) with
+    | Some c -> step rt c ~depth:(depth - 1) ~treated
+    | None -> ()
+  done;
+  (* Process this village's waiting list. *)
+  let rec process = function
+    | None -> ()
+    | Some p ->
+        let next = Runtime.read_ptr rt p p_next in
+        let t = Runtime.read_int rt p p_time in
+        Runtime.compute rt 3;
+        if Int64.compare t 1L <= 0 then begin
+          (* treated: free the cell *)
+          incr treated;
+          Runtime.write_int rt v v_treated
+            (Int64.add (Runtime.read_int rt v v_treated) 1L);
+          Runtime.free rt p
+        end
+        else if Runtime.random rt 10 < 2 then begin
+          (* referred up the hierarchy *)
+          Runtime.write_int rt p p_time (Int64.sub t 1L);
+          Runtime.write_int rt p p_hops (Int64.add (Runtime.read_int rt p p_hops) 1L);
+          match Runtime.read_ptr rt v v_parent with
+          | Some parent -> push_patient rt parent p
+          | None -> push_patient rt v p
+        end
+        else begin
+          Runtime.write_int rt p p_time (Int64.sub t 1L);
+          push_patient rt v p
+        end;
+        process next
+  in
+  let waiting = Runtime.read_ptr rt v v_waiting in
+  Runtime.write_ptr rt v v_waiting None;
+  process waiting;
+  (* Leaves admit a new patient with probability 1/3. *)
+  if depth = 0 && Runtime.random rt 3 = 0 then begin
+    let p = Runtime.alloc rt patient_layout in
+    Runtime.write_int rt p p_time (Int64.of_int (1 + Runtime.random rt 4));
+    push_patient rt v p
+  end
+
+(* [run rt ~levels ~steps] returns the number of treated patients. *)
+let run rt ~levels ~steps =
+  let root = build rt levels None in
+  let treated = ref 0 in
+  for _ = 1 to steps do
+    step rt root ~depth:levels ~treated
+  done;
+  Int64.of_int !treated

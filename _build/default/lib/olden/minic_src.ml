@@ -1,0 +1,629 @@
+(* The four Section 8 Olden benchmarks as minic sources, compiled in the
+   three pointer modes and executed on the simulated machine for the
+   Figure 4 / Figure 5 reproduction.
+
+   Each source brackets its build phase with phase_begin(0)/phase_end()
+   and its computation phase with phase_begin(1)/phase_end(), giving the
+   harness the allocation/computation split of Figure 4.  The "@PARAM@"
+   placeholder is substituted by the harness ([instantiate]). *)
+
+let instantiate ?(iters = 1) src ~param =
+  let src = Str_replace.replace_all src ~needle:"@PARAM@" ~by:(string_of_int param) in
+  Str_replace.replace_all src ~needle:"@ITERS@" ~by:(string_of_int iters)
+
+(* --- treeadd: build a 2^levels-node binary tree, then sum it ------------- *)
+
+let treeadd =
+  {|
+struct tree {
+  struct tree *left;
+  struct tree *right;
+  int value;
+};
+
+struct tree *build(int depth) {
+  if (depth <= 0) return NULL;
+  struct tree *n = (struct tree*) malloc(sizeof(struct tree));
+  n->value = 1;
+  n->left = build(depth - 1);
+  n->right = build(depth - 1);
+  return n;
+}
+
+int sum(struct tree *t) {
+  if (t == NULL) return 0;
+  return t->value + sum(t->left) + sum(t->right);
+}
+
+int main(void) {
+  phase_begin(0);
+  struct tree *root = build(@PARAM@);
+  phase_end();
+  int total = 0;
+  int iter = 0;
+  phase_begin(1);
+  while (iter < @ITERS@) {
+    total = sum(root);
+    iter = iter + 1;
+  }
+  phase_end();
+  print_int(total);
+  return 0;
+}
+|}
+
+(* --- bisort: bitonic sort over a perfect tree of random values ------------ *)
+
+let bisort =
+  {|
+struct node {
+  int value;
+  struct node *left;
+  struct node *right;
+};
+
+struct node *build(int levels) {
+  if (levels <= 0) return NULL;
+  struct node *n = (struct node*) malloc(sizeof(struct node));
+  n->value = random(1000000);
+  n->left = build(levels - 1);
+  n->right = build(levels - 1);
+  return n;
+}
+
+int bimerge(struct node *root, int spr_val, int dir) {
+  int rv = root->value;
+  int rightexchange = (rv > spr_val) != dir;
+  if (rightexchange) {
+    root->value = spr_val;
+    spr_val = rv;
+  }
+  struct node *pl = root->left;
+  struct node *pr = root->right;
+  while (pl != NULL) {
+    int elementexchange = (pl->value > pr->value) != dir;
+    if (rightexchange) {
+      if (elementexchange) {
+        int tmp = pl->value;
+        pl->value = pr->value;
+        pr->value = tmp;
+        struct node *tr = pl->right;
+        pl->right = pr->right;
+        pr->right = tr;
+        pl = pl->left;
+        pr = pr->left;
+      } else {
+        pl = pl->right;
+        pr = pr->right;
+      }
+    } else {
+      if (elementexchange) {
+        int tmp = pl->value;
+        pl->value = pr->value;
+        pr->value = tmp;
+        struct node *tl = pl->left;
+        pl->left = pr->left;
+        pr->left = tl;
+        pl = pl->right;
+        pr = pr->right;
+      } else {
+        pl = pl->left;
+        pr = pr->left;
+      }
+    }
+  }
+  if (root->left != NULL) {
+    int ls = bimerge(root->left, root->value, dir);
+    root->value = ls;
+    return bimerge(root->right, spr_val, dir);
+  }
+  return spr_val;
+}
+
+int bisort(struct node *root, int spr_val, int dir) {
+  if (root->left == NULL) {
+    if ((root->value > spr_val) != dir) {
+      int v = root->value;
+      root->value = spr_val;
+      return v;
+    }
+    return spr_val;
+  }
+  root->value = bisort(root->left, root->value, dir);
+  spr_val = bisort(root->right, spr_val, 1 - dir);
+  return bimerge(root, spr_val, dir);
+}
+
+int tree_sum(struct node *t) {
+  if (t == NULL) return 0;
+  return t->value + tree_sum(t->left) + tree_sum(t->right);
+}
+
+int main(void) {
+  phase_begin(0);
+  struct node *root = build(@PARAM@);
+  phase_end();
+  int spr = random(1000000);
+  int before = tree_sum(root) + spr;
+  int spr2 = spr;
+  int iter = 0;
+  phase_begin(1);
+  while (iter < @ITERS@) {
+    spr2 = bisort(root, spr2, 0);
+    iter = iter + 1;
+  }
+  phase_end();
+  int after = tree_sum(root) + spr2;
+  print_int(before - after);   // 0 iff the multiset was preserved
+  print_int(after);
+  return 0;
+}
+|}
+
+(* --- perimeter: quadtree perimeter with parent-pointer neighbor finding --- *)
+
+let perimeter =
+  {|
+struct qt {
+  struct qt *nw;
+  struct qt *ne;
+  struct qt *sw;
+  struct qt *se;
+  struct qt *parent;
+  int color;      // 0 white, 1 black, 2 grey
+  int childtype;  // 0 nw, 1 ne, 2 sw, 3 se
+};
+
+int g_size;
+int g_center;
+int g_radius;
+
+// directions: 0 north, 1 south, 2 east, 3 west
+
+int adj(int d, int q) {
+  if (d == 0) { if (q == 0 || q == 1) return 1; return 0; }
+  if (d == 1) { if (q == 2 || q == 3) return 1; return 0; }
+  if (d == 2) { if (q == 1 || q == 3) return 1; return 0; }
+  if (q == 0 || q == 2) return 1;
+  return 0;
+}
+
+int reflect(int d, int q) {
+  if (d == 0 || d == 1) {
+    if (q == 0) return 2;
+    if (q == 1) return 3;
+    if (q == 2) return 0;
+    return 1;
+  }
+  if (q == 0) return 1;
+  if (q == 1) return 0;
+  if (q == 2) return 3;
+  return 2;
+}
+
+int corner_in(int x, int y) {
+  int dx = x - g_center;
+  int dy = y - g_center;
+  if (dx * dx + dy * dy <= g_radius * g_radius) return 1;
+  return 0;
+}
+
+// 0 white, 1 black, 2 grey
+int classify(int x, int y, int size) {
+  int c1 = corner_in(x, y);
+  int c2 = corner_in(x + size, y);
+  int c3 = corner_in(x, y + size);
+  int c4 = corner_in(x + size, y + size);
+  int total = c1 + c2 + c3 + c4;
+  if (total == 4) return 1;
+  if (total > 0) return 2;
+  int nx = g_center;
+  if (nx < x) nx = x;
+  if (nx > x + size) nx = x + size;
+  int ny = g_center;
+  if (ny < y) ny = y;
+  if (ny > y + size) ny = y + size;
+  int dx = nx - g_center;
+  int dy = ny - g_center;
+  if (dx * dx + dy * dy <= g_radius * g_radius) return 2;
+  return 0;
+}
+
+struct qt *child(struct qt *n, int q) {
+  if (q == 0) return n->nw;
+  if (q == 1) return n->ne;
+  if (q == 2) return n->sw;
+  return n->se;
+}
+
+struct qt *build(int x, int y, int size, int depth, struct qt *parent, int ct) {
+  struct qt *n = (struct qt*) malloc(sizeof(struct qt));
+  n->parent = parent;
+  n->childtype = ct;
+  n->nw = NULL; n->ne = NULL; n->sw = NULL; n->se = NULL;
+  int cls = classify(x, y, size);
+  if (cls == 2 && depth == 0) {
+    n->color = 1;
+    return n;
+  }
+  n->color = cls;
+  if (cls == 2) {
+    int h = size / 2;
+    n->nw = build(x, y + h, h, depth - 1, n, 0);
+    n->ne = build(x + h, y + h, h, depth - 1, n, 1);
+    n->sw = build(x, y, h, depth - 1, n, 2);
+    n->se = build(x + h, y, h, depth - 1, n, 3);
+  }
+  return n;
+}
+
+struct qt *gtequal_adj_neighbor(struct qt *n, int d) {
+  struct qt *q;
+  if (n->parent != NULL && adj(d, n->childtype)) {
+    q = gtequal_adj_neighbor(n->parent, d);
+  } else {
+    q = n->parent;
+  }
+  if (q != NULL && q->color == 2) {
+    return child(q, reflect(d, n->childtype));
+  }
+  return q;
+}
+
+int sum_adjacent(struct qt *n, int d, int size) {
+  if (n->color == 2) {
+    int q1; int q2;
+    if (d == 0) { q1 = 2; q2 = 3; }
+    else { if (d == 1) { q1 = 0; q2 = 1; }
+    else { if (d == 2) { q1 = 0; q2 = 2; }
+    else { q1 = 1; q2 = 3; } } }
+    return sum_adjacent(child(n, q1), d, size / 2)
+         + sum_adjacent(child(n, q2), d, size / 2);
+  }
+  if (n->color == 0) return size;
+  return 0;
+}
+
+int perimeter(struct qt *n, int size) {
+  if (n->color == 2) {
+    int total = 0;
+    total = total + perimeter(n->nw, size / 2);
+    total = total + perimeter(n->ne, size / 2);
+    total = total + perimeter(n->sw, size / 2);
+    total = total + perimeter(n->se, size / 2);
+    return total;
+  }
+  if (n->color == 1) {
+    int total = 0;
+    int d = 0;
+    while (d < 4) {
+      struct qt *nb = gtequal_adj_neighbor(n, d);
+      if (nb == NULL) {
+        total = total + size;
+      } else {
+        if (nb->color == 0) total = total + size;
+        if (nb->color == 2) total = total + sum_adjacent(nb, d, size);
+      }
+      d = d + 1;
+    }
+    return total;
+  }
+  return 0;
+}
+
+int main(void) {
+  g_size = 1 << @PARAM@;
+  g_center = g_size / 2;
+  g_radius = g_size * 4 / 10;
+  phase_begin(0);
+  struct qt *root = build(0, 0, g_size, @PARAM@, NULL, 0 - 1);
+  phase_end();
+  phase_begin(1);
+  int p = perimeter(root, g_size);
+  phase_end();
+  print_int(p);
+  return 0;
+}
+|}
+
+(* --- mst: blue-rule MST over hash-table adjacency ------------------------- *)
+
+let mst =
+  {|
+struct entry {
+  int key;
+  int weight;
+  struct entry *next;
+};
+
+struct vertex {
+  int mindist;
+  struct entry **buckets;   // 32 chained buckets
+};
+
+int g_n;
+
+int weight_of(int i, int j) {
+  if (i > j) { int t = i; i = j; j = t; }
+  return (i * 3 + j * 7 + ((j * j) % 31) + ((i * j) % 17)) % g_n + 1;
+}
+
+void hash_insert(struct vertex *v, int key, int w) {
+  struct entry *e = (struct entry*) malloc(sizeof(struct entry));
+  e->key = key;
+  e->weight = w;
+  int idx = key % 32;
+  e->next = v->buckets[idx];
+  v->buckets[idx] = e;
+}
+
+int hash_lookup(struct vertex *v, int key) {
+  struct entry *e = v->buckets[key % 32];
+  while (e != NULL) {
+    if (e->key == key) return e->weight;
+    e = e->next;
+  }
+  return 0 - 1;
+}
+
+struct vertex **make_graph(int n, int degree) {
+  struct vertex **table = (struct vertex**) malloc(n * sizeof(struct vertex*));
+  int i = 0;
+  while (i < n) {
+    struct vertex *v = (struct vertex*) malloc(sizeof(struct vertex));
+    v->mindist = 1 << 30;
+    v->buckets = (struct entry**) malloc(32 * sizeof(struct entry*));
+    int b = 0;
+    while (b < 32) { v->buckets[b] = NULL; b = b + 1; }
+    table[i] = v;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < n) {
+    int d = 1;
+    while (d <= degree) {
+      int j = (i + d) % n;
+      hash_insert(table[i], j, weight_of(i, j));
+      hash_insert(table[j], i, weight_of(i, j));
+      d = d + 1;
+    }
+    i = i + 1;
+  }
+  return table;
+}
+
+int compute_mst(struct vertex **table, int n, int *in_tree) {
+  in_tree[0] = 1;
+  int total = 0;
+  int last = 0;
+  int step = 1;
+  while (step < n) {
+    int best = 0 - 1;
+    int best_dist = 1 << 30;
+    int j = 0;
+    while (j < n) {
+      if (in_tree[j] == 0) {
+        struct vertex *vj = table[j];
+        int w = hash_lookup(vj, last);
+        if (w > 0 && w < vj->mindist) vj->mindist = w;
+        if (vj->mindist < best_dist) {
+          best_dist = vj->mindist;
+          best = j;
+        }
+      }
+      j = j + 1;
+    }
+    in_tree[best] = 1;
+    last = best;
+    total = total + best_dist;
+    step = step + 1;
+  }
+  return total;
+}
+
+int main(void) {
+  g_n = @PARAM@;
+  phase_begin(0);
+  struct vertex **table = make_graph(g_n, 3);
+  int *in_tree = (int*) malloc(g_n * sizeof(int));
+  int i = 0;
+  while (i < g_n) { in_tree[i] = 0; i = i + 1; }
+  phase_end();
+  phase_begin(1);
+  int total = compute_mst(table, g_n, in_tree);
+  phase_end();
+  print_int(total);
+  return 0;
+}
+|}
+
+let all = [ ("treeadd", treeadd); ("bisort", bisort); ("perimeter", perimeter); ("mst", mst) ]
+
+(* --- em3d: electromagnetic propagation on a bipartite graph ---------------- *)
+
+let em3d =
+  {|
+struct node {
+  int value;
+  struct node *next;
+  struct node **deps;
+  int *coeffs;
+};
+
+int g_n;
+
+struct node *make_nodes(int n) {
+  struct node *head = NULL;
+  int i = 0;
+  while (i < n) {
+    struct node *nd = (struct node*) malloc(sizeof(struct node));
+    nd->value = random(65536);
+    nd->next = head;
+    nd->deps = NULL;
+    nd->coeffs = NULL;
+    head = nd;
+    i = i + 1;
+  }
+  return head;
+}
+
+struct node *pick(struct node *list, int k) {
+  struct node *p = list;
+  while (k > 0) {
+    p = p->next;
+    if (p == NULL) p = list;
+    k = k - 1;
+  }
+  return p;
+}
+
+void link_nodes(struct node *from, struct node *others, int degree) {
+  struct node *p = from;
+  while (p != NULL) {
+    p->deps = (struct node**) malloc(degree * sizeof(struct node*));
+    p->coeffs = (int*) malloc(degree * sizeof(int));
+    int i = 0;
+    while (i < degree) {
+      p->deps[i] = pick(others, random(g_n));
+      p->coeffs[i] = random(32768);
+      i = i + 1;
+    }
+    p = p->next;
+  }
+}
+
+void compute(struct node *list, int degree) {
+  struct node *p = list;
+  while (p != NULL) {
+    int v = p->value;
+    int i = 0;
+    while (i < degree) {
+      struct node *d = p->deps[i];
+      v = v - ((p->coeffs[i] * d->value) >> 16);
+      i = i + 1;
+    }
+    p->value = v;
+    p = p->next;
+  }
+}
+
+int main(void) {
+  g_n = @PARAM@;
+  int degree = 4;
+  phase_begin(0);
+  struct node *e_nodes = make_nodes(g_n);
+  struct node *h_nodes = make_nodes(g_n);
+  link_nodes(e_nodes, h_nodes, degree);
+  link_nodes(h_nodes, e_nodes, degree);
+  phase_end();
+  phase_begin(1);
+  int iter = 0;
+  while (iter < @ITERS@) {
+    compute(e_nodes, degree);
+    compute(h_nodes, degree);
+    iter = iter + 1;
+  }
+  phase_end();
+  int total = 0;
+  struct node *p = e_nodes;
+  while (p != NULL) { total = total + p->value; p = p->next; }
+  print_int(total & 0xFFFFFFFF);
+  return 0;
+}
+|}
+
+(* --- health: hierarchical hospital simulation (allocates AND frees) -------- *)
+
+let health =
+  {|
+struct village {
+  struct village *c0;
+  struct village *c1;
+  struct village *c2;
+  struct village *c3;
+  struct village *parent;
+  struct patient *waiting;
+  int treated;
+};
+
+struct patient {
+  int time;
+  int hops;
+  struct patient *next;
+};
+
+int g_treated;
+
+struct village *build(int depth, struct village *parent) {
+  struct village *v = (struct village*) malloc(sizeof(struct village));
+  v->parent = parent;
+  v->waiting = NULL;
+  v->treated = 0;
+  v->c0 = NULL; v->c1 = NULL; v->c2 = NULL; v->c3 = NULL;
+  if (depth > 0) {
+    v->c0 = build(depth - 1, v);
+    v->c1 = build(depth - 1, v);
+    v->c2 = build(depth - 1, v);
+    v->c3 = build(depth - 1, v);
+  }
+  return v;
+}
+
+void push(struct village *v, struct patient *p) {
+  p->next = v->waiting;
+  v->waiting = p;
+}
+
+void step(struct village *v, int depth) {
+  if (v->c0 != NULL) {
+    step(v->c0, depth - 1);
+    step(v->c1, depth - 1);
+    step(v->c2, depth - 1);
+    step(v->c3, depth - 1);
+  }
+  struct patient *list = v->waiting;
+  v->waiting = NULL;
+  while (list != NULL) {
+    struct patient *next = list->next;
+    if (list->time <= 1) {
+      g_treated = g_treated + 1;
+      v->treated = v->treated + 1;
+      free(list);
+    } else {
+      list->time = list->time - 1;
+      if (random(10) < 2 && v->parent != NULL) {
+        list->hops = list->hops + 1;
+        push(v->parent, list);
+      } else {
+        push(v, list);
+      }
+    }
+    list = next;
+  }
+  if (depth == 0 && random(3) == 0) {
+    struct patient *p = (struct patient*) malloc(sizeof(struct patient));
+    p->time = 1 + random(4);
+    p->hops = 0;
+    push(v, p);
+  }
+}
+
+int main(void) {
+  g_treated = 0;
+  phase_begin(0);
+  struct village *root = build(@PARAM@, NULL);
+  phase_end();
+  phase_begin(1);
+  int s = 0;
+  while (s < @ITERS@) {
+    step(root, @PARAM@);
+    s = s + 1;
+  }
+  phase_end();
+  print_int(g_treated);
+  return 0;
+}
+|}
+
+let extended = [ ("em3d", em3d); ("health", health) ]
+let all = all @ extended

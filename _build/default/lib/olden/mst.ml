@@ -1,0 +1,156 @@
+(* Olden mst: minimum spanning tree of a dense graph whose adjacency is
+   stored in per-vertex chained hash tables, computed with the classic
+   Bentley blue-rule loop.  Paper parameters: mst 1024 0. *)
+
+open Workload
+
+(* vertex: { mindist; next vertex; hash buckets ptr } *)
+let vertex_layout = [| Event.Scalar 8; Event.Ptr; Event.Ptr |]
+let v_mindist = 0
+let v_next = 1
+let v_hash = 2
+
+let n_buckets = 32
+
+(* bucket array: 32 pointer slots *)
+let buckets_layout = Array.make n_buckets Event.Ptr
+
+(* hash entry: { key (vertex index); weight; next entry } *)
+let entry_layout = [| Event.Scalar 8; Event.Scalar 8; Event.Ptr |]
+let e_key = 0
+let e_weight = 1
+let e_next = 2
+
+(* Deterministic edge weight between vertices i and j (symmetric), the
+   Olden generator's "random" weights. *)
+let weight i j n =
+  let i, j = (min i j, max i j) in
+  ((i * 3 + j * 7 + (j * j mod 31) + (i * j mod 17)) mod n) + 1
+
+let hash_of_key k = k mod n_buckets
+
+let hash_insert rt v ~key ~w =
+  let buckets =
+    match Runtime.read_ptr rt v v_hash with
+    | Some b -> b
+    | None ->
+        let b = Runtime.alloc rt buckets_layout in
+        Runtime.write_ptr rt v v_hash (Some b);
+        b
+  in
+  let idx = hash_of_key key in
+  let entry = Runtime.alloc rt entry_layout in
+  Runtime.write_int rt entry e_key (Int64.of_int key);
+  Runtime.write_int rt entry e_weight (Int64.of_int w);
+  Runtime.write_ptr rt entry e_next (Runtime.read_ptr rt buckets idx);
+  Runtime.write_ptr rt buckets idx (Some entry);
+  Runtime.compute rt 4
+
+let hash_lookup rt v ~key =
+  match Runtime.read_ptr rt v v_hash with
+  | None -> None
+  | Some buckets ->
+      let rec chase = function
+        | None -> None
+        | Some entry ->
+            Runtime.compute rt 3;
+            if Int64.to_int (Runtime.read_int rt entry e_key) = key then
+              Some (Int64.to_int (Runtime.read_int rt entry e_weight))
+            else chase (Runtime.read_ptr rt entry e_next)
+      in
+      chase (Runtime.read_ptr rt buckets (hash_of_key key))
+
+(* Build [n] vertices; each vertex's hash table maps the index of every
+   other vertex within [degree] hops (ring-structured, as in the Olden
+   generator's AddEdges) to the edge weight.  The vertices live behind a
+   heap-allocated vertex table (one large pointer array, as in the C
+   original), so the MST scan's pointer loads come from a big object. *)
+let make_graph rt ~n ~degree =
+  let table = Runtime.alloc rt (Array.make n Event.Ptr) in
+  let vertices =
+    Array.init n (fun _ ->
+        let v = Runtime.alloc rt vertex_layout in
+        Runtime.write_int rt v v_mindist Int64.max_int;
+        v)
+  in
+  Array.iteri (fun i v -> Runtime.write_ptr rt table i (Some v)) vertices;
+  Array.iteri
+    (fun i v -> if i + 1 < n then Runtime.write_ptr rt v v_next (Some vertices.(i + 1)))
+    vertices;
+  for i = 0 to n - 1 do
+    for d = 1 to degree do
+      let j = (i + d) mod n in
+      hash_insert rt vertices.(i) ~key:j ~w:(weight i j n);
+      hash_insert rt vertices.(j) ~key:i ~w:(weight i j n)
+    done
+  done;
+  table
+
+(* Prim/blue-rule: repeatedly scan the not-yet-inserted vertices, updating
+   mindist against the vertex just inserted (one hash lookup each), and
+   insert the closest. *)
+let compute_mst rt table ~n =
+  let in_tree = Array.make n false in
+  in_tree.(0) <- true;
+  let total = ref 0L in
+  let last_inserted = ref 0 in
+  for _step = 1 to n - 1 do
+    let best = ref (-1) and best_dist = ref Int64.max_int in
+    for j = 0 to n - 1 do
+      if not in_tree.(j) then begin
+        let vj = Option.get (Runtime.read_ptr rt table j) in
+        (match hash_lookup rt vj ~key:!last_inserted with
+        | Some w ->
+            let cur = Runtime.read_int rt vj v_mindist in
+            if Int64.compare (Int64.of_int w) cur < 0 then
+              Runtime.write_int rt vj v_mindist (Int64.of_int w)
+        | None -> ());
+        let d = Runtime.read_int rt vj v_mindist in
+        Runtime.compute rt 2;
+        if Int64.compare d !best_dist < 0 then begin
+          best_dist := d;
+          best := j
+        end
+      end
+    done;
+    in_tree.(!best) <- true;
+    last_inserted := !best;
+    total := Int64.add !total !best_dist
+  done;
+  !total
+
+(* [run rt ~n] returns the MST weight of the [n]-vertex graph. *)
+let run rt ?(degree = 3) ~n () =
+  let table = make_graph rt ~n ~degree in
+  compute_mst rt table ~n
+
+(* Reference MST weight computed natively (for the tests): same graph,
+   plain Prim. *)
+let reference ?(degree = 3) ~n () =
+  let adj = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for d = 1 to degree do
+      let j = (i + d) mod n in
+      adj.(i).(j) <- weight i j n;
+      adj.(j).(i) <- weight i j n
+    done
+  done;
+  let in_tree = Array.make n false and dist = Array.make n max_int in
+  in_tree.(0) <- true;
+  let last = ref 0 and total = ref 0 in
+  for _ = 1 to n - 1 do
+    let best = ref (-1) and bd = ref max_int in
+    for j = 0 to n - 1 do
+      if not in_tree.(j) then begin
+        if adj.(j).(!last) > 0 && adj.(j).(!last) < dist.(j) then dist.(j) <- adj.(j).(!last);
+        if dist.(j) < !bd then begin
+          bd := dist.(j);
+          best := j
+        end
+      end
+    done;
+    in_tree.(!best) <- true;
+    last := !best;
+    total := !total + !bd
+  done;
+  Int64.of_int !total

@@ -1,0 +1,183 @@
+(* Olden perimeter: compute the perimeter of a region represented as a
+   quadtree (Samet's algorithm), using parent pointers for neighbor
+   finding.  The region is a disc, as in the Olden generator.  Paper
+   parameters: perimeter 12 0 (depth-12 tree). *)
+
+open Workload
+
+(* node: { nw; ne; sw; se; parent; color; childtype } *)
+let node_layout =
+  [| Event.Ptr; Event.Ptr; Event.Ptr; Event.Ptr; Event.Ptr; Event.Scalar 4; Event.Scalar 4 |]
+
+let f_child q = q (* 0 = nw, 1 = ne, 2 = sw, 3 = se *)
+let f_parent = 4
+let f_color = 5
+let f_childtype = 6
+
+let white = 0L
+let black = 1L
+let grey = 2L
+
+type dir = North | South | East | West
+
+let nw = 0
+let ne = 1
+let sw = 2
+let se = 3
+
+(* Is quadrant [q] adjacent to side [d] of its parent? *)
+let adj d q =
+  match d with
+  | North -> q = nw || q = ne
+  | South -> q = sw || q = se
+  | East -> q = ne || q = se
+  | West -> q = nw || q = sw
+
+(* Mirror quadrant [q] across the axis of side [d]. *)
+let reflect d q =
+  match d with
+  | North | South -> ( match q with 0 -> 2 | 1 -> 3 | 2 -> 0 | _ -> 1)
+  | East | West -> ( match q with 0 -> 1 | 1 -> 0 | 2 -> 3 | _ -> 2)
+
+(* --- tree construction -------------------------------------------------- *)
+
+(* Classify the square with corner (x, y) and side [size] against the disc
+   of radius [r] centred on the image centre (c, c). *)
+let classify ~c ~r x y size =
+  let corner_in cx cy =
+    let dx = cx - c and dy = cy - c in
+    (dx * dx) + (dy * dy) <= r * r
+  in
+  let corners =
+    [ corner_in x y; corner_in (x + size) y; corner_in x (y + size);
+      corner_in (x + size) (y + size) ]
+  in
+  if List.for_all Fun.id corners then `Black
+  else if List.exists Fun.id corners then `Grey
+  else begin
+    (* All corners outside; the disc may still poke into the square. *)
+    let clamp v lo hi = max lo (min v hi) in
+    let nx = clamp c x (x + size) and ny = clamp c y (y + size) in
+    let dx = nx - c and dy = ny - c in
+    if (dx * dx) + (dy * dy) <= r * r then `Grey else `White
+  end
+
+let rec build rt ~c ~r x y size depth parent childtype =
+  let n = Runtime.alloc rt node_layout in
+  Runtime.write_ptr rt n f_parent parent;
+  Runtime.write_int rt n f_childtype (Int64.of_int childtype);
+  (match classify ~c ~r x y size with
+  | `Black -> Runtime.write_int rt n f_color black
+  | `White -> Runtime.write_int rt n f_color white
+  | `Grey ->
+      if depth = 0 then
+        (* Leaf granularity: a partially covered cell counts as black,
+           matching the Olden rasterisation. *)
+        Runtime.write_int rt n f_color black
+      else begin
+        Runtime.write_int rt n f_color grey;
+        let h = size / 2 in
+        let child q cx cy =
+          Runtime.write_ptr rt n (f_child q)
+            (Some (build rt ~c ~r cx cy h (depth - 1) (Some n) q))
+        in
+        child nw x (y + h);
+        child ne (x + h) (y + h);
+        child sw x y;
+        child se (x + h) y
+      end);
+  Runtime.compute rt 6;
+  n
+
+let color rt n = Runtime.read_int rt n f_color
+let child rt n q = Runtime.read_ptr rt n (f_child q)
+
+(* --- Samet neighbor finding --------------------------------------------- *)
+
+let rec gtequal_adj_neighbor rt n d =
+  let parent = Runtime.read_ptr rt n f_parent in
+  let ct = Int64.to_int (Runtime.read_int rt n f_childtype) in
+  Runtime.compute rt 3;
+  let q =
+    match parent with
+    | Some p when adj d ct -> gtequal_adj_neighbor rt p d
+    | other -> other
+  in
+  match q with
+  | Some qn when Int64.equal (color rt qn) grey -> child rt qn (reflect d ct)
+  | other -> other
+
+(* Total length of the [d]-side border of [n]'s subtree that is white, at
+   this granularity: counts contributions of smaller neighbors. *)
+let rec sum_adjacent rt n d size =
+  if Int64.equal (color rt n) grey then begin
+    let q1, q2 =
+      match d with
+      | North -> (sw, se) (* children adjacent to our south side face the caller's north *)
+      | South -> (nw, ne)
+      | East -> (nw, sw)
+      | West -> (ne, se)
+    in
+    let sub q =
+      match child rt n q with Some ch -> sum_adjacent rt ch d (size / 2) | None -> 0
+    in
+    Runtime.compute rt 2;
+    sub q1 + sub q2
+  end
+  else if Int64.equal (color rt n) white then size
+  else 0
+
+let rec perimeter rt n size =
+  let col = color rt n in
+  Runtime.compute rt 2;
+  if Int64.equal col grey then
+    List.fold_left
+      (fun acc q ->
+        match child rt n q with
+        | Some ch -> acc + perimeter rt ch (size / 2)
+        | None -> acc)
+      0 [ nw; ne; sw; se ]
+  else if Int64.equal col black then
+    List.fold_left
+      (fun acc d ->
+        match gtequal_adj_neighbor rt n d with
+        | None -> acc + size (* image border *)
+        | Some nb ->
+            let c = color rt nb in
+            if Int64.equal c white then acc + size
+            else if Int64.equal c grey then acc + sum_adjacent rt nb d size
+            else acc)
+      0 [ North; South; East; West ]
+  else 0
+
+(* [run rt ~levels] builds a depth-[levels] quadtree over a 2^levels-pixel
+   image containing a centred disc and returns its perimeter in pixels. *)
+let run rt ~levels =
+  let size = 1 lsl levels in
+  let c = size / 2 and r = size * 4 / 10 in
+  let root = build rt ~c ~r 0 0 size levels None (-1) in
+  perimeter rt root size
+
+(* Rasterise the tree (for the brute-force cross-check in the tests). *)
+let rasterize rt root ~levels =
+  let size = 1 lsl levels in
+  let grid = Array.make_matrix size size false in
+  let rec go n x y s =
+    let col = color rt n in
+    if Int64.equal col black then
+      for i = x to x + s - 1 do
+        for j = y to y + s - 1 do
+          grid.(i).(j) <- true
+        done
+      done
+    else if Int64.equal col grey then begin
+      let h = s / 2 in
+      let sub q cx cy = match child rt n q with Some ch -> go ch cx cy h | None -> () in
+      sub nw x (y + h);
+      sub ne (x + h) (y + h);
+      sub sw x y;
+      sub se (x + h) y
+    end
+  in
+  go root 0 0 size;
+  grid

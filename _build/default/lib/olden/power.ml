@@ -1,0 +1,97 @@
+(* Olden power: price-directed optimization of a hierarchical power
+   network (root -> feeders -> laterals -> branches -> leaves).  Each
+   iteration propagates demands up the tree and prices down, until the
+   root price converges.  Values are 16.16 fixed point (no floating point
+   in the model).  The trace signature: a deep multi-level tree built
+   once, then repeatedly traversed with reads and writes at every node. *)
+
+open Workload
+
+(* node: { demand; price; first child; sibling } *)
+let node_layout = [| Event.Scalar 8; Event.Scalar 8; Event.Ptr; Event.Ptr |]
+let f_demand = 0
+let f_price = 1
+let f_child = 2
+let f_sibling = 3
+
+let fix v = Int64.of_int (v * 65536)
+let fix_mul a b = Int64.shift_right (Int64.mul a b) 16
+
+(* Build [n] children under [parent], chained through sibling pointers,
+   recursing [depth] more levels with [fanout] children each. *)
+let rec build rt ~depth ~fanout =
+  let node = Runtime.alloc rt node_layout in
+  Runtime.write_int rt node f_price (fix 1);
+  if depth > 0 then begin
+    let children = List.init fanout (fun _ -> build rt ~depth:(depth - 1) ~fanout) in
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          Runtime.write_ptr rt a f_sibling (Some b);
+          chain rest
+      | _ -> ()
+    in
+    chain children;
+    match children with
+    | first :: _ -> Runtime.write_ptr rt node f_child (Some first)
+    | [] -> ()
+  end;
+  node
+
+(* Demand flows up: a leaf demands inversely to price; an inner node sums
+   its children's demands plus 1% line loss. *)
+let rec compute_demand rt node =
+  let price = Runtime.read_int rt node f_price in
+  let demand =
+    match Runtime.read_ptr rt node f_child with
+    | None ->
+        (* leaf: demand = 100 / price (fixed point) *)
+        Runtime.compute rt 4;
+        Int64.div (Int64.mul (fix 100) 65536L) (Int64.max price 1L)
+    | Some first ->
+        let rec sum acc = function
+          | None -> acc
+          | Some child ->
+              let d = compute_demand rt child in
+              sum (Int64.add acc d) (Runtime.read_ptr rt child f_sibling)
+        in
+        let total = sum 0L (Some first) in
+        Runtime.compute rt 2;
+        Int64.add total (Int64.div total 100L)
+  in
+  Runtime.write_int rt node f_demand demand;
+  demand
+
+(* Prices flow down: each level marks up its parent's price in proportion
+   to its demand share. *)
+let rec propagate_price rt node price =
+  Runtime.write_int rt node f_price price;
+  let demand = Runtime.read_int rt node f_demand in
+  let child_price = Int64.add price (fix_mul demand 6L) in
+  Runtime.compute rt 3;
+  let rec down = function
+    | None -> ()
+    | Some child ->
+        propagate_price rt child child_price;
+        down (Runtime.read_ptr rt child f_sibling)
+  in
+  down (Runtime.read_ptr rt node f_child)
+
+(* [run rt ~depth ~fanout ~iters] returns the root demand after the last
+   iteration (a deterministic fixed-point checksum). *)
+let run rt ?(iters = 4) ~depth ~fanout () =
+  let root = build rt ~depth ~fanout in
+  let last = ref 0L in
+  for _ = 1 to iters do
+    last := compute_demand rt root;
+    propagate_price rt root (fix 1)
+  done;
+  !last
+
+(* The iteration is contractive: demand decreases as prices rise.  Used by
+   the tests as a convergence check. *)
+let demand_series rt ?(iters = 4) ~depth ~fanout () =
+  let root = build rt ~depth ~fanout in
+  List.init iters (fun _ ->
+      let d = compute_demand rt root in
+      propagate_price rt root (fix 1);
+      d)

@@ -1,0 +1,18 @@
+(* Tiny string substitution helper for parameterizing embedded sources. *)
+
+let replace_all s ~needle ~by =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length needle in
+  let rec go i =
+    if i > String.length s - n then Buffer.add_substring buf s i (String.length s - i)
+    else if String.sub s i n = needle then begin
+      Buffer.add_string buf by;
+      go (i + n)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf

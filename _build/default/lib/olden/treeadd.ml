@@ -1,0 +1,41 @@
+(* Olden treeadd: build a balanced binary tree and sum it recursively.
+   Paper parameters: treeadd 21 1 0 (2^21-node tree). *)
+
+open Workload
+
+(* node: { left; right; value } *)
+let node_layout = [| Event.Ptr; Event.Ptr; Event.Scalar 8 |]
+let f_left = 0
+let f_right = 1
+let f_value = 2
+
+(* recursion frame: saved node pointer + partial sum *)
+let frame_layout = [| Event.Ptr; Event.Scalar 8 |]
+
+let rec build rt depth =
+  if depth <= 0 then None
+  else begin
+    let n = Runtime.alloc rt node_layout in
+    Runtime.write_int rt n f_value 1L;
+    Runtime.write_ptr rt n f_left (build rt (depth - 1));
+    Runtime.write_ptr rt n f_right (build rt (depth - 1));
+    Runtime.compute rt 4;
+    Some n
+  end
+
+let rec sum rt = function
+  | None -> 0L
+  | Some n ->
+      Runtime.with_frame rt frame_layout (fun _f ->
+          let l = sum rt (Runtime.read_ptr rt n f_left) in
+          let r = sum rt (Runtime.read_ptr rt n f_right) in
+          let v = Runtime.read_int rt n f_value in
+          Runtime.compute rt 3;
+          Int64.add v (Int64.add l r))
+
+(* [run rt ~levels] returns the tree sum: 2^levels - 1. *)
+let run rt ~levels =
+  let root = build rt levels in
+  sum rt root
+
+let expected ~levels = Int64.sub (Int64.shift_left 1L levels) 1L

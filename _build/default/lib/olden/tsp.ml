@@ -1,0 +1,126 @@
+(* Olden tsp: a divide-and-conquer travelling-salesman heuristic.  Cities
+   live in a balanced binary tree partitioned by coordinate; [conquer]
+   builds a cyclic tour through the leaves of each subtree and [merge]
+   splices subtours together at their closest endpoints.  Distances are
+   squared-Euclidean integers (no floating point).  The trace signature:
+   tree build, then heavy pointer splicing through prev/next fields. *)
+
+open Workload
+
+(* city node: { x; y; left; right; prev; next } *)
+let node_layout =
+  [| Event.Scalar 8; Event.Scalar 8; Event.Ptr; Event.Ptr; Event.Ptr; Event.Ptr |]
+
+let f_x = 0
+let f_y = 1
+let f_left = 2
+let f_right = 3
+let f_prev = 4
+let f_next = 5
+
+(* Build a balanced tree of [n] pseudo-random cities in the box
+   [0, span) x [0, span), splitting alternately by x and y. *)
+let rec build rt ~n ~axis ~x0 ~y0 ~span =
+  if n <= 0 then None
+  else begin
+    let node = Runtime.alloc rt node_layout in
+    let jitter = Runtime.random rt (max 1 (span / 2)) in
+    let cx = x0 + (span / 4) + jitter and cy = y0 + (span / 4) + (jitter * 7 mod max 1 (span / 2)) in
+    Runtime.write_int rt node f_x (Int64.of_int cx);
+    Runtime.write_int rt node f_y (Int64.of_int cy);
+    let half = (n - 1) / 2 in
+    let rest = n - 1 - half in
+    let sub dx dy = build rt ~n:half ~axis:(1 - axis) ~x0:(x0 + dx) ~y0:(y0 + dy) ~span:(span / 2) in
+    let sub2 dx dy = build rt ~n:rest ~axis:(1 - axis) ~x0:(x0 + dx) ~y0:(y0 + dy) ~span:(span / 2) in
+    if axis = 0 then begin
+      Runtime.write_ptr rt node f_left (sub 0 0);
+      Runtime.write_ptr rt node f_right (sub2 (span / 2) 0)
+    end
+    else begin
+      Runtime.write_ptr rt node f_left (sub 0 0);
+      Runtime.write_ptr rt node f_right (sub2 0 (span / 2))
+    end;
+    Some node
+  end
+
+let dist2 rt a b =
+  let ax = Runtime.read_int rt a f_x and ay = Runtime.read_int rt a f_y in
+  let bx = Runtime.read_int rt b f_x and by = Runtime.read_int rt b f_y in
+  let dx = Int64.sub ax bx and dy = Int64.sub ay by in
+  Runtime.compute rt 6;
+  Int64.add (Int64.mul dx dx) (Int64.mul dy dy)
+
+(* Cyclic doubly-linked tours. *)
+let link rt a b =
+  Runtime.write_ptr rt a f_next (Some b);
+  Runtime.write_ptr rt b f_prev (Some a)
+
+let next rt n = Option.get (Runtime.read_ptr rt n f_next)
+
+(* Collect a tour's nodes starting at [start]. *)
+let tour_nodes rt start =
+  let rec go acc n =
+    if n.Runtime.id = start.Runtime.id && acc <> [] then List.rev acc
+    else go (n :: acc) (next rt n)
+  in
+  go [] start
+
+(* Splice tour [b] into tour [a] after the endpoint of [a] closest to
+   [b]'s head — the Olden merge step, simplified to endpoint splicing. *)
+let merge rt a b =
+  (* find the node in tour [a] closest to b *)
+  let best = ref a and best_d = ref (dist2 rt a b) in
+  let rec scan n =
+    if n.Runtime.id <> a.Runtime.id then begin
+      let d = dist2 rt n b in
+      if Int64.compare d !best_d < 0 then begin
+        best := n;
+        best_d := d
+      end;
+      scan (next rt n)
+    end
+  in
+  scan (next rt a);
+  (* splice: best -> b ... b_last -> best_next *)
+  let best_next = next rt !best in
+  let b_last = Option.get (Runtime.read_ptr rt b f_prev) in
+  link rt !best b;
+  link rt b_last best_next;
+  a
+
+(* Build the tour for a subtree: conquer children, then merge. *)
+let rec conquer rt node =
+  let self = node in
+  link rt self self (* trivial one-city tour *);
+  let with_child field tour =
+    match Runtime.read_ptr rt node field with
+    | None -> tour
+    | Some child -> merge rt tour (conquer rt child)
+  in
+  self |> with_child f_left |> with_child f_right
+
+let tour_length rt start =
+  let nodes = tour_nodes rt start in
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (Int64.add acc (dist2 rt a b)) rest
+    | [ last ] -> Int64.add acc (dist2 rt last start)
+    | [] -> acc
+  in
+  go 0L nodes
+
+(* [run rt ~n] builds an [n]-city instance, computes the tour, and returns
+   its squared length (the deterministic checksum). *)
+let run rt ~n () =
+  match build rt ~n ~axis:0 ~x0:0 ~y0:0 ~span:4096 with
+  | None -> 0L
+  | Some root ->
+      let tour = conquer rt root in
+      tour_length rt tour
+
+(* For the tests: number of distinct cities on the tour (must equal n). *)
+let tour_size rt ~n () =
+  match build rt ~n ~axis:0 ~x0:0 ~y0:0 ~span:4096 with
+  | None -> 0
+  | Some root ->
+      let tour = conquer rt root in
+      List.length (tour_nodes rt tour)

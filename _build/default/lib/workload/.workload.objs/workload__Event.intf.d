@@ -1,0 +1,1 @@
+lib/workload/event.mli: Format

@@ -1,0 +1,1 @@
+lib/workload/runtime.ml: Array Event Fmt Int64 List Option

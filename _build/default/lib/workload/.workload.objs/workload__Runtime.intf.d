@@ -1,0 +1,1 @@
+lib/workload/runtime.mli: Event

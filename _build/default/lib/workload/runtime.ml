@@ -1,0 +1,86 @@
+(* The instrumented object-graph runtime the Olden workloads run against.
+
+   It is simultaneously (a) a working heap — objects hold real values, so
+   the benchmarks compute real results, checked against reference outputs —
+   and (b) a trace source: every allocation and field access is reported to
+   the registered sinks.  A deterministic PRNG keeps runs reproducible. *)
+
+type value = VInt of int64 | VPtr of obj option
+and obj = { id : int; layout : Event.layout; slots : value array }
+
+type t = {
+  mutable next_id : int;
+  mutable sinks : Event.sink list;
+  mutable rng : int64; (* xorshift64 state *)
+  mutable live_objects : int;
+  mutable total_allocs : int;
+}
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () =
+  { next_id = 0; sinks = []; rng = seed; live_objects = 0; total_allocs = 0 }
+
+let add_sink t sink = t.sinks <- sink :: t.sinks
+let emit t e = List.iter (fun s -> s e) t.sinks
+
+(* xorshift64*: deterministic pseudo-random stream. *)
+let random t bound =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  Int64.to_int (Int64.unsigned_rem x (Int64.of_int bound))
+
+(* Each runtime call also represents real instructions executed between
+   memory operations; [compute] lets benchmarks account for arithmetic. *)
+let compute t n = emit t (Event.Compute n)
+
+let alloc t ?(region = Event.Heap) layout =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.live_objects <- t.live_objects + 1;
+  t.total_allocs <- t.total_allocs + 1;
+  let init = function Event.Ptr -> VPtr None | Event.Scalar _ -> VInt 0L in
+  let o = { id; layout; slots = Array.map init layout } in
+  emit t (Event.Alloc { id; layout; region });
+  o
+
+let free t o =
+  t.live_objects <- t.live_objects - 1;
+  emit t (Event.Free { id = o.id })
+
+let bad_field o i what =
+  Fmt.invalid_arg "object #%d field %d: %s" o.id i what
+
+let read_int t o i =
+  emit t (Event.Read { obj = o.id; field = i });
+  match o.slots.(i) with VInt v -> v | VPtr _ -> bad_field o i "read_int of pointer"
+
+let write_int t o i v =
+  emit t (Event.Write { obj = o.id; field = i; ptr_value = false; target = None });
+  (match o.layout.(i) with
+  | Event.Scalar _ -> ()
+  | Event.Ptr -> bad_field o i "write_int to pointer field");
+  o.slots.(i) <- VInt v
+
+let read_ptr t o i =
+  emit t (Event.Read { obj = o.id; field = i });
+  match o.slots.(i) with VPtr p -> p | VInt _ -> bad_field o i "read_ptr of scalar"
+
+let write_ptr t o i p =
+  emit t (Event.Write { obj = o.id; field = i; ptr_value = true;
+           target = Option.map (fun (p : obj) -> p.id) p });
+  (match o.layout.(i) with
+  | Event.Ptr -> ()
+  | Event.Scalar _ -> bad_field o i "write_ptr to scalar field");
+  o.slots.(i) <- VPtr p
+
+(* Stack frames: recursion in the workloads allocates and frees small
+   stack objects, exercising the models' stack-protection stories (the
+   paper: Mondrian "cannot provide effective protection for ... individual
+   stack frames"). *)
+let with_frame t layout f =
+  let frame = alloc t ~region:Event.Stack layout in
+  let r = f frame in
+  free t frame;
+  r

@@ -1,0 +1,41 @@
+(** The instrumented object-graph runtime the Olden workloads run
+    against: a working heap (objects hold real values, so benchmarks
+    compute checkable results) that reports every allocation and field
+    access to the registered sinks. *)
+
+type value = VInt of int64 | VPtr of obj option
+and obj = { id : int; layout : Event.layout; slots : value array }
+
+type t = {
+  mutable next_id : int;
+  mutable sinks : Event.sink list;
+  mutable rng : int64;
+  mutable live_objects : int;
+  mutable total_allocs : int;
+}
+
+val create : ?seed:int64 -> unit -> t
+
+(** Register a trace consumer (a protection-model replayer, a recorder, …). *)
+val add_sink : t -> Event.sink -> unit
+
+(** Deterministic xorshift64* PRNG; [random t bound] ∈ [0, bound). *)
+val random : t -> int -> int
+
+(** Report [n] instructions of computation between memory operations. *)
+val compute : t -> int -> unit
+
+val alloc : t -> ?region:Event.region -> Event.layout -> obj
+val free : t -> obj -> unit
+
+(** Typed field access; emits the corresponding event.
+    @raise Invalid_argument on pointer/scalar confusion. *)
+val read_int : t -> obj -> int -> int64
+
+val write_int : t -> obj -> int -> int64 -> unit
+val read_ptr : t -> obj -> int -> obj option
+val write_ptr : t -> obj -> int -> obj option -> unit
+
+(** [with_frame t layout f] allocates a stack frame around [f] — the
+    recursion shape the stack-protection comparisons need. *)
+val with_frame : t -> Event.layout -> (obj -> 'a) -> 'a

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_asm Test_cap Test_isa Test_machine Test_mem Test_minic Test_models Test_olden Test_os

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Beri Char List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cap.ml: Alcotest Bytes Cap Cap128 Capability Cause Fmt Int64 List Perms QCheck QCheck_alcotest Result U64

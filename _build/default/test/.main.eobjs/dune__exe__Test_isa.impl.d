@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Beri Cp0 Int64 Machine Mem Os Printf Regs

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Beri Cap Code Cp0 Fun Insn Int64 List Machine Mem Os QCheck QCheck_alcotest String

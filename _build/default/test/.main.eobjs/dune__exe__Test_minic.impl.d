@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Cap Exp Int64 List Machine Minic Olden Os Printf QCheck QCheck_alcotest String Workload

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Event Fun Hashtbl Int64 Lazy List Models Olden Workload

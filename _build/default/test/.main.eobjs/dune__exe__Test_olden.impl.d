@@ -1,0 +1,1 @@
+test/test_olden.ml: Alcotest Array Event Gen Int64 List Olden Printf QCheck QCheck_alcotest Runtime Workload

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Asm Beri Cap Insn List Machine Mem Option Os String

@@ -1,0 +1,143 @@
+(* Tests for the assembler and disassembler: directives, symbols,
+   pseudo-instructions, error reporting, and round-trips. *)
+
+let assemble = Asm.Assembler.assemble
+
+let segment_words program =
+  match program.Asm.Assembler.segments with
+  | (_, bytes) :: _ ->
+      List.init
+        (String.length bytes / 4)
+        (fun i ->
+          Char.code bytes.[4 * i]
+          lor (Char.code bytes.[(4 * i) + 1] lsl 8)
+          lor (Char.code bytes.[(4 * i) + 2] lsl 16)
+          lor (Char.code bytes.[(4 * i) + 3] lsl 24))
+  | [] -> []
+
+let test_labels_and_symbols () =
+  let p = assemble "start:\n  nop\nmiddle:\n  nop\n  nop\nend_:\n  nop\n" in
+  let sym name = Option.get (Asm.Assembler.symbol p name) in
+  Alcotest.(check int64) "start" 0x10000L (sym "start");
+  Alcotest.(check int64) "middle" 0x10004L (sym "middle");
+  Alcotest.(check int64) "end_" 0x1000CL (sym "end_")
+
+let test_entry_selection () =
+  let p = assemble "foo:\n  nop\nmain:\n  nop\n" in
+  Alcotest.(check int64) "main is entry" 0x10004L p.Asm.Assembler.entry;
+  let p = assemble "foo:\n  nop\n_start:\n  nop\nmain:\n  nop\n" in
+  Alcotest.(check int64) "_start wins" 0x10004L p.Asm.Assembler.entry
+
+let test_data_directives () =
+  let p =
+    assemble
+      "main:\n  nop\n  .data\nbytes: .byte 1, 2, 3\n  .align 3\nwords: .dword 0x1122334455667788\nstr: .asciiz \"hi\\n\"\n"
+  in
+  let data =
+    List.assoc 0x100000L
+      (List.map (fun (b, s) -> (b, s)) p.Asm.Assembler.segments)
+  in
+  Alcotest.(check char) "byte 0" '\001' data.[0];
+  Alcotest.(check char) "byte 2" '\003' data.[2];
+  (* .align 3 pads to offset 8 *)
+  Alcotest.(check char) "dword LSB" '\x88' data.[8];
+  Alcotest.(check char) "dword MSB" '\x11' data.[15];
+  Alcotest.(check string) "asciiz" "hi\n\000" (String.sub data 16 4)
+
+let test_branch_offsets () =
+  (* backward branch: beq at 0x10004 targeting 0x10000 -> offset -2 *)
+  let words = segment_words (assemble "top:\n  nop\n  beq $t0, $t1, top\n") in
+  match List.nth words 1 |> Beri.Code.decode with
+  | Beri.Insn.Beq (_, _, off) -> Alcotest.(check int) "offset" (-2) off
+  | i -> Alcotest.failf "unexpected %s" (Beri.Insn.to_string i)
+
+let test_li_expansion () =
+  let words = segment_words (assemble "main:\n  li $t0, 5\n  li $t1, 0x12345678\n") in
+  Alcotest.(check int) "small li is 1 insn, big li is 2" 3 (List.length words);
+  (match Beri.Code.decode (List.nth words 1) with
+  | Beri.Insn.Lui (_, 0x1234) -> ()
+  | i -> Alcotest.failf "expected lui, got %s" (Beri.Insn.to_string i));
+  match Beri.Code.decode (List.nth words 2) with
+  | Beri.Insn.Ori (_, _, 0x5678) -> ()
+  | i -> Alcotest.failf "expected ori, got %s" (Beri.Insn.to_string i)
+
+let test_symbol_arithmetic () =
+  let words =
+    segment_words (assemble "main:\n  la $t0, buf+8\n  nop\n  .data\nbuf: .space 16\n")
+  in
+  match (Beri.Code.decode (List.nth words 0), Beri.Code.decode (List.nth words 1)) with
+  | Beri.Insn.Lui (_, hi), Beri.Insn.Ori (_, _, lo) ->
+      Alcotest.(check int) "address" 0x100008 ((hi lsl 16) lor lo)
+  | _ -> Alcotest.fail "expected lui/ori"
+
+let test_errors () =
+  let fails src =
+    match assemble src with
+    | exception Asm.Assembler.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown mnemonic" true (fails "main:\n  frobnicate $t0\n");
+  Alcotest.(check bool) "unknown register" true (fails "main:\n  move $t0, $zz\n");
+  Alcotest.(check bool) "undefined symbol" true (fails "main:\n  la $t0, nowhere\n");
+  Alcotest.(check bool) "unaligned csc offset" true (fails "main:\n  csc $c1, $t0, 8($c2)\n");
+  Alcotest.(check bool) "branch out of range" true
+    (fails "main:\n  beq $t0, $t1, far\n  .org 0x80000\nfar:\n  nop\n")
+
+let test_error_line_numbers () =
+  match assemble "main:\n  nop\n  bogus $t0\n" with
+  | exception Asm.Assembler.Error (3, _) -> ()
+  | exception Asm.Assembler.Error (n, _) -> Alcotest.failf "wrong line %d" n
+  | _ -> Alcotest.fail "assembled bogus input"
+
+let test_disasm_roundtrip () =
+  let src =
+    "main:\n  daddu $t0, $t1, $t2\n  cincbase $c1, $c0, $t0\n  clc $c2, $t1, 64($c1)\n  csd $t0, $t1, 8($c2)\n  cjalr $c17, $c12\n"
+  in
+  let words = segment_words (assemble src) in
+  List.iter
+    (fun w ->
+      let text = Asm.Disasm.word w in
+      Alcotest.(check bool)
+        (Printf.sprintf "decodable %08x: %s" w text)
+        false
+        (String.length text >= 5 && String.sub text 0 5 = ".word"))
+    words
+
+let prop_assemble_disasm_reassemble =
+  (* Any single CP2 register-format instruction survives
+     assemble -> disassemble -> reassemble. *)
+  QCheck.Test.make ~count:300 ~name:"asm->disasm->asm fixpoint"
+    (QCheck.make
+       QCheck.Gen.(
+         let reg = int_bound 31 in
+         oneof
+           [
+             map3 (fun a b c -> Beri.Insn.CIncBase (a, b, c)) reg reg reg;
+             map3 (fun a b c -> Beri.Insn.CAndPerm (a, b, c)) reg reg reg;
+             map2 (fun a b -> Beri.Insn.CGetBase (a, b)) reg reg;
+             map2 (fun a b -> Beri.Insn.CMove (a, b)) reg reg;
+             map3 (fun a b c -> Beri.Insn.Daddu (a, b, c)) reg reg reg;
+           ]))
+    (fun insn ->
+      let text = Beri.Insn.to_string insn in
+      let p = assemble ("main:\n  " ^ text ^ "\n") in
+      match segment_words p with [ w ] -> Beri.Code.decode w = insn | _ -> false)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let suites =
+  [
+    ( "assembler",
+      [
+        Alcotest.test_case "labels and symbols" `Quick test_labels_and_symbols;
+        Alcotest.test_case "entry selection" `Quick test_entry_selection;
+        Alcotest.test_case "data directives" `Quick test_data_directives;
+        Alcotest.test_case "branch offsets" `Quick test_branch_offsets;
+        Alcotest.test_case "li expansion" `Quick test_li_expansion;
+        Alcotest.test_case "symbol arithmetic" `Quick test_symbol_arithmetic;
+        Alcotest.test_case "error reporting" `Quick test_errors;
+        Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+        Alcotest.test_case "disassembler" `Quick test_disasm_roundtrip;
+      ] );
+    qsuite "assembler-properties" [ prop_assemble_disasm_reassemble ];
+  ]

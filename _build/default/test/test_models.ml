@@ -1,0 +1,268 @@
+(* Tests for the limit-study machinery: the replayer's address assignment
+   and metric accounting, each model's distinguishing behaviour, and the
+   qualitative Figure 3 / Table 2 invariants the paper reports. *)
+
+open Workload
+
+let feed model events = List.iter (Models.Replay.handle model) events
+
+let simple_alloc ?(region = Event.Heap) id layout = Event.Alloc { id; layout; region }
+
+let ptr_write ?(target = None) obj field = Event.Write { obj; field; ptr_value = true; target }
+let int_write obj field = Event.Write { obj; field; ptr_value = false; target = None }
+let read obj field = Event.Read { obj; field }
+
+let node = [| Event.Ptr; Event.Ptr; Event.Scalar 8 |]
+
+(* --- replayer core ---------------------------------------------------------- *)
+
+let test_replay_accounting () =
+  let m = Models.Baseline.create () in
+  feed m [ simple_alloc 0 node; int_write 0 2; read 0 2; read 0 0 ];
+  let mx = m.Models.Replay.metrics in
+  (* 1 allocator header access + 3 field accesses *)
+  Alcotest.(check int) "refs" 4 mx.Models.Metrics.refs;
+  Alcotest.(check int) "bytes" (16 + 8 + 8 + 8) mx.Models.Metrics.bytes;
+  Alcotest.(check bool) "instrs include allocator" true (mx.Models.Metrics.instrs > 30)
+
+let test_replay_stack_lifo () =
+  let m = Models.Baseline.create () in
+  let sp0 = m.Models.Replay.stack_ptr in
+  feed m [ simple_alloc ~region:Event.Stack 0 node ];
+  Alcotest.(check bool) "stack grew down" true
+    (Int64.compare m.Models.Replay.stack_ptr sp0 < 0);
+  feed m [ Event.Free { id = 0 } ];
+  Alcotest.(check int64) "stack popped" sp0 m.Models.Replay.stack_ptr
+
+let test_replay_ptr_inflation () =
+  let base = Models.Baseline.create () in
+  let c256 = Models.Cheri_model.create_256 () in
+  let events = [ simple_alloc 0 node; read 0 0; read 0 2 ] in
+  feed base events;
+  feed c256 events;
+  (* node is 24 B under 8-byte pointers, 72 B under capabilities *)
+  Alcotest.(check bool) "capability model moves more bytes" true
+    (c256.Models.Replay.metrics.Models.Metrics.bytes
+    > base.Models.Replay.metrics.Models.Metrics.bytes);
+  Alcotest.(check int) "same reference count"
+    base.Models.Replay.metrics.Models.Metrics.refs
+    c256.Models.Replay.metrics.Models.Metrics.refs
+
+(* --- model-specific behaviour ------------------------------------------------ *)
+
+let test_mondrian_syscalls () =
+  let m, _ = Models.Mondrian.create () in
+  feed m
+    [ simple_alloc 0 node; simple_alloc ~region:Event.Stack 1 node; Event.Free { id = 0 } ];
+  (* one syscall per heap alloc/free; none for the stack frame *)
+  Alcotest.(check int) "syscalls" 2 m.Models.Replay.metrics.Models.Metrics.syscalls
+
+let test_mmachine_padding () =
+  let m = Models.Mmachine.create () in
+  (* 24-byte node + 16-byte header -> 64-byte power-of-two chunk *)
+  feed m [ simple_alloc 0 node ];
+  let info = Hashtbl.find m.Models.Replay.objects 0 in
+  Alcotest.(check int) "pow2 padded" 64 info.Models.Replay.size;
+  Alcotest.(check int64) "pow2 aligned" 0L (Int64.rem info.Models.Replay.addr 64L)
+
+let test_hardbound_compression () =
+  (* Pointers to small (compressible) objects cost no bounds-table access;
+     pointers into a large object do. *)
+  let m_small, _ = Models.Hardbound.create () in
+  let small_target = simple_alloc 1 node in
+  feed m_small
+    [ simple_alloc 0 node; small_target; ptr_write ~target:(Some 1) 0 0; read 0 0 ];
+  let m_large, _ = Models.Hardbound.create () in
+  let big = Array.make 200 (Event.Scalar 8) in
+  feed m_large
+    [ simple_alloc 0 node; Event.Alloc { id = 1; layout = big; region = Event.Heap };
+      ptr_write ~target:(Some 1) 0 0; read 0 0 ];
+  Alcotest.(check bool) "incompressible pointer costs table refs" true
+    (m_large.Models.Replay.metrics.Models.Metrics.refs
+    > m_small.Models.Replay.metrics.Models.Metrics.refs)
+
+let test_impx_table_pages () =
+  let base = Models.Baseline.create () in
+  let mpx = Models.Impx.create_table () in
+  let events =
+    List.concat_map
+      (fun i ->
+        [ simple_alloc i node; ptr_write i 0; read i 0 ])
+      (List.init 400 Fun.id)
+  in
+  feed base events;
+  feed mpx events;
+  let bp = Models.Metrics.pages base.Models.Replay.metrics in
+  let mp = Models.Metrics.pages mpx.Models.Replay.metrics in
+  (* "more than 4 pages for each page of memory containing pointers" *)
+  Alcotest.(check bool) "table multiplies pages" true (mp >= 4 * bp)
+
+let test_soft_fp_instructions () =
+  let m = Models.Soft_fp.create () in
+  feed m [ simple_alloc 0 node; ptr_write 0 0; read 0 0 ];
+  let mx = m.Models.Replay.metrics in
+  Alcotest.(check bool) "software checks cost instructions" true
+    (mx.Models.Metrics.extra_opt > 0);
+  Alcotest.(check bool) "pessimistic costs at least optimistic" true
+    (mx.Models.Metrics.extra_pess >= mx.Models.Metrics.extra_opt)
+
+let test_cheri_alloc_instrs () =
+  let m = Models.Cheri_model.create_256 () in
+  feed m [ simple_alloc 0 node; read 0 0; read 0 1; read 0 2 ];
+  (* CIncBase + CSetLen at allocation; no per-access instructions. *)
+  Alcotest.(check int) "2 instructions per allocation" 2
+    m.Models.Replay.metrics.Models.Metrics.extra_opt;
+  Alcotest.(check int) "same pessimistically" 2
+    m.Models.Replay.metrics.Models.Metrics.extra_pess
+
+(* --- Figure 3 qualitative invariants ---------------------------------------- *)
+
+let fig3_rows =
+  lazy
+    (let results =
+       [
+         Models.Runner.run ~name:"treeadd" (fun rt -> Olden.Treeadd.run rt ~levels:10);
+         Models.Runner.run ~name:"mst" (fun rt -> Olden.Mst.run rt ~n:96 ());
+         Models.Runner.run ~name:"perimeter" (fun rt ->
+             Int64.of_int (Olden.Perimeter.run rt ~levels:6));
+         Models.Runner.run ~name:"bisort" (fun rt ->
+             let _, after, _ = Olden.Bisort.run rt ~levels:9 in
+             after);
+       ]
+     in
+     Models.Runner.average results)
+
+let row name =
+  List.find (fun (r : Models.Metrics.row) -> r.Models.Metrics.name = name) (Lazy.force fig3_rows)
+
+let test_fig3_pages_ranking () =
+  (* iMPX has the highest page overhead; M-Machine performs poorly; CHERI
+     and the simple fat-pointer approaches stay comparatively small. *)
+  let mpx = row "MPX" and mm = row "M-Machine" and c256 = row "CHERI-256" in
+  let c128 = row "CHERI-128" and sfp = row "Soft FP" in
+  Alcotest.(check bool) "iMPX worst pages" true
+    (List.for_all
+       (fun (r : Models.Metrics.row) -> mpx.Models.Metrics.o_pages >= r.Models.Metrics.o_pages)
+       (Lazy.force fig3_rows));
+  Alcotest.(check bool) "M-Machine poor pages" true
+    (mm.Models.Metrics.o_pages > c256.Models.Metrics.o_pages);
+  Alcotest.(check bool) "fat-pointer pages small" true
+    (c128.Models.Metrics.o_pages < 60.0 && sfp.Models.Metrics.o_pages < 60.0)
+
+let test_fig3_bytes_ranking () =
+  (* iMPX moves the most bytes; CHERI-256 is traffic-heavy; CHERI-128 is
+     competitive; Mondrian stays small. *)
+  let mpx = row "MPX" and c256 = row "CHERI-256" and c128 = row "CHERI-128" in
+  let mondrian = row "Mondrian" in
+  Alcotest.(check bool) "iMPX most bytes" true
+    (mpx.Models.Metrics.o_bytes >= c256.Models.Metrics.o_bytes);
+  Alcotest.(check bool) "256-bit CHERI heavy" true (c256.Models.Metrics.o_bytes > 80.0);
+  Alcotest.(check bool) "128-bit CHERI halves traffic" true
+    (c128.Models.Metrics.o_bytes < 0.6 *. c256.Models.Metrics.o_bytes);
+  Alcotest.(check bool) "Mondrian small traffic" true
+    (mondrian.Models.Metrics.o_bytes < c128.Models.Metrics.o_bytes)
+
+let test_fig3_refs_ranking () =
+  (* CHERI, Hardbound, and the M-Machine add (almost) no references; the
+     table/software schemes add many. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " negligible refs") true
+        ((row name).Models.Metrics.o_refs < 5.0))
+    [ "CHERI-256"; "CHERI-128"; "Hardbound"; "M-Machine" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " many refs") true
+        ((row name).Models.Metrics.o_refs > 30.0))
+    [ "MPX"; "Soft FP" ]
+
+let test_fig3_instr_ranking () =
+  (* Hardware fat pointers: optimistic = pessimistic (implicit checks).
+     Software schemes: pessimistic costs much more. *)
+  List.iter
+    (fun name ->
+      let r = row name in
+      Alcotest.(check (float 0.001)) (name ^ " opt=pess")
+        r.Models.Metrics.o_instr_opt r.Models.Metrics.o_instr_pess)
+    [ "CHERI-256"; "CHERI-128"; "Hardbound"; "M-Machine" ];
+  List.iter
+    (fun name ->
+      let r = row name in
+      Alcotest.(check bool) (name ^ " pess > opt") true
+        (r.Models.Metrics.o_instr_pess > r.Models.Metrics.o_instr_opt))
+    [ "MPX"; "MPX (FP)"; "Soft FP" ];
+  let sfp = row "Soft FP" in
+  Alcotest.(check bool) "software FP highest pessimistic" true
+    (List.for_all
+       (fun (r : Models.Metrics.row) ->
+         sfp.Models.Metrics.o_instr_pess >= r.Models.Metrics.o_instr_pess)
+       (Lazy.force fig3_rows))
+
+let test_fig3_syscall_rate () =
+  (* Only Mondrian needs a syscall per allocation event. *)
+  let mondrian = row "Mondrian" in
+  Alcotest.(check bool) "Mondrian syscall-heavy" true
+    (mondrian.Models.Metrics.syscall_count > 100);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " few syscalls") true
+        ((row name).Models.Metrics.syscall_count < 20))
+    [ "CHERI-256"; "MPX"; "Hardbound"; "M-Machine" ]
+
+(* --- Table 2 ------------------------------------------------------------------ *)
+
+let test_table2 () =
+  Alcotest.(check int) "seven mechanisms" 7 (List.length Models.Criteria.table);
+  Alcotest.(check bool) "CHERI dominates" true (Models.Criteria.verify_cheri_dominates ());
+  let row m =
+    List.find (fun r -> r.Models.Criteria.mechanism = m) Models.Criteria.table
+  in
+  Alcotest.(check bool) "MMU not fine grained" true
+    ((row "MMU").Models.Criteria.fine_grained = Models.Criteria.No);
+  Alcotest.(check bool) "Hardbound lacks access control" true
+    ((row "Hardbound").Models.Criteria.access_control = Models.Criteria.No);
+  Alcotest.(check bool) "M-Machine not incremental" true
+    ((row "M-Machine").Models.Criteria.incremental_deployment = Models.Criteria.No)
+
+(* --- Figure 6 / Section 9 ------------------------------------------------------ *)
+
+let test_area_model () =
+  let sum = List.fold_left (fun a c -> a +. Models.Area.pct c) 0.0 Models.Area.components in
+  Alcotest.(check bool) "percentages sum to 100" true (abs_float (sum -. 100.0) < 0.5);
+  let overhead = Models.Area.area_overhead_pct () in
+  Alcotest.(check bool) "area overhead near 32%" true
+    (abs_float (overhead -. Models.Area.paper_area_overhead_pct) < 3.0);
+  Alcotest.(check bool) "fmax penalty near 8.1%" true
+    (abs_float (Models.Area.fmax_penalty_pct -. Models.Area.paper_fmax_penalty_pct) < 0.5)
+
+let suites =
+  [
+    ( "replay",
+      [
+        Alcotest.test_case "metric accounting" `Quick test_replay_accounting;
+        Alcotest.test_case "stack LIFO" `Quick test_replay_stack_lifo;
+        Alcotest.test_case "pointer inflation" `Quick test_replay_ptr_inflation;
+      ] );
+    ( "models",
+      [
+        Alcotest.test_case "Mondrian syscalls" `Quick test_mondrian_syscalls;
+        Alcotest.test_case "M-Machine pow2 padding" `Quick test_mmachine_padding;
+        Alcotest.test_case "Hardbound compression" `Quick test_hardbound_compression;
+        Alcotest.test_case "iMPX table pages" `Quick test_impx_table_pages;
+        Alcotest.test_case "software FP instructions" `Quick test_soft_fp_instructions;
+        Alcotest.test_case "CHERI allocation cost" `Quick test_cheri_alloc_instrs;
+      ] );
+    ( "fig3-invariants",
+      [
+        Alcotest.test_case "page ranking" `Quick test_fig3_pages_ranking;
+        Alcotest.test_case "byte ranking" `Quick test_fig3_bytes_ranking;
+        Alcotest.test_case "reference ranking" `Quick test_fig3_refs_ranking;
+        Alcotest.test_case "instruction ranking" `Quick test_fig3_instr_ranking;
+        Alcotest.test_case "syscall rate" `Quick test_fig3_syscall_rate;
+      ] );
+    ( "table2-fig6",
+      [
+        Alcotest.test_case "Table 2 criteria" `Quick test_table2;
+        Alcotest.test_case "area/fmax model" `Quick test_area_model;
+      ] );
+  ]

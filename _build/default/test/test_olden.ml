@@ -1,0 +1,210 @@
+(* Tests for the workload runtime and the Olden benchmark ports: layout
+   arithmetic, runtime semantics, and benchmark correctness against
+   independently computed references. *)
+
+open Workload
+
+let rt () = Runtime.create ()
+
+(* --- layout arithmetic --------------------------------------------------- *)
+
+let test_layout_bytes () =
+  let l = [| Event.Ptr; Event.Scalar 4; Event.Ptr; Event.Scalar 8 |] in
+  Alcotest.(check int) "8-byte pointers" 28 (Event.layout_bytes ~ptr_bytes:8 l);
+  Alcotest.(check int) "32-byte pointers" 76 (Event.layout_bytes ~ptr_bytes:32 l)
+
+let test_field_offsets () =
+  let l = [| Event.Scalar 4; Event.Ptr; Event.Scalar 8 |] in
+  (* pointer is aligned to its own size *)
+  Alcotest.(check int) "scalar first" 0 (Event.field_offset ~ptr_bytes:8 l 0);
+  Alcotest.(check int) "ptr aligned to 8" 8 (Event.field_offset ~ptr_bytes:8 l 1);
+  Alcotest.(check int) "after ptr" 16 (Event.field_offset ~ptr_bytes:8 l 2);
+  Alcotest.(check int) "cap aligned to 32" 32 (Event.field_offset ~ptr_bytes:32 l 1);
+  Alcotest.(check int) "after cap" 64 (Event.field_offset ~ptr_bytes:32 l 2)
+
+let prop_offsets_disjoint =
+  QCheck.Test.make ~count:200 ~name:"field extents never overlap"
+    QCheck.(pair (list_of_size Gen.(int_range 1 6) (int_range 0 2)) (int_range 3 5))
+    (fun (spec, ptr_log) ->
+      let ptr_bytes = 1 lsl ptr_log in
+      let layout =
+        Array.of_list
+          (List.map (function 0 -> Event.Ptr | 1 -> Event.Scalar 4 | _ -> Event.Scalar 8) spec)
+      in
+      let extents =
+        Array.to_list
+          (Array.mapi
+             (fun i f ->
+               let off = Event.field_offset ~ptr_bytes layout i in
+               (off, off + Event.field_size ~ptr_bytes f))
+             layout)
+      in
+      let rec disjoint = function
+        | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && disjoint rest
+        | _ -> true
+      in
+      disjoint extents)
+
+(* --- runtime semantics ----------------------------------------------------- *)
+
+let test_runtime_values () =
+  let t = rt () in
+  let o = Runtime.alloc t [| Event.Ptr; Event.Scalar 8 |] in
+  Alcotest.(check int64) "scalar default" 0L (Runtime.read_int t o 1);
+  Runtime.write_int t o 1 42L;
+  Alcotest.(check int64) "scalar roundtrip" 42L (Runtime.read_int t o 1);
+  Alcotest.(check bool) "ptr default none" true (Runtime.read_ptr t o 0 = None);
+  let p = Runtime.alloc t [| Event.Scalar 8 |] in
+  Runtime.write_ptr t o 0 (Some p);
+  (match Runtime.read_ptr t o 0 with
+  | Some q -> Alcotest.(check int) "ptr roundtrip" p.Runtime.id q.Runtime.id
+  | None -> Alcotest.fail "pointer lost");
+  Alcotest.check_raises "type confusion rejected"
+    (Invalid_argument "object #0 field 0: read_int of pointer") (fun () ->
+      ignore (Runtime.read_int t o 0))
+
+let test_runtime_events () =
+  let t = rt () in
+  let events = ref [] in
+  Runtime.add_sink t (fun e -> events := e :: !events);
+  let o = Runtime.alloc t [| Event.Ptr; Event.Scalar 8 |] in
+  Runtime.write_int t o 1 7L;
+  ignore (Runtime.read_int t o 1);
+  Runtime.free t o;
+  match List.rev !events with
+  | [ Event.Alloc { id = 0; _ }; Event.Write { field = 1; ptr_value = false; _ };
+      Event.Read { field = 1; _ }; Event.Free { id = 0 } ] ->
+      ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs)
+
+let test_runtime_deterministic () =
+  let run () =
+    let t = rt () in
+    List.init 20 (fun _ -> Runtime.random t 1000)
+  in
+  Alcotest.(check (list int)) "prng deterministic" (run ()) (run ())
+
+(* --- benchmark correctness -------------------------------------------------- *)
+
+let test_treeadd () =
+  List.iter
+    (fun levels ->
+      Alcotest.(check int64)
+        (Printf.sprintf "treeadd %d" levels)
+        (Olden.Treeadd.expected ~levels)
+        (Olden.Treeadd.run (rt ()) ~levels))
+    [ 1; 4; 10 ]
+
+let test_bisort () =
+  List.iter
+    (fun levels ->
+      let before, after, sorted = Olden.Bisort.run (rt ()) ~levels in
+      Alcotest.(check int64) (Printf.sprintf "bisort %d multiset preserved" levels) before after;
+      Alcotest.(check bool) (Printf.sprintf "bisort %d sorted" levels) true sorted)
+    [ 1; 2; 5; 9 ]
+
+let test_perimeter_against_raster () =
+  (* Cross-check Samet's neighbor-finding perimeter against a brute-force
+     rasterised computation. *)
+  List.iter
+    (fun levels ->
+      let t = rt () in
+      let size = 1 lsl levels in
+      let c = size / 2 and r = size * 4 / 10 in
+      let root = Olden.Perimeter.build t ~c ~r 0 0 size levels None (-1) in
+      let fast = Olden.Perimeter.perimeter t root size in
+      let grid = Olden.Perimeter.rasterize t root ~levels in
+      let black x y = x >= 0 && y >= 0 && x < size && y < size && grid.(x).(y) in
+      let brute = ref 0 in
+      for x = 0 to size - 1 do
+        for y = 0 to size - 1 do
+          if black x y then
+            List.iter
+              (fun (dx, dy) -> if not (black (x + dx) (y + dy)) then incr brute)
+              [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+        done
+      done;
+      Alcotest.(check int) (Printf.sprintf "perimeter depth %d" levels) !brute fast)
+    [ 3; 4; 5; 6 ]
+
+let test_mst () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int64)
+        (Printf.sprintf "mst %d" n)
+        (Olden.Mst.reference ~n ())
+        (Olden.Mst.run (rt ()) ~n ()))
+    [ 8; 64; 256 ]
+
+let test_em3d_deterministic () =
+  let a = Olden.Em3d.run (rt ()) ~n:64 () in
+  let b = Olden.Em3d.run (rt ()) ~n:64 () in
+  Alcotest.(check int64) "em3d deterministic" a b;
+  Alcotest.(check bool) "em3d nonzero" true (a <> 0L)
+
+let test_health () =
+  let treated = Olden.Health.run (rt ()) ~levels:3 ~steps:50 in
+  Alcotest.(check bool) "patients treated" true (Int64.compare treated 10L > 0);
+  let again = Olden.Health.run (rt ()) ~levels:3 ~steps:50 in
+  Alcotest.(check int64) "health deterministic" treated again
+
+let test_power () =
+  let t = rt () in
+  let d = Olden.Power.run t ~depth:3 ~fanout:4 () in
+  Alcotest.(check bool) "demand positive" true (Int64.compare d 0L > 0);
+  let again = Olden.Power.run (rt ()) ~depth:3 ~fanout:4 () in
+  Alcotest.(check int64) "deterministic" d again;
+  (* the price iteration is a damped oscillation: successive swings shrink *)
+  match Olden.Power.demand_series (rt ()) ~depth:3 ~fanout:4 () with
+  | d0 :: d1 :: d2 :: d3 :: _ ->
+      let swing a b = Int64.abs (Int64.sub a b) in
+      Alcotest.(check bool) "converging" true
+        (Int64.compare (swing d3 d2) (swing d1 d0) < 0)
+  | _ -> Alcotest.fail "series too short"
+
+let test_tsp () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "tour visits all %d cities" n)
+        n
+        (Olden.Tsp.tour_size (rt ()) ~n ()))
+    [ 1; 2; 7; 50; 200 ];
+  let l = Olden.Tsp.run (rt ()) ~n:64 () in
+  Alcotest.(check bool) "tour length positive" true (Int64.compare l 0L > 0);
+  Alcotest.(check int64) "deterministic" l (Olden.Tsp.run (rt ()) ~n:64 ())
+
+let test_health_frees () =
+  (* health must actually free patient cells (it exercises Free events). *)
+  let t = rt () in
+  let frees = ref 0 in
+  Runtime.add_sink t (function Event.Free _ -> incr frees | _ -> ());
+  let treated = Olden.Health.run t ~levels:3 ~steps:50 in
+  Alcotest.(check int) "free per treated patient" (Int64.to_int treated) !frees
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let suites =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "layout sizes" `Quick test_layout_bytes;
+        Alcotest.test_case "field offsets" `Quick test_field_offsets;
+        Alcotest.test_case "runtime values" `Quick test_runtime_values;
+        Alcotest.test_case "runtime events" `Quick test_runtime_events;
+        Alcotest.test_case "deterministic prng" `Quick test_runtime_deterministic;
+      ] );
+    qsuite "workload-properties" [ prop_offsets_disjoint ];
+    ( "olden",
+      [
+        Alcotest.test_case "treeadd sums" `Quick test_treeadd;
+        Alcotest.test_case "bisort sorts" `Quick test_bisort;
+        Alcotest.test_case "perimeter vs raster" `Quick test_perimeter_against_raster;
+        Alcotest.test_case "mst vs reference" `Quick test_mst;
+        Alcotest.test_case "em3d deterministic" `Quick test_em3d_deterministic;
+        Alcotest.test_case "health treats patients" `Quick test_health;
+        Alcotest.test_case "power converges" `Quick test_power;
+        Alcotest.test_case "tsp tour" `Quick test_tsp;
+        Alcotest.test_case "health frees cells" `Quick test_health_frees;
+      ] );
+  ]
