@@ -8,12 +8,15 @@
      fig5         CHERI slowdown vs heap size (Figure 5)
      fig6         FPGA area breakdown and fmax (Figure 6 / Section 9)
      seg-compare  capability manipulation vs IA32 segment loads (Section 4.4)
+     fault        fault-injection detection coverage (docs/FAULTS.md)
      micro        Bechamel microbenchmarks of the simulator itself
      all          everything above (the default)
 
    `--paper-size` runs fig3/fig4 at the paper's original parameters
    (slow under an interpreter); the default is a scaled-down configuration
-   whose *shape* matches (EXPERIMENTS.md records both). *)
+   whose *shape* matches (EXPERIMENTS.md records both).  `--skip-fault`
+   drops the fault campaign from `all`: it is a functional (untimed)
+   experiment, so timing-focused sweeps need not pay for it. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -390,17 +393,28 @@ let micro () =
       | _ -> Printf.printf "%-55s (no estimate)\n" name)
     results
 
+(* --- fault-injection coverage -------------------------------------------------------------- *)
+
+let fault () =
+  section "Fault-injection detection coverage (docs/FAULTS.md)";
+  ignore (Exp.Fault_cov.run ())
+
 (* --- driver -------------------------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper_size = List.mem "--paper-size" args in
-  let args = List.filter (fun a -> a <> "--paper-size") args in
+  let skip_fault = List.mem "--skip-fault" args in
+  let args = List.filter (fun a -> a <> "--paper-size" && a <> "--skip-fault") args in
   let targets =
     if args = [] || args = [ "all" ] then
-      [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "seg-compare"; "ablation"; "micro" ]
+      [
+        "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "seg-compare"; "ablation"; "fault";
+        "micro";
+      ]
     else args
   in
+  let targets = if skip_fault then List.filter (fun t -> t <> "fault") targets else targets in
   List.iter
     (fun t ->
       match t with
@@ -412,10 +426,12 @@ let () =
       | "fig6" -> fig6 ()
       | "seg-compare" -> seg_compare ()
       | "ablation" -> ablation ()
+      | "fault" -> fault ()
       | "micro" -> micro ()
       | other ->
           Printf.eprintf
-            "unknown target %S (expected table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|micro|all)\n"
+            "unknown target %S (expected \
+             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|micro|all)\n"
             other;
           exit 2)
     targets

@@ -1,0 +1,106 @@
+(* cheri_fault: seeded fault-injection campaigns over the Olden kernels.
+
+     dune exec bin/cheri_fault.exe -- --bench treeadd --mode cheri --seeds 100
+     dune exec bin/cheri_fault.exe -- --bench treeadd --mode all
+
+   Each seed deterministically names one fault (site, target, bit, and
+   injection time); the run is classified against a golden execution and
+   the campaign prints an outcome-coverage table (docs/FAULTS.md).  With
+   [--mode all] the CHERI modes and the unprotected baseline run the same
+   seed set side by side. *)
+
+open Cmdliner
+
+let campaign bench modes seeds base_seed param sites verbose no_monitor =
+  let sites =
+    match sites with
+    | [] -> Fault.Injector.all_sites
+    | names ->
+        List.map
+          (fun n ->
+            match Fault.Injector.site_of_string n with
+            | Some s -> s
+            | None ->
+                Fmt.epr "unknown site %S (expected gpr|cap|mem|tag)@." n;
+                exit 2)
+          names
+  in
+  if not (List.mem_assoc bench Olden.Minic_src.all) then begin
+    Fmt.epr "unknown benchmark %S (expected %s)@." bench
+      (String.concat "|" (List.map fst Olden.Minic_src.all));
+    exit 2
+  end;
+  let summaries =
+    List.map
+      (fun mode ->
+        Fault.Campaign.run
+          {
+            Fault.Campaign.bench;
+            mode;
+            seeds;
+            base_seed;
+            param;
+            sites;
+            monitor = not no_monitor;
+          })
+      modes
+  in
+  if verbose then
+    List.iter
+      (fun (s : Fault.Campaign.summary) ->
+        Fmt.pr "--- %s ---@." (Fault.Campaign.mode_name s.Fault.Campaign.config.Fault.Campaign.mode);
+        List.iter
+          (fun (r : Fault.Campaign.record) ->
+            Fmt.pr "seed %-6Ld %-32s %s (monitor: %d)@." r.Fault.Campaign.seed
+              (Fault.Campaign.outcome_name r.Fault.Campaign.outcome)
+              r.Fault.Campaign.injection r.Fault.Campaign.monitor_flags)
+          s.Fault.Campaign.records)
+      summaries;
+  Fault.Campaign.print_table summaries
+
+let bench =
+  Arg.(value & opt string "treeadd" & info [ "bench" ] ~docv:"NAME" ~doc:"Olden benchmark to run.")
+
+let mode =
+  let parse s =
+    match s with
+    | "all" -> Ok [ Fault.Campaign.Baseline; Fault.Campaign.Cheri; Fault.Campaign.Cheri128 ]
+    | s -> (
+        match Fault.Campaign.mode_of_string s with
+        | Some m -> Ok [ m ]
+        | None -> Error (`Msg (Printf.sprintf "unknown mode %S" s)))
+  in
+  let print ppf ms =
+    Fmt.string ppf (String.concat "," (List.map Fault.Campaign.mode_name ms))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) [ Fault.Campaign.Baseline; Fault.Campaign.Cheri ]
+    & info [ "mode" ] ~docv:"MODE" ~doc:"baseline|cheri|cheri128|all (default: baseline + cheri).")
+
+let seeds =
+  Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Injections per mode.")
+
+let base_seed =
+  Arg.(value & opt int64 1L & info [ "base-seed" ] ~docv:"S" ~doc:"First seed; run i uses S+i.")
+
+let param =
+  Arg.(value & opt int 8 & info [ "param" ] ~docv:"P" ~doc:"Benchmark size parameter.")
+
+let sites =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "sites" ] ~docv:"SITES" ~doc:"Injection sites (gpr,cap,mem,tag); default all.")
+
+let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Print the per-seed classification.")
+
+let no_monitor =
+  Arg.(value & flag & info [ "no-monitor" ] ~doc:"Skip the post-run invariant sweep.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cheri_fault" ~doc:"Fault-injection campaigns against the CHERI machine model")
+    Term.(const campaign $ bench $ mode $ seeds $ base_seed $ param $ sites $ verbose $ no_monitor)
+
+let () = exit (Cmd.eval cmd)

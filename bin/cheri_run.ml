@@ -31,12 +31,12 @@ let run file disasm trace stats max_insns =
   let machine = Machine.create () in
   let kernel = Os.Kernel.attach machine in
   Os.Kernel.set_fault_handler kernel (fun _k fault ->
-      Fmt.epr "fatal fault at pc=0x%Lx: %s (badvaddr=0x%Lx, capcause=%s/C%d)@."
+      Fmt.epr "fatal fault at pc=0x%Lx: %s [%s] (badvaddr=0x%Lx, capcause=%s/C%d, instret=%Ld, cycles=%Ld)@."
         fault.Os.Kernel.pc
         (Beri.Cp0.exc_to_string fault.Os.Kernel.exc)
-        fault.Os.Kernel.badvaddr
+        fault.Os.Kernel.disasm fault.Os.Kernel.badvaddr
         (Cap.Cause.to_string fault.Os.Kernel.capcause)
-        fault.Os.Kernel.capreg;
+        fault.Os.Kernel.capreg fault.Os.Kernel.instret fault.Os.Kernel.cycles;
       Machine.Halt 139);
   if trace then
     Machine.set_trace_hook machine (fun m marker a b ->

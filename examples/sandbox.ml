@@ -35,14 +35,13 @@ let () =
   Machine.map_identity machine ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
   (* Host state: a secret value outside the sandbox. *)
   Mem.Phys.write_u64 machine.Machine.phys 0x40000L secret;
-  Os.Kernel.set_fault_handler kernel (fun _k fault ->
-      Fmt.pr "sandbox fault at pc=0x%Lx: %s@." fault.Os.Kernel.pc
-        (Beri.Cp0.exc_to_string fault.Os.Kernel.exc);
-      Machine.Halt 55);
   let program = Asm.Assembler.assemble legacy_blob in
   Asm.Assembler.load machine program;
   Fmt.pr "entering sandbox [0x80000, 0x82000) at its entry point...@.";
   let sandbox = Os.Sandbox.enter machine ~base:0x80000L ~length:0x2000L ~entry:0x80000L in
+  Os.Kernel.set_fault_handler kernel (fun _k fault ->
+      Fmt.pr "%s@." (Os.Sandbox.fault_report sandbox fault);
+      Machine.Halt 55);
   let exit_code = Machine.run ~max_insns:10_000L machine in
   Os.Sandbox.leave machine sandbox;
   (* The in-sandbox store was relocated: sandbox-relative 0x100 landed at

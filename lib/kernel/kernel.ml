@@ -31,6 +31,9 @@ type fault = {
   badvaddr : int64;
   capcause : Cap.Cause.t;
   capreg : int;
+  instret : int64; (* retired instructions at the trap *)
+  cycles : int64; (* model cycles at the trap *)
+  disasm : string; (* disassembly of the faulting instruction *)
 }
 
 type t = {
@@ -148,10 +151,18 @@ let handle_creturn t =
       Machine.set_cap m 0 frame.saved_c0;
       Machine.Resume_at frame.return_pc
 
+(* The faulting instruction's disassembly, recovered from the memory image
+   at the victim PC (best-effort: the PC itself may be corrupt). *)
+let disasm_at (m : Machine.t) pc =
+  match Mem.Phys.read_u32 m.Machine.phys pc with
+  | w -> Asm.Disasm.word w
+  | exception _ -> "<unreadable>"
+
 let default_fault t fault =
   ignore t;
-  Fmt.epr "[kernel] fatal fault at pc=0x%Lx: %s (badvaddr=0x%Lx)@." fault.pc
-    (Cp0.exc_to_string fault.exc) fault.badvaddr;
+  Fmt.epr "[kernel] fatal fault at pc=0x%Lx: %s [%s] (badvaddr=0x%Lx, instret=%Ld, cycles=%Ld)@."
+    fault.pc (Cp0.exc_to_string fault.exc) fault.disasm fault.badvaddr fault.instret
+    fault.cycles;
   Machine.Halt 139
 
 let handler t (ctx : Machine.exn_ctx) =
@@ -167,6 +178,9 @@ let handler t (ctx : Machine.exn_ctx) =
           badvaddr = t.machine.Machine.cp0.Cp0.badvaddr;
           capcause = t.machine.Machine.cp0.Cp0.capcause;
           capreg = t.machine.Machine.cp0.Cp0.capcause_reg;
+          instret = t.machine.Machine.instret;
+          cycles = t.machine.Machine.cycles;
+          disasm = disasm_at t.machine ctx.Machine.victim_pc;
         }
       in
       match t.fault_handler with
@@ -229,3 +243,11 @@ let run_program ?(max_insns = 200_000_000L) t source =
   exec t program;
   let code = Machine.run ~max_insns t.machine in
   (code, console t)
+
+(* Structured variant for campaign drivers: boot a pre-assembled program
+   and report the full [Machine.run_result] (plus console output) instead
+   of collapsing abnormal outcomes to an exit code. *)
+let run_result ?(max_insns = 200_000_000L) ?watchdog t program =
+  exec t program;
+  let result = Machine.run_result ~max_insns ?watchdog t.machine in
+  (result, console t)

@@ -44,3 +44,16 @@ let enter (m : Machine.t) ~base ~length ~entry =
   { base; length; entry; saved }
 
 let leave (m : Machine.t) t = Context.restore m t.saved
+
+(* Trap reporting: render a kernel fault raised inside the sandbox, with
+   the sandbox-relative PC, the faulting instruction's disassembly, and
+   the retirement counters that make the trap reproducible. *)
+let fault_report t (f : Kernel.fault) =
+  let rel = Int64.sub f.Kernel.pc t.base in
+  Fmt.str
+    "sandbox [0x%Lx,+0x%Lx) trap: %s at pc=0x%Lx (sandbox+0x%Lx) [%s] badvaddr=0x%Lx capcause=%s/C%d instret=%Ld cycles=%Ld"
+    t.base t.length
+    (Cp0.exc_to_string f.Kernel.exc)
+    f.Kernel.pc rel f.Kernel.disasm f.Kernel.badvaddr
+    (Cap.Cause.to_string f.Kernel.capcause)
+    f.Kernel.capreg f.Kernel.instret f.Kernel.cycles

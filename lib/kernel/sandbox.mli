@@ -13,3 +13,9 @@ val enter : Machine.t -> base:int64 -> length:int64 -> entry:int64 -> t
 
 (** Restore the host context saved at {!enter}. *)
 val leave : Machine.t -> t -> unit
+
+(** [fault_report sandbox fault] renders a kernel fault raised inside the
+    sandbox for trap reporting: the sandbox-relative PC, the faulting
+    instruction's disassembly, the capability cause, and the [instret] /
+    [cycles] counters at the trap. *)
+val fault_report : t -> Kernel.fault -> string

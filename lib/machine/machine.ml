@@ -21,8 +21,13 @@ type exn_ctx = { exc : Cp0.exc; victim_pc : int64 }
 type kernel_action =
   | Resume_at of int64 (* continue execution at this PC *)
   | Halt of int (* stop the machine with this exit code *)
+  | Fatal (* the kernel cannot handle it: [run] reports [Trap_unhandled] *)
 
 exception Halted of int
+
+(* Raised by [step] when the kernel returns [Fatal]; [run] catches it and
+   turns it into a [Trap_unhandled] result with a diagnostic snapshot. *)
+exception Unhandled of exn_ctx
 
 (* Raised internally while executing one instruction; [step] catches it. *)
 exception Exn of Cp0.exc * int64 (* exception, bad virtual address *)
@@ -65,7 +70,12 @@ type t = {
   mutable ll_addr : int64;
   mutable kernel : t -> exn_ctx -> kernel_action;
   mutable on_trace : t -> Insn.marker -> int64 -> int64 -> unit;
+  mutable on_step : (t -> unit) option;
+      (* called before each instruction; [None] (the default) keeps the
+         hot path free of any per-step work.  Fault injectors hook here. *)
   mutable timing : bool; (* drive the cache/TLB model (off = fast functional mode) *)
+  mutable stores : int64; (* retired stores, of any width (hang-detector fuel) *)
+  mutable kernel_entries : int64; (* exceptions dispatched to the kernel *)
   (* Decoded-instruction cache, keyed by PC.  Purely an interpreter
      optimisation: the architectural I-fetch (PCC check, TLB, I-cache
      model) still happens every step; only binary decode is memoized.
@@ -73,10 +83,11 @@ type t = {
   decoded : (int64, Insn.t) Hashtbl.t;
 }
 
-let default_kernel _t ctx =
-  match ctx.exc with
-  | Cp0.Syscall -> Halt 0
-  | e -> failwith ("unhandled machine exception: " ^ Cp0.exc_to_string e)
+(* The reset kernel: a bare machine treats any syscall as "exit 0" and has
+   no handler for anything else.  Unhandled exceptions stop the machine
+   with a structured [Trap_unhandled] outcome (carrying a state snapshot)
+   rather than tearing the process down with [Failure]. *)
+let default_kernel _t ctx = match ctx.exc with Cp0.Syscall -> Halt 0 | _ -> Fatal
 
 let create ?(config = default_config) () =
   {
@@ -98,12 +109,16 @@ let create ?(config = default_config) () =
     ll_addr = 0L;
     kernel = default_kernel;
     on_trace = (fun _ _ _ _ -> ());
+    on_step = None;
     timing = true;
+    stores = 0L;
+    kernel_entries = 0L;
     decoded = Hashtbl.create 4096;
   }
 
 let set_kernel t f = t.kernel <- f
 let set_trace_hook t f = t.on_trace <- f
+let set_step_hook t f = t.on_step <- f
 let set_timing t b = t.timing <- b
 
 let gpr t i = Regs.get t.regs i
@@ -115,6 +130,95 @@ let set_cap t i c = t.caps.(i) <- c
 let map_identity t ~vaddr ~len prot = Mem.Tlb.map t.hier.Mem.Hierarchy.tlb ~vaddr ~len prot
 
 let charge t n = if t.timing then t.cycles <- Int64.add t.cycles (Int64.of_int n)
+
+(* --- diagnostic snapshots ---------------------------------------------- *)
+
+(* A self-contained picture of the architectural state, attached to every
+   abnormal [run] outcome so campaigns and tests get a diagnosable failure
+   instead of a bare backtrace. *)
+type snapshot = {
+  snap_cause : string;
+  snap_pc : int64;
+  snap_exc : Cp0.exc option; (* last exception dispatched, if any *)
+  snap_badvaddr : int64;
+  snap_capcause : Cap.Cause.t;
+  snap_capreg : int;
+  snap_insn_word : int option; (* raw instruction word at PC, if readable *)
+  snap_gprs : int64 array;
+  snap_hi : int64;
+  snap_lo : int64;
+  snap_caps : Cap.Capability.t array;
+  snap_pcc : Cap.Capability.t;
+  snap_instret : int64;
+  snap_cycles : int64;
+}
+
+let snapshot ?(cause = "snapshot") t =
+  {
+    snap_cause = cause;
+    snap_pc = t.pc;
+    snap_exc = t.cp0.Cp0.last_exc;
+    snap_badvaddr = t.cp0.Cp0.badvaddr;
+    snap_capcause = t.cp0.Cp0.capcause;
+    snap_capreg = t.cp0.Cp0.capcause_reg;
+    snap_insn_word = (try Some (Mem.Phys.read_u32 t.phys t.pc) with _ -> None);
+    snap_gprs = Array.init 32 (fun i -> Regs.get t.regs i);
+    snap_hi = t.regs.Regs.hi;
+    snap_lo = t.regs.Regs.lo;
+    snap_caps = Array.copy t.caps;
+    snap_pcc = t.pcc;
+    snap_instret = t.instret;
+    snap_cycles = t.cycles;
+  }
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "@[<v>%s@,pc=0x%Lx  instret=%Ld  cycles=%Ld" s.snap_cause s.snap_pc
+    s.snap_instret s.snap_cycles;
+  (match s.snap_insn_word with
+  | Some w -> Fmt.pf ppf "@,insn=0x%08x" w
+  | None -> Fmt.pf ppf "@,insn=<unreadable>");
+  (match s.snap_exc with
+  | Some e ->
+      Fmt.pf ppf "@,cause=%s  badvaddr=0x%Lx" (Cp0.exc_to_string e) s.snap_badvaddr;
+      (match e with
+      | Cp0.Cp2 _ ->
+          Fmt.pf ppf "  capcause=%s/C%d" (Cap.Cause.to_string s.snap_capcause) s.snap_capreg
+      | _ -> ())
+  | None -> ());
+  Array.iteri
+    (fun i v -> if not (Int64.equal v 0L) then Fmt.pf ppf "@,r%-2d = 0x%Lx" i v)
+    s.snap_gprs;
+  Array.iteri
+    (fun i c ->
+      if Cap.Capability.tag c && not (Cap.Capability.equal c Cap.Capability.almighty) then
+        Fmt.pf ppf "@,c%-2d = %a" i Cap.Capability.pp c)
+    s.snap_caps;
+  Fmt.pf ppf "@,pcc = %a@]" Cap.Capability.pp s.snap_pcc
+
+(* How a [run] ended.  Every abnormal outcome carries a snapshot; none of
+   them raises, so campaign drivers can classify millions of runs without
+   ever seeing a [Failure _] backtrace. *)
+type run_result =
+  | Exited of int (* the kernel halted the machine with this exit code *)
+  | Trap_unhandled of exn_ctx * snapshot (* no handler accepted the exception *)
+  | Budget_exhausted of snapshot (* [max_insns] spent without halting *)
+  | Watchdog_hang of snapshot (* architectural state repeated: a provable hang *)
+
+(* Conventional process-style exit codes for abnormal outcomes (the shell's
+   124 = timed out, 125 = watchdog, 134 = SIGABRT conventions). *)
+let exit_code = function
+  | Exited code -> code
+  | Budget_exhausted _ -> 124
+  | Watchdog_hang _ -> 125
+  | Trap_unhandled _ -> 134
+
+let pp_run_result ppf = function
+  | Exited code -> Fmt.pf ppf "exited %d" code
+  | Trap_unhandled (ctx, s) ->
+      Fmt.pf ppf "@[<v>unhandled trap: %s at pc=0x%Lx@,%a@]" (Cp0.exc_to_string ctx.exc)
+        ctx.victim_pc pp_snapshot s
+  | Budget_exhausted s -> Fmt.pf ppf "@[<v>instruction budget exhausted@,%a@]" pp_snapshot s
+  | Watchdog_hang s -> Fmt.pf ppf "@[<v>watchdog: machine hang@,%a@]" pp_snapshot s
 
 (* --- 64-bit helpers ---------------------------------------------------- *)
 
@@ -183,6 +287,7 @@ let store_scalar t ~reg c ~addr ~width v =
      | Insn.W -> Mem.Phys.write_u32 t.phys addr (Int64.to_int (Int64.logand v 0xFFFF_FFFFL))
      | Insn.D -> Mem.Phys.write_u64 t.phys addr v
    with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
+  t.stores <- Int64.add t.stores 1L;
   (* A general-purpose store clears the tag of the overlapped line(s):
      the architectural rule that makes in-memory capabilities unforgeable. *)
   Mem.Tags.clear_range t.tags addr size;
@@ -235,6 +340,7 @@ let store_cap t ~reg c ~addr v =
   data_penalty t ~addr ~size ~write:true;
   (try Mem.Phys.write_bytes t.phys addr image
    with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
+  t.stores <- Int64.add t.stores 1L;
   Mem.Tags.set t.tags addr (Cap.Capability.tag v)
 
 (* --- CP2 helpers -------------------------------------------------------- *)
@@ -577,6 +683,7 @@ let fetch t =
 let invalidate_icache t = Hashtbl.reset t.decoded
 
 let step t =
+  (match t.on_step with Some f -> f t | None -> ());
   try
     let insn =
       match Hashtbl.find_opt t.decoded t.pc with
@@ -606,18 +713,122 @@ let step t =
     t.cp0.Cp0.last_exc <- Some exc;
     t.cp0.Cp0.exl <- true;
     t.ll_bit <- false;
-    match t.kernel t { exc; victim_pc = t.pc } with
+    t.kernel_entries <- Int64.add t.kernel_entries 1L;
+    let ctx = { exc; victim_pc = t.pc } in
+    match t.kernel t ctx with
     | Resume_at pc ->
         t.cp0.Cp0.exl <- false;
         t.pc <- pc
-    | Halt code -> raise (Halted code))
+    | Halt code -> raise (Halted code)
+    | Fatal -> raise (Unhandled ctx))
 
-(* Run until the kernel halts the machine or [max_insns] is exceeded. *)
-let run ?(max_insns = Int64.max_int) t =
+(* --- the hardened run loop --------------------------------------------- *)
+
+(* A digest of the full architectural state: PC, GPRs, capability register
+   file, and the monotone side-effect counters (stores, kernel entries).
+   Two equal digests taken at the same PC with equal side-effect counters
+   mean memory has not changed between the samples and the register state
+   repeated — on this deterministic machine that is a provable hang. *)
+let state_digest t =
+  let mix h v =
+    let h = Int64.mul (Int64.logxor h v) 0xFF51_AFD7_ED55_8CCDL in
+    Int64.logxor h (Int64.shift_right_logical h 33)
+  in
+  let h = ref (mix 0x9E37_79B9_7F4A_7C15L t.pc) in
+  for i = 1 to 31 do
+    h := mix !h t.regs.Regs.r.(i)
+  done;
+  h := mix !h t.regs.Regs.hi;
+  h := mix !h t.regs.Regs.lo;
+  let mix_cap c =
+    h := mix !h (Cap.Capability.base c);
+    h := mix !h (Cap.Capability.length c);
+    h := mix !h (Int64.of_int (Cap.Perms.to_int (Cap.Capability.perms c)));
+    h := mix !h (Int64.of_int (Cap.Capability.otype c));
+    h := mix !h (if Cap.Capability.tag c then 3L else 5L);
+    h := mix !h (if Cap.Capability.is_sealed c then 7L else 11L)
+  in
+  Array.iter mix_cap t.caps;
+  mix_cap t.pcc;
+  h := mix !h t.stores;
+  h := mix !h t.kernel_entries;
+  h := mix !h (if t.ll_bit then 13L else 17L);
+  !h
+
+(* PC-history hang detector: every [watchdog] retired instructions, record
+   (PC, state digest) in a small ring; a revisit of a recorded observation
+   proves an infinite loop (see [state_digest]).  The sampling makes the
+   detector probabilistic for long loop periods — the instruction budget
+   remains the backstop — but it catches the tight spin loops injected
+   faults actually produce within a couple of sampling windows. *)
+let watchdog_ring = 64
+
+(* Run until the kernel halts the machine, [max_insns] is exceeded, or the
+   [watchdog] (a sampling interval in instructions; 0 disables) proves a
+   hang.  Never raises: stray OCaml exceptions out of a native kernel
+   callback degrade to [Trap_unhandled] so that campaign drivers survive
+   corrupted syscall arguments. *)
+let run_result ?(max_insns = Int64.max_int) ?(watchdog = 0) t =
   let start = t.instret in
-  try
-    while Int64.sub t.instret start < max_insns do
-      step t
-    done;
-    failwith "machine: instruction budget exhausted"
-  with Halted code -> code
+  let wd = if watchdog > 0 then Int64.of_int watchdog else 0L in
+  let hist_pc = Array.make watchdog_ring Int64.minus_one in
+  let hist_digest = Array.make watchdog_ring 0L in
+  let hist_len = ref 0 and hist_next = ref 0 in
+  let outcome = ref None in
+  (try
+     while !outcome = None do
+       if Int64.sub t.instret start >= max_insns then
+         outcome :=
+           Some (Budget_exhausted (snapshot ~cause:"instruction budget exhausted" t))
+       else begin
+         step t;
+         if wd > 0L && Int64.rem (Int64.sub t.instret start) wd = 0L then begin
+           let d = state_digest t in
+           let repeat = ref false in
+           for i = 0 to !hist_len - 1 do
+             if Int64.equal hist_pc.(i) t.pc && Int64.equal hist_digest.(i) d then
+               repeat := true
+           done;
+           if !repeat then
+             outcome :=
+               Some
+                 (Watchdog_hang
+                    (snapshot ~cause:"watchdog: architectural state repeated" t))
+           else begin
+             hist_pc.(!hist_next) <- t.pc;
+             hist_digest.(!hist_next) <- d;
+             hist_next := (!hist_next + 1) mod watchdog_ring;
+             if !hist_len < watchdog_ring then incr hist_len
+           end
+         end
+       end
+     done
+   with
+  | Halted code -> outcome := Some (Exited code)
+  | Unhandled ctx ->
+      outcome := Some (Trap_unhandled (ctx, snapshot ~cause:"unhandled trap" t))
+  | e ->
+      (* A native kernel callback tripped over corrupted state (e.g. a
+         syscall argument pointing outside physical memory).  Report it as
+         an unhandled trap rather than unwinding the whole process. *)
+      let ctx =
+        {
+          exc = (match t.cp0.Cp0.last_exc with Some exc -> exc | None -> Cp0.Trap);
+          victim_pc = t.pc;
+        }
+      in
+      outcome :=
+        Some
+          (Trap_unhandled
+             (ctx, snapshot ~cause:("kernel model error: " ^ Printexc.to_string e) t)));
+  match !outcome with Some r -> r | None -> assert false
+
+(* The legacy integer-exit-code interface.  Abnormal outcomes map to
+   conventional shell-style codes ([exit_code]) and print their snapshot on
+   stderr — they indicate a machine-level problem no kernel handled. *)
+let run ?max_insns ?watchdog t =
+  match run_result ?max_insns ?watchdog t with
+  | Exited code -> code
+  | abnormal ->
+      Fmt.epr "[machine] %a@." pp_run_result abnormal;
+      exit_code abnormal

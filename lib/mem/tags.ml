@@ -22,6 +22,7 @@ let create ?(line_bytes = line_bytes) ~mem_size () =
   { bits = Bytes.make (((mem_size / line_bytes) + 7) / 8) '\000'; mem_size; line_bytes }
 
 let line_index t addr = Int64.to_int (Int64.div addr (Int64.of_int t.line_bytes))
+let granularity t = t.line_bytes
 
 let get t addr =
   let i = line_index t addr in

@@ -19,6 +19,9 @@ val create : ?line_bytes:int -> mem_size:int -> unit -> t
 (** Index of the tag line covering a physical address. *)
 val line_index : t -> int64 -> int
 
+(** The table's own line granularity in bytes (32 or 16). *)
+val granularity : t -> int
+
 (** Tag of the line containing the address. *)
 val get : t -> int64 -> bool
 

@@ -1,0 +1,39 @@
+(* fault-smoke: a 20-injection treeadd campaign in both pointer modes,
+   run under `dune runtest` via the fault-smoke alias.  It is the cheap
+   end-to-end check that the fault subsystem stays alive: the campaign
+   must complete without an escaping exception, be reproducible, and the
+   capability machine must never detect *less* than the unprotected
+   baseline.  (The strict-dominance property is asserted at a larger seed
+   count in test_fault.ml; 20 seeds keep this smoke test instant.) *)
+
+let config mode =
+  {
+    Fault.Campaign.bench = "treeadd";
+    mode;
+    seeds = 20;
+    base_seed = 1L;
+    param = 5;
+    sites = Fault.Injector.all_sites;
+    monitor = true;
+  }
+
+let () =
+  let run mode = Fault.Campaign.run (config mode) in
+  let cheri = run Fault.Campaign.Cheri in
+  let base = run Fault.Campaign.Baseline in
+  Fault.Campaign.print_table [ base; cheri ];
+  let cheri' = run Fault.Campaign.Cheri in
+  let outcomes (s : Fault.Campaign.summary) =
+    List.map (fun (r : Fault.Campaign.record) -> r.Fault.Campaign.outcome) s.Fault.Campaign.records
+  in
+  if outcomes cheri <> outcomes cheri' then begin
+    prerr_endline "fault-smoke: campaign is not reproducible for a fixed seed set";
+    exit 1
+  end;
+  if Fault.Campaign.detected_fraction cheri < Fault.Campaign.detected_fraction base then begin
+    Printf.eprintf "fault-smoke: cheri detected %.1f%% < baseline %.1f%%\n"
+      (Fault.Campaign.detected_fraction cheri)
+      (Fault.Campaign.detected_fraction base);
+    exit 1
+  end;
+  print_endline "fault-smoke: ok"
