@@ -399,19 +399,61 @@ let fault () =
   section "Fault-injection detection coverage (docs/FAULTS.md)";
   ignore (Exp.Fault_cov.run ())
 
+(* --- machine-readable export ---------------------------------------------------------------- *)
+
+(* `--json`: run the Figure 4 benchmark set (all three pointer modes, at
+   the scaled-down parameters) with the obs counter file attached, and
+   write BENCH_obs.json -- interpreter instructions/second plus per-run
+   cycle totals, counters, and phase spans -- so future changes have a
+   perf trajectory to diff against (docs/OBSERVABILITY.md). *)
+
+let obs_export () =
+  section "BENCH_obs.json: machine-readable counter export";
+  let entries =
+    List.concat_map
+      (fun (bench, param, _paper) ->
+        let src = List.assoc bench Olden.Minic_src.all in
+        List.map
+          (fun mode ->
+            let t0 = Unix.gettimeofday () in
+            let r = Exp.Bench_run.run ~bench ~mode ~param src in
+            let wall_s = Unix.gettimeofday () -. t0 in
+            Printf.printf "%-11s %-10s param=%-5d cycles=%-12Ld wall=%.2fs\n" bench
+              (Minic.Layout.mode_name mode) param r.Exp.Bench_run.cycles wall_s;
+            {
+              Obs.Export.bench;
+              mode = Minic.Layout.mode_name mode;
+              param;
+              wall_s;
+              counters = r.Exp.Bench_run.counters;
+              spans = r.Exp.Bench_run.spans;
+            })
+          Exp.Fig4.modes)
+      Exp.Fig4.benchmarks
+  in
+  Obs.Export.write_file "BENCH_obs.json" entries;
+  Printf.printf "wrote BENCH_obs.json (%d runs, %.0f simulated instr/s)\n" (List.length entries)
+    (Obs.Export.interp_instr_per_s entries)
+
 (* --- driver -------------------------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper_size = List.mem "--paper-size" args in
   let skip_fault = List.mem "--skip-fault" args in
-  let args = List.filter (fun a -> a <> "--paper-size" && a <> "--skip-fault") args in
+  let json = List.mem "--json" args in
+  let args =
+    List.filter (fun a -> a <> "--paper-size" && a <> "--skip-fault" && a <> "--json") args
+  in
   let targets =
     if args = [] || args = [ "all" ] then
-      [
-        "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "seg-compare"; "ablation"; "fault";
-        "micro";
-      ]
+      if json then [ "obs" ] (* bare `--json`: just the counter export *)
+      else
+        [
+          "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "seg-compare"; "ablation"; "fault";
+          "micro";
+        ]
+    else if json && not (List.mem "obs" args) then args @ [ "obs" ]
     else args
   in
   let targets = if skip_fault then List.filter (fun t -> t <> "fault") targets else targets in
@@ -428,10 +470,11 @@ let () =
       | "ablation" -> ablation ()
       | "fault" -> fault ()
       | "micro" -> micro ()
+      | "obs" -> obs_export ()
       | other ->
           Printf.eprintf
             "unknown target %S (expected \
-             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|micro|all)\n"
+             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|micro|obs|all)\n"
             other;
           exit 2)
     targets

@@ -25,11 +25,7 @@ let campaign bench modes seeds base_seed param sites verbose no_monitor =
                 exit 2)
           names
   in
-  if not (List.mem_assoc bench Olden.Minic_src.all) then begin
-    Fmt.epr "unknown benchmark %S (expected %s)@." bench
-      (String.concat "|" (List.map fst Olden.Minic_src.all));
-    exit 2
-  end;
+  Cli.check_bench bench;
   let summaries =
     List.map
       (fun mode ->
@@ -58,34 +54,11 @@ let campaign bench modes seeds base_seed param sites verbose no_monitor =
       summaries;
   Fault.Campaign.print_table summaries
 
-let bench =
-  Arg.(value & opt string "treeadd" & info [ "bench" ] ~docv:"NAME" ~doc:"Olden benchmark to run.")
-
-let mode =
-  let parse s =
-    match s with
-    | "all" -> Ok [ Fault.Campaign.Baseline; Fault.Campaign.Cheri; Fault.Campaign.Cheri128 ]
-    | s -> (
-        match Fault.Campaign.mode_of_string s with
-        | Some m -> Ok [ m ]
-        | None -> Error (`Msg (Printf.sprintf "unknown mode %S" s)))
-  in
-  let print ppf ms =
-    Fmt.string ppf (String.concat "," (List.map Fault.Campaign.mode_name ms))
-  in
-  Arg.(
-    value
-    & opt (conv (parse, print)) [ Fault.Campaign.Baseline; Fault.Campaign.Cheri ]
-    & info [ "mode" ] ~docv:"MODE" ~doc:"baseline|cheri|cheri128|all (default: baseline + cheri).")
-
 let seeds =
   Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Injections per mode.")
 
 let base_seed =
   Arg.(value & opt int64 1L & info [ "base-seed" ] ~docv:"S" ~doc:"First seed; run i uses S+i.")
-
-let param =
-  Arg.(value & opt int 8 & info [ "param" ] ~docv:"P" ~doc:"Benchmark size parameter.")
 
 let sites =
   Arg.(
@@ -101,6 +74,8 @@ let no_monitor =
 let cmd =
   Cmd.v
     (Cmd.info "cheri_fault" ~doc:"Fault-injection campaigns against the CHERI machine model")
-    Term.(const campaign $ bench $ mode $ seeds $ base_seed $ param $ sites $ verbose $ no_monitor)
+    Term.(
+      const campaign $ Cli.bench $ Cli.fault_modes $ seeds $ base_seed $ Cli.param ~default:8
+      $ sites $ verbose $ no_monitor)
 
 let () = exit (Cmd.eval cmd)

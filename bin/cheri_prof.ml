@@ -1,0 +1,125 @@
+(* cheri_prof: run an Olden kernel in any pointer mode with the lib/obs
+   subsystem attached and print where the simulated cycles go.
+
+     dune exec bin/cheri_prof.exe -- --bench treeadd --mode cheri
+     dune exec bin/cheri_prof.exe -- --bench mst --mode cheri128 --param 96 \
+         --top 20 --collapsed mst.folded --events mst.jsonl
+     dune exec bin/cheri_prof.exe -- --bench treeadd --json
+
+   Output: the full hardware-counter file, the per-phase counter
+   breakdown (alloc/compute spans from the trace markers, ccall spans
+   from kernel domain crossings), and a disasm-annotated top-N hot-PC
+   table from the sampling profiler.  `--collapsed FILE` additionally
+   writes flamegraph.pl-compatible collapsed stacks; `--events FILE`
+   streams the structured event bus as JSON lines; `--json` replaces the
+   text report with one machine-readable JSON object. *)
+
+open Cmdliner
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let json_report (report : Exp.Profiled.report) bench mode param =
+  let open Obs in
+  Json.Obj
+    [
+      ("schema", Json.String "cheri-obs-prof/1");
+      ("bench", Json.String bench);
+      ("mode", Json.String (Minic.Layout.mode_name mode));
+      ("param", Json.Int (Int64.of_int param));
+      ("exit_code", Json.Int (Int64.of_int report.Exp.Profiled.result.Exp.Bench_run.exit_code));
+      ("counters", Counters.to_json report.Exp.Profiled.counters);
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (name, c) -> (name, Counters.to_json c))
+             report.Exp.Profiled.spans) );
+      ("sample_period", Json.Int (Int64.of_int report.Exp.Profiled.period));
+      ("total_samples", Json.Int (Int64.of_int report.Exp.Profiled.total_samples));
+      ( "hot",
+        Json.List
+          (List.map
+             (fun (h : Exp.Profiled.hot) ->
+               Json.Obj
+                 [
+                   ("pc", Json.String (Printf.sprintf "0x%Lx" h.Exp.Profiled.pc));
+                   ("samples", Json.Int (Int64.of_int h.Exp.Profiled.samples));
+                   ("pct", Json.Float h.Exp.Profiled.pct);
+                   ("where", Json.String h.Exp.Profiled.where);
+                   ("disasm", Json.String h.Exp.Profiled.disasm);
+                 ])
+             report.Exp.Profiled.hot) );
+    ]
+
+let prof bench mode param iters period top max_insns json collapsed_file events_file =
+  Cli.check_bench bench;
+  let bus, close_events =
+    match events_file with
+    | Some path ->
+        let oc = open_out path in
+        let bus = Obs.Event.create () in
+        Obs.Event.subscribe bus (Obs.Event.channel_sink oc);
+        (Some bus, fun () -> close_out oc)
+    | None -> (None, fun () -> ())
+  in
+  let report = Exp.Profiled.run ~max_insns ~iters ~period ~top ?bus ~bench ~mode ~param () in
+  close_events ();
+  let result = report.Exp.Profiled.result in
+  (match collapsed_file with
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun line -> output_string oc (line ^ "\n")) report.Exp.Profiled.collapsed;
+      close_out oc;
+      Fmt.epr "wrote %d collapsed stacks to %s@."
+        (List.length report.Exp.Profiled.collapsed)
+        path
+  | None -> ());
+  if json then Fmt.pr "%a@." Obs.Json.pp (json_report report bench mode param)
+  else begin
+    Fmt.pr "%s/%s param=%d iters=%d: exit %d@." bench (Minic.Layout.mode_name mode) param iters
+      result.Exp.Bench_run.exit_code;
+    section "counters";
+    Fmt.pr "%a@." Obs.Counters.pp report.Exp.Profiled.counters;
+    section "per-phase breakdown";
+    Fmt.pr "%a@."
+      (Obs.Span.pp_totals
+         ~total_cycles:(Obs.Counters.get report.Exp.Profiled.counters Obs.Counters.cycles))
+      report.Exp.Profiled.spans;
+    section (Printf.sprintf "top %d hot PCs" top);
+    Fmt.pr "%a@." Exp.Profiled.pp_hot report
+  end;
+  exit result.Exp.Bench_run.exit_code
+
+let iters =
+  Arg.(value & opt int 1 & info [ "iters" ] ~docv:"N" ~doc:"Computation-phase repetitions.")
+
+let period =
+  Arg.(
+    value
+    & opt int 97
+    & info [ "period" ] ~docv:"N" ~doc:"Sampling period in retired instructions.")
+
+let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Hot-PC table size.")
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
+
+let collapsed_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "collapsed" ] ~docv:"FILE" ~doc:"Write flamegraph-compatible collapsed stacks.")
+
+let events_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE" ~doc:"Stream the structured event bus as JSON lines.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cheri_prof"
+       ~doc:"Profile an Olden kernel on the CHERI machine model (counters, phases, hot PCs)")
+    Term.(
+      const prof $ Cli.bench $ Cli.layout_mode $ Cli.param ~default:12 $ iters $ period $ top
+      $ Cli.max_insns ~default:20_000_000_000L
+      $ json $ collapsed_file $ events_file)
+
+let () = exit (Cmd.eval cmd)

@@ -30,6 +30,9 @@ let run file disasm trace stats max_insns =
       program.Asm.Assembler.segments;
   let machine = Machine.create () in
   let kernel = Os.Kernel.attach machine in
+  (* The probe feeds the instruction-class counters (cap_ops, branches,
+     ...) in the --stats counter file; without it they would read 0. *)
+  if stats then Machine.set_probe machine (Some (Obs.Probe.create ()));
   Os.Kernel.set_fault_handler kernel (fun _k fault ->
       Fmt.epr "fatal fault at pc=0x%Lx: %s [%s] (badvaddr=0x%Lx, capcause=%s/C%d, instret=%Ld, cycles=%Ld)@."
         fault.Os.Kernel.pc
@@ -46,8 +49,9 @@ let run file disasm trace stats max_insns =
   let code = Machine.run ~max_insns machine in
   print_string (Os.Kernel.console kernel);
   if stats then begin
-    Fmt.epr "instructions: %Ld@." machine.Machine.instret;
-    Fmt.epr "cycles:       %Ld@." machine.Machine.cycles;
+    (* The obs counter file (instret, cycles, cache/TLB/tag events) plus
+       the hierarchy's own per-cache breakdown. *)
+    Fmt.epr "%a@." Obs.Counters.pp (Machine.read_counters machine);
     Fmt.epr "%a@." Mem.Hierarchy.pp_stats machine.Machine.hier
   end;
   exit code
@@ -57,12 +61,9 @@ let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Print a disassembly bef
 let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print instrumentation markers.")
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and cache statistics.")
 
-let max_insns =
-  Arg.(value & opt int64 1_000_000_000L & info [ "max-insns" ] ~doc:"Instruction budget.")
-
 let cmd =
   Cmd.v
     (Cmd.info "cheri_run" ~doc:"Run a BERI/CHERI assembly program on the simulated machine")
-    Term.(const run $ file $ disasm $ trace $ stats $ max_insns)
+    Term.(const run $ file $ disasm $ trace $ stats $ Cli.max_insns ~default:1_000_000_000L)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,66 @@
+(* Shared cmdliner plumbing for the bin/ tools (cheri_run, cheri_fault,
+   cheri_prof): the benchmark/mode/size/budget arguments they all parse,
+   defined once so the tools agree on spellings, defaults, and error
+   messages. *)
+
+open Cmdliner
+
+let bench_names = List.map fst Olden.Minic_src.all
+
+let bench =
+  Arg.(
+    value
+    & opt string "treeadd"
+    & info [ "bench" ] ~docv:"NAME"
+        ~doc:(Printf.sprintf "Olden benchmark to run (%s)." (String.concat "|" bench_names)))
+
+(* Validate a --bench argument against the Olden inventory; exits 2 with
+   the accepted spellings on a miss. *)
+let check_bench bench =
+  if not (List.mem_assoc bench Olden.Minic_src.all) then begin
+    Fmt.epr "unknown benchmark %S (expected %s)@." bench (String.concat "|" bench_names);
+    exit 2
+  end
+
+let param ~default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "param" ] ~docv:"P" ~doc:"Benchmark size parameter (tree levels, vertices, ...).")
+
+let max_insns ~default =
+  Arg.(value & opt int64 default & info [ "max-insns" ] ~docv:"N" ~doc:"Instruction budget.")
+
+(* Compilation mode for tools that run one pointer representation. *)
+let layout_mode =
+  let parse s =
+    match s with
+    | "legacy" | "baseline" | "mips" -> Ok Minic.Layout.Legacy
+    | "softcheck" | "ccured" -> Ok Minic.Layout.Softcheck
+    | "cheri" -> Ok Minic.Layout.Cheri
+    | "cheri128" -> Ok Minic.Layout.Cheri128
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf m = Fmt.string ppf (Minic.Layout.mode_name m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Minic.Layout.Cheri
+    & info [ "mode" ] ~docv:"MODE" ~doc:"legacy|softcheck|cheri|cheri128 (default: cheri).")
+
+(* Campaign mode set for tools that sweep pointer representations. *)
+let fault_modes =
+  let parse s =
+    match s with
+    | "all" -> Ok [ Fault.Campaign.Baseline; Fault.Campaign.Cheri; Fault.Campaign.Cheri128 ]
+    | s -> (
+        match Fault.Campaign.mode_of_string s with
+        | Some m -> Ok [ m ]
+        | None -> Error (`Msg (Printf.sprintf "unknown mode %S" s)))
+  in
+  let print ppf ms =
+    Fmt.string ppf (String.concat "," (List.map Fault.Campaign.mode_name ms))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) [ Fault.Campaign.Baseline; Fault.Campaign.Cheri ]
+    & info [ "mode" ] ~docv:"MODE" ~doc:"baseline|cheri|cheri128|all (default: baseline + cheri).")

@@ -68,8 +68,11 @@ let tag_cache_sweep ?(sizes = [ 256; 1024; 4096; 8192; 16384 ]) () =
       let asm = Minic.Driver.compile ~mode:Minic.Layout.Cheri src in
       let code, _ = Os.Kernel.run_program ~max_insns:200_000_000L k asm in
       assert (code = 0);
-      let tag_fills = m.Machine.hier.Mem.Hierarchy.tag_dram_accesses in
-      let l2_misses = m.Machine.hier.Mem.Hierarchy.l2.Mem.Cache.misses in
+      (* The fill ratio comes straight off the obs counter file rather
+         than reaching into the hierarchy's internals. *)
+      let c = Machine.read_counters m in
+      let tag_fills = Int64.to_int (Obs.Counters.get c Obs.Counters.tag_dram_fills) in
+      let l2_misses = Int64.to_int (Obs.Counters.get c Obs.Counters.l2_misses) in
       {
         tag_cache_bytes = size;
         tag_fills;

@@ -1,8 +1,9 @@
 (* Compile-and-execute harness for the Section 8 experiments: runs a minic
    source on the simulated machine and collects the measurements Figures 4
-   and 5 are built from — cycles split by benchmark phase (the trace
-   markers are free, so instrumentation does not perturb the clock),
-   instruction counts, cache/TLB statistics, and heap footprint. *)
+   and 5 are built from.  All accounting is delegated to lib/obs: the
+   trace markers open and close counter-file spans, and the result record
+   carries the final counter snapshot plus the per-phase aggregates (the
+   markers are free, so instrumentation does not perturb the clock). *)
 
 type phase_times = { alloc_cycles : int64; compute_cycles : int64 }
 
@@ -18,10 +19,16 @@ type result = {
   l1d_misses : int;
   l2_misses : int;
   tlb_misses : int;
+  counters : Obs.Counters.t; (* the full counter file at exit *)
+  spans : (string * Obs.Counters.t) list; (* per-phase counter deltas *)
 }
 
-let phase_alloc = 0L
-let phase_compute = 1L
+(* Phase ids the minic runtime passes to trace.phase_begin. *)
+let phase_name id =
+  match Int64.to_int id with
+  | 0 -> "alloc"
+  | 1 -> "compute"
+  | n -> Printf.sprintf "phase-%d" n
 
 (* A machine configured for the mode: cheri128 code needs the 128-bit
    capability machine (16-byte capability accesses, 16-byte tag lines);
@@ -37,30 +44,39 @@ let machine_for ?(big_mem = false) (mode : Minic.Layout.mode) =
   in
   Machine.create ~config ()
 
-(* Execute [source] (after @PARAM@ substitution) under [mode]. *)
-let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ~bench ~mode ~param
-    source =
+(* Execute [source] (after @PARAM@ substitution) under [mode].
+
+   [probe] attaches an observability probe (instruction-class counters,
+   PC-sample profiling); [bus] routes span/alloc/fault events onto a
+   shared event stream; [inspect] runs against the machine after the
+   program exits, before it is dropped — profilers use it to resolve
+   sampled PCs against the loaded image. *)
+let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?probe ?bus ?inspect
+    ~bench ~mode ~param source =
   let source = Olden.Minic_src.instantiate ~iters source ~param in
   let asm = Minic.Driver.compile ~mode source in
   let m = machine_for ~big_mem mode in
   let k = Os.Kernel.attach m in
-  let alloc = ref 0L and compute = ref 0L in
+  Machine.set_probe m probe;
+  let span = Obs.Span.create ?bus ~read:(fun () -> Os.Kernel.read_counters k) () in
+  Os.Kernel.set_obs ?bus ~span k;
   let allocated_bytes = ref 0L in
-  let current = ref None in
-  Machine.set_trace_hook m (fun m marker a _b ->
+  Machine.set_trace_hook m (fun _m marker a _b ->
       match marker with
-      | Beri.Insn.M_phase_begin -> current := Some (a, m.Machine.cycles)
-      | Beri.Insn.M_phase_end -> (
-          match !current with
-          | Some (id, start) ->
-              let dt = Int64.sub m.Machine.cycles start in
-              if Int64.equal id phase_alloc then alloc := Int64.add !alloc dt
-              else if Int64.equal id phase_compute then compute := Int64.add !compute dt;
-              current := None
+      | Beri.Insn.M_phase_begin -> Obs.Span.enter span (phase_name a)
+      | Beri.Insn.M_phase_end -> Obs.Span.exit span
+      | Beri.Insn.M_alloc ->
+          allocated_bytes := Int64.add !allocated_bytes a;
+          (match bus with
+          | Some bus -> Obs.Event.emit bus ~kind:"alloc" [ ("bytes", Obs.Json.Int a) ]
           | None -> ())
-      | Beri.Insn.M_alloc -> allocated_bytes := Int64.add !allocated_bytes a
       | Beri.Insn.M_free -> ());
   let exit_code, console = Os.Kernel.run_program ~max_insns k asm in
+  Obs.Span.close_all span;
+  (match inspect with Some f -> f m | None -> ());
+  let counters = Os.Kernel.read_counters k in
+  let spans = Obs.Span.totals span in
+  let get = Obs.Counters.get counters in
   let output =
     String.split_on_char '\n' console |> List.filter (fun s -> String.trim s <> "")
   in
@@ -69,13 +85,19 @@ let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ~bench ~m
     mode;
     exit_code;
     output;
-    cycles = m.Machine.cycles;
-    instrs = m.Machine.instret;
-    phases = { alloc_cycles = !alloc; compute_cycles = !compute };
+    cycles = get Obs.Counters.cycles;
+    instrs = get Obs.Counters.instret;
+    phases =
+      {
+        alloc_cycles = Obs.Span.cycles_of span "alloc";
+        compute_cycles = Obs.Span.cycles_of span "compute";
+      };
     heap_bytes = !allocated_bytes;
-    l1d_misses = m.Machine.hier.Mem.Hierarchy.l1d.Mem.Cache.misses;
-    l2_misses = m.Machine.hier.Mem.Hierarchy.l2.Mem.Cache.misses;
-    tlb_misses = m.Machine.hier.Mem.Hierarchy.tlb.Mem.Tlb.misses;
+    l1d_misses = Int64.to_int (get Obs.Counters.l1d_misses);
+    l2_misses = Int64.to_int (get Obs.Counters.l2_misses);
+    tlb_misses = Int64.to_int (get Obs.Counters.tlb_misses);
+    counters;
+    spans;
   }
 
 let pct_overhead ~baseline v =

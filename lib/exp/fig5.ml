@@ -46,8 +46,10 @@ let run_point ~bench ~param =
       Bench_run.pct_overhead
         ~baseline:legacy.Bench_run.phases.Bench_run.compute_cycles
         cheri.Bench_run.phases.Bench_run.compute_cycles;
-    cheri_l1d_misses = cheri.Bench_run.l1d_misses;
-    legacy_l1d_misses = legacy.Bench_run.l1d_misses;
+    cheri_l1d_misses =
+      Int64.to_int (Obs.Counters.get cheri.Bench_run.counters Obs.Counters.l1d_misses);
+    legacy_l1d_misses =
+      Int64.to_int (Obs.Counters.get legacy.Bench_run.counters Obs.Counters.l1d_misses);
   }
 
 let run_sweep ?(benches = [ "treeadd"; "bisort"; "perimeter"; "mst" ]) () =

@@ -1,0 +1,102 @@
+(* A profiled benchmark run: Bench_run with a lib/obs probe attached,
+   plus post-run symbolization so hot PCs come back with a disassembly
+   line and a `label+offset` location, and collapsed call stacks come
+   back with label names.  This is the engine behind `bin/cheri_prof`
+   and the obs-smoke test. *)
+
+type hot = {
+  pc : int64;
+  samples : int;
+  pct : float; (* of all samples *)
+  where : string; (* nearest label + offset *)
+  disasm : string; (* decoded instruction at the PC *)
+}
+
+type report = {
+  result : Bench_run.result;
+  counters : Obs.Counters.t;
+  spans : (string * Obs.Counters.t) list;
+  period : int;
+  total_samples : int;
+  hot : hot list;
+  collapsed : string list; (* flamegraph.pl-compatible lines *)
+}
+
+(* Nearest-preceding-label symbolizer over the assembler's symbol table. *)
+let symbolizer (symbols : (string, int64) Hashtbl.t) =
+  let sorted =
+    Hashtbl.fold (fun name addr acc -> (addr, name) :: acc) symbols []
+    |> List.sort compare |> Array.of_list
+  in
+  fun pc ->
+    if Int64.compare pc 0L < 0 || Array.length sorted = 0 then Printf.sprintf "0x%Lx" pc
+    else begin
+      (* binary search: greatest label address <= pc *)
+      let lo = ref 0 and hi = ref (Array.length sorted - 1) and best = ref None in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let addr, name = sorted.(mid) in
+        if Int64.compare addr pc <= 0 then begin
+          best := Some (addr, name);
+          lo := mid + 1
+        end
+        else hi := mid - 1
+      done;
+      match !best with
+      | Some (addr, name) when Int64.equal addr pc -> name
+      | Some (addr, name) -> Printf.sprintf "%s+0x%Lx" name (Int64.sub pc addr)
+      | None -> Printf.sprintf "0x%Lx" pc
+    end
+
+let validate_bench bench =
+  if not (List.mem_assoc bench Olden.Minic_src.all) then
+    Fmt.invalid_arg "unknown benchmark %S (expected %s)" bench
+      (String.concat "|" (List.map fst Olden.Minic_src.all))
+
+(* Run [bench] under [mode] with a sampling profiler attached.  [period]
+   is the sampling interval in retired instructions; [top] bounds the
+   hot-PC table. *)
+let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?bus ~bench ~mode ~param () =
+  validate_bench bench;
+  let source = List.assoc bench Olden.Minic_src.all in
+  (* Re-derive the program image the harness will run, for its symbol
+     table (compilation is deterministic and cheap next to simulation). *)
+  let program =
+    Asm.Assembler.assemble
+      (Minic.Driver.compile ~mode (Olden.Minic_src.instantiate ~iters source ~param))
+  in
+  let symbol = symbolizer program.Asm.Assembler.symbols in
+  let profile = Obs.Profile.create ~period () in
+  let probe = Obs.Probe.create ~profile () in
+  let hot = ref [] and collapsed = ref [] in
+  let inspect (m : Machine.t) =
+    let disasm pc =
+      match Mem.Phys.read_u32 m.Machine.phys pc with
+      | w -> (try Asm.Disasm.word w with _ -> Printf.sprintf ".word 0x%08x" w)
+      | exception _ -> "<unmapped>"
+    in
+    hot :=
+      List.map
+        (fun (pc, n) ->
+          { pc; samples = n; pct = Obs.Profile.pct profile n; where = symbol pc; disasm = disasm pc })
+        (Obs.Profile.top profile ~n:top);
+    collapsed := Obs.Profile.collapsed ~resolve:symbol profile
+  in
+  let result = Bench_run.run ?max_insns ~iters ~probe ?bus ~bench ~mode ~param source ~inspect in
+  {
+    result;
+    counters = result.Bench_run.counters;
+    spans = result.Bench_run.spans;
+    period;
+    total_samples = Obs.Profile.total_samples profile;
+    hot = !hot;
+    collapsed = !collapsed;
+  }
+
+let pp_hot ppf (report : report) =
+  Fmt.pf ppf "@[<v>%-6s %7s %-18s %-22s %s@," "rank" "pct" "pc" "where" "instruction";
+  List.iteri
+    (fun i h ->
+      Fmt.pf ppf "%-6d %6.2f%% 0x%-16Lx %-22s %s@," (i + 1) h.pct h.pc h.where h.disasm)
+    report.hot;
+  Fmt.pf ppf "(%d samples, 1 per %d retired instructions)@]" report.total_samples report.period

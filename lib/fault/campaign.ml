@@ -248,7 +248,11 @@ let faulted_run cfg ~program ~(golden : golden) ~heap_len seed =
     monitor_flags = !monitor_flags;
   }
 
-let run cfg =
+(* [bus]: when given, every classified injection is emitted as a
+   structured "fault-campaign" event on the shared lib/obs event bus, so
+   campaign verdicts interleave with spans and kernel faults in one
+   machine-readable stream. *)
+let run ?bus cfg =
   let program = compile cfg in
   let golden = golden_run cfg program in
   (* The invariant monitor still sweeps the whole heap the golden run
@@ -256,7 +260,21 @@ let run cfg =
   let heap_len = Int64.add (Int64.sub golden.brk Os.Layout.heap_base) 4096L in
   let records =
     List.init cfg.seeds (fun i ->
-        faulted_run cfg ~program ~golden ~heap_len (Int64.add cfg.base_seed (Int64.of_int i)))
+        let r =
+          faulted_run cfg ~program ~golden ~heap_len (Int64.add cfg.base_seed (Int64.of_int i))
+        in
+        (match bus with
+        | Some bus ->
+            Obs.Event.emit bus ~kind:"fault-campaign" ~name:(outcome_name r.outcome)
+              [
+                ("bench", Obs.Json.String cfg.bench);
+                ("mode", Obs.Json.String (mode_name cfg.mode));
+                ("seed", Obs.Json.Int r.seed);
+                ("injection", Obs.Json.String r.injection);
+                ("monitor_flags", Obs.Json.Int (Int64.of_int r.monitor_flags));
+              ]
+        | None -> ());
+        r)
   in
   {
     config = cfg;

@@ -47,6 +47,12 @@ type t = {
   mutable fault_handler : (t -> fault -> Machine.kernel_action) option;
   mutable trusted_stack : frame list;
   mutable ccalls : int;
+  mutable obs_span : Obs.Span.t option;
+      (* when set, CCall/CReturn domain transitions open/close a
+         "ccall" span — sandbox time shows up as a phase. *)
+  mutable obs_bus : Obs.Event.bus option;
+      (* when set, kernel-visible faults are emitted as structured
+         events on the shared bus. *)
 }
 
 and frame = { saved_pcc : Cap.Capability.t; saved_c0 : Cap.Capability.t; return_pc : int64 }
@@ -127,6 +133,7 @@ let handle_ccall t =
         Cap.Capability.unseal data ~authority ~otype:ot )
     with
     | Ok ucode, Ok udata ->
+        (match t.obs_span with Some s -> Obs.Span.enter s "ccall" | None -> ());
         t.trusted_stack <-
           {
             saved_pcc = m.Machine.pcc;
@@ -147,6 +154,7 @@ let handle_creturn t =
   | [] -> Machine.Halt 97
   | frame :: rest ->
       t.trusted_stack <- rest;
+      (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
       m.Machine.pcc <- frame.saved_pcc;
       Machine.set_cap m 0 frame.saved_c0;
       Machine.Resume_at frame.return_pc
@@ -183,6 +191,19 @@ let handler t (ctx : Machine.exn_ctx) =
           disasm = disasm_at t.machine ctx.Machine.victim_pc;
         }
       in
+      (match t.obs_bus with
+      | Some bus ->
+          Obs.Event.emit bus ~kind:"fault" ~name:(Cp0.exc_to_string exc)
+            [
+              ("pc", Obs.Json.Int fault.pc);
+              ("badvaddr", Obs.Json.Int fault.badvaddr);
+              ("capcause", Obs.Json.String (Cap.Cause.to_string fault.capcause));
+              ("capreg", Obs.Json.Int (Int64.of_int fault.capreg));
+              ("instret", Obs.Json.Int fault.instret);
+              ("cycles", Obs.Json.Int fault.cycles);
+              ("disasm", Obs.Json.String fault.disasm);
+            ]
+      | None -> ());
       match t.fault_handler with
       | Some f -> f t fault
       | None -> default_fault t fault)
@@ -206,12 +227,29 @@ let attach machine =
       fault_handler = None;
       trusted_stack = [];
       ccalls = 0;
+      obs_span = None;
+      obs_bus = None;
     }
   in
   Machine.set_kernel machine (fun _m ctx -> handler t ctx);
   t
 
 let set_fault_handler t f = t.fault_handler <- Some f
+
+(* Attach observability plumbing: an optional span scope for domain
+   transitions and an optional event bus for faults. *)
+let set_obs ?span ?bus t =
+  t.obs_span <- span;
+  t.obs_bus <- bus
+
+(* The kernel's view of the counter file: everything the machine and the
+   memory hierarchy report, plus the OS-level event counts only the
+   kernel model knows (syscalls, protected procedure calls). *)
+let read_counters t =
+  let c = Machine.read_counters t.machine in
+  Obs.Counters.set_int c Obs.Counters.syscalls t.syscall_count;
+  Obs.Counters.set_int c Obs.Counters.ccalls t.ccalls;
+  c
 
 (* Boot a user program (Section 4.3): load the image, delegate the whole
    user address space to the capability register file, point SP at the top

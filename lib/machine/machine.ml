@@ -73,6 +73,12 @@ type t = {
   mutable on_step : (t -> unit) option;
       (* called before each instruction; [None] (the default) keeps the
          hot path free of any per-step work.  Fault injectors hook here. *)
+  mutable probe : Obs.Probe.t option;
+      (* observability hook (lib/obs): instruction classification, PC
+         sampling, and shadow-call-stack tracking.  [None] (the default)
+         costs one match per step and nothing else; a probe never touches
+         architectural state or the cycle count, so probed and unprobed
+         runs are architecturally identical. *)
   mutable timing : bool; (* drive the cache/TLB model (off = fast functional mode) *)
   mutable stores : int64; (* retired stores, of any width (hang-detector fuel) *)
   mutable kernel_entries : int64; (* exceptions dispatched to the kernel *)
@@ -110,6 +116,7 @@ let create ?(config = default_config) () =
     kernel = default_kernel;
     on_trace = (fun _ _ _ _ -> ());
     on_step = None;
+    probe = None;
     timing = true;
     stores = 0L;
     kernel_entries = 0L;
@@ -119,6 +126,7 @@ let create ?(config = default_config) () =
 let set_kernel t f = t.kernel <- f
 let set_trace_hook t f = t.on_trace <- f
 let set_step_hook t f = t.on_step <- f
+let set_probe t p = t.probe <- p
 let set_timing t b = t.timing <- b
 
 let gpr t i = Regs.get t.regs i
@@ -705,8 +713,22 @@ let step t =
     | Insn.Trace _ -> () (* instrumentation: free, and excluded from instret *)
     | _ ->
         t.instret <- Int64.add t.instret 1L;
-        charge t 1);
-    t.pc <- execute t insn
+        charge t 1;
+        (* Observability probe: classify + sample over exactly the
+           instret population (markers excluded, faulting fetches
+           counted — the same convention as instret itself). *)
+        (match t.probe with Some p -> Obs.Probe.note p insn ~pc:t.pc | None -> ()));
+    t.pc <- execute t insn;
+    (* Shadow call stack for the profiler's collapsed-stack output: calls
+       and returns are reported after execute, when register-indirect
+       targets are known.  The minic ABI returns via `jr $ra`. *)
+    match t.probe with
+    | None -> ()
+    | Some p -> (
+        match insn with
+        | Insn.Jal _ | Insn.Jalr _ | Insn.CJALR _ -> Obs.Probe.enter_frame p ~callee:t.pc
+        | Insn.Jr s when s = Regs.ra -> Obs.Probe.exit_frame p
+        | _ -> ())
   with Exn (exc, badv) -> (
     t.cp0.Cp0.epc <- t.pc;
     t.cp0.Cp0.badvaddr <- badv;
@@ -832,3 +854,21 @@ let run ?max_insns ?watchdog t =
   | abnormal ->
       Fmt.epr "[machine] %a@." pp_run_result abnormal;
       exit_code abnormal
+
+(* --- the observability counter file ------------------------------------- *)
+
+(* Snapshot the machine's view of the lib/obs counter file: retirement
+   and cycle counters from the core, cache/TLB/tag-controller events
+   from the memory hierarchy, and instruction-class counters from the
+   probe (zero when no probe is attached).  Building a fresh counter
+   file per read keeps the hot path free of any per-step obs stores;
+   spans diff two reads. *)
+let read_counters t =
+  let c = Obs.Counters.create () in
+  Obs.Counters.set c Obs.Counters.instret t.instret;
+  Obs.Counters.set c Obs.Counters.cycles t.cycles;
+  Obs.Counters.set c Obs.Counters.retired_stores t.stores;
+  Obs.Counters.set c Obs.Counters.kernel_entries t.kernel_entries;
+  Mem.Hierarchy.fill_counters t.hier c;
+  (match t.probe with Some p -> Obs.Probe.fill p c | None -> ());
+  c

@@ -126,6 +126,31 @@ let access_insn t ~addr =
   let tlb_cost = if Tlb.touch t.tlb addr then 0 else t.config.tlb_refill_cycles in
   tlb_cost + line_access t ~l1:t.l1i ~addr ~write:false
 
+(* Deposit the hierarchy's internal statistics into an observability
+   counter file (lib/obs).  This is the lib/mem half of the counter
+   population: the model already counts every cache/TLB/tag event for
+   its own reports, so the obs view reads the same accumulators rather
+   than double-counting on the access path. *)
+let fill_counters t (c : Obs.Counters.t) =
+  let open Obs.Counters in
+  set_int c loads t.loads;
+  set_int c stores t.stores;
+  set_int c load_bytes t.load_bytes;
+  set_int c store_bytes t.store_bytes;
+  set_int c l1i_hits t.l1i.Cache.hits;
+  set_int c l1i_misses t.l1i.Cache.misses;
+  set_int c l1d_hits t.l1d.Cache.hits;
+  set_int c l1d_misses t.l1d.Cache.misses;
+  set_int c l2_hits t.l2.Cache.hits;
+  set_int c l2_misses t.l2.Cache.misses;
+  set_int c tlb_hits t.tlb.Tlb.hits;
+  set_int c tlb_misses t.tlb.Tlb.misses;
+  set_int c tag_hits t.tag_cache.Cache.hits;
+  set_int c tag_misses t.tag_cache.Cache.misses;
+  set_int c tag_dram_fills t.tag_dram_accesses;
+  set_int c dram_read_bytes t.dram_read_bytes;
+  set_int c dram_write_bytes t.dram_write_bytes
+
 let reset_stats t =
   Cache.reset_stats t.l1i;
   Cache.reset_stats t.l1d;

@@ -1,0 +1,119 @@
+(* The hardware-counter file (the subsystem's analogue of RISC-V
+   hpmcounters / BERI's statcounters): a flat vector of monotonically
+   increasing Int64 event counts populated by [lib/machine] (retirement,
+   cycles, capability ops), [lib/mem] (cache/TLB/tag-controller events),
+   and [lib/kernel] (syscalls, domain crossings).
+
+   Represented as one int64 array indexed by the constants below so that
+   snapshot, diff, and accumulate are element-wise loops rather than
+   28 lines of record plumbing; [names] gives each index its stable,
+   machine-readable name (the JSON schema key). *)
+
+type t = int64 array
+
+(* Index constants.  Order is the presentation and schema order; append
+   only — the names array below must stay in sync. *)
+let instret = 0
+let cycles = 1
+let retired_stores = 2
+let kernel_entries = 3
+let syscalls = 4
+let ccalls = 5
+let loads = 6
+let stores = 7
+let load_bytes = 8
+let store_bytes = 9
+let l1i_hits = 10
+let l1i_misses = 11
+let l1d_hits = 12
+let l1d_misses = 13
+let l2_hits = 14
+let l2_misses = 15
+let tlb_hits = 16
+let tlb_misses = 17
+let tag_hits = 18
+let tag_misses = 19
+let tag_dram_fills = 20
+let dram_read_bytes = 21
+let dram_write_bytes = 22
+let cap_ops = 23
+let cap_loads = 24
+let cap_stores = 25
+let branches = 26
+let samples = 27
+
+let names =
+  [|
+    "instret";
+    "cycles";
+    "retired_stores";
+    "kernel_entries";
+    "syscalls";
+    "ccalls";
+    "loads";
+    "stores";
+    "load_bytes";
+    "store_bytes";
+    "l1i_hits";
+    "l1i_misses";
+    "l1d_hits";
+    "l1d_misses";
+    "l2_hits";
+    "l2_misses";
+    "tlb_hits";
+    "tlb_misses";
+    "tag_hits";
+    "tag_misses";
+    "tag_dram_fills";
+    "dram_read_bytes";
+    "dram_write_bytes";
+    "cap_ops";
+    "cap_loads";
+    "cap_stores";
+    "branches";
+    "samples";
+  |]
+
+let count = Array.length names
+let create () : t = Array.make count 0L
+let copy (c : t) : t = Array.copy c
+let reset (c : t) = Array.fill c 0 count 0L
+let get (c : t) i = c.(i)
+let set (c : t) i v = c.(i) <- v
+let set_int (c : t) i v = c.(i) <- Int64.of_int v
+let add (c : t) i v = c.(i) <- Int64.add c.(i) v
+let incr (c : t) i = add c i 1L
+
+(* [diff now before] — the counter deltas over a region (span close). *)
+let diff (now : t) (before : t) : t = Array.init count (fun i -> Int64.sub now.(i) before.(i))
+
+(* Element-wise accumulate [src] into [dst] (span aggregation). *)
+let accumulate (dst : t) (src : t) =
+  for i = 0 to count - 1 do
+    dst.(i) <- Int64.add dst.(i) src.(i)
+  done
+
+let equal (a : t) (b : t) =
+  let rec go i = i >= count || (Int64.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let to_assoc (c : t) = Array.to_list (Array.mapi (fun i n -> (n, c.(i))) names)
+let to_json (c : t) = Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (to_assoc c))
+
+(* Derived ratios the reports print; total = 0 yields 0. *)
+let ratio_pct num den =
+  if Int64.equal den 0L then 0.0 else 100.0 *. Int64.to_float num /. Int64.to_float den
+
+let miss_rate_pct (c : t) ~hits ~misses =
+  ratio_pct c.(misses) (Int64.add c.(hits) c.(misses))
+
+let pp ppf (c : t) =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri (fun i n -> Fmt.pf ppf "%-18s %14Ld@," n c.(i)) names;
+  Fmt.pf ppf "L1I miss rate      %13.2f%%@,L1D miss rate      %13.2f%%@,L2 miss rate       %13.2f%%@,TLB miss rate      %13.2f%%@,tag-$ miss rate    %13.2f%%"
+    (miss_rate_pct c ~hits:l1i_hits ~misses:l1i_misses)
+    (miss_rate_pct c ~hits:l1d_hits ~misses:l1d_misses)
+    (miss_rate_pct c ~hits:l2_hits ~misses:l2_misses)
+    (miss_rate_pct c ~hits:tlb_hits ~misses:tlb_misses)
+    (miss_rate_pct c ~hits:tag_hits ~misses:tag_misses);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,50 @@
+(* The structured-event bus: a single ordered stream that spans, kernel
+   faults, fault-injection campaign verdicts, and allocation markers all
+   flow onto, so one consumer (a JSONL sink, a test assertion, a live
+   dashboard) sees the whole run in causal order.
+
+   Events are cheap plain data; emitting to a bus with no sinks is a
+   single list match.  The JSONL representation is one self-contained
+   object per line — the machine-readable trace format the ISSUE's
+   exporters build on. *)
+
+type t = {
+  seq : int; (* per-bus sequence number: total order of emission *)
+  kind : string; (* event class: "span-enter" | "span-exit" | "alloc" | "fault" | ... *)
+  name : string; (* instance name within the class (span name, exc name, ...) *)
+  data : (string * Json.t) list; (* free-form payload *)
+}
+
+type sink = t -> unit
+type bus = { mutable seq : int; mutable sinks : sink list }
+
+let create () = { seq = 0; sinks = [] }
+
+(* Sinks fire in subscription order. *)
+let subscribe bus sink = bus.sinks <- bus.sinks @ [ sink ]
+
+let emit bus ~kind ?(name = "") data =
+  match bus.sinks with
+  | [] -> bus.seq <- bus.seq + 1
+  | sinks ->
+      let e = { seq = bus.seq; kind; name; data } in
+      bus.seq <- bus.seq + 1;
+      List.iter (fun sink -> sink e) sinks
+
+let to_json (e : t) =
+  Json.Obj
+    ([ ("seq", Json.Int (Int64.of_int e.seq)); ("kind", Json.String e.kind) ]
+    @ (if e.name = "" then [] else [ ("name", Json.String e.name) ])
+    @ e.data)
+
+(* A sink appending one JSON object per line to [buf]. *)
+let jsonl_sink buf e =
+  Buffer.add_string buf (Json.to_string (to_json e));
+  Buffer.add_char buf '\n'
+
+(* A sink writing JSONL straight to an out_channel (cheri_prof --events). *)
+let channel_sink oc e =
+  output_string oc (Json.to_string (to_json e));
+  output_char oc '\n'
+
+let pp ppf (e : t) = Fmt.pf ppf "#%d %s %s %a" e.seq e.kind e.name Json.pp (Json.Obj e.data)

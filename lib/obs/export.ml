@@ -1,0 +1,74 @@
+(* Machine-readable bench export: the `BENCH_obs.json` summary that
+   `bench/main.exe --json` writes, establishing the repo's perf
+   trajectory (interpreter instructions/second, per-benchmark simulated
+   cycle totals, and the full counter file per run) so future PRs have a
+   baseline to diff against.
+
+   Schema (documented in docs/OBSERVABILITY.md):
+
+     { "schema": "cheri-obs-bench/1",
+       "interp_instr_per_s": <host-side interpreter throughput>,
+       "benchmarks": [
+         { "bench": ..., "mode": ..., "param": ...,
+           "cycles": ..., "instret": ..., "wall_s": ...,
+           "counters": { <counter name>: <int>, ... },
+           "spans": { <span name>: { "instret": ..., "cycles": ... }, ... } } ] } *)
+
+type entry = {
+  bench : string;
+  mode : string;
+  param : int;
+  wall_s : float; (* host seconds spent simulating this run *)
+  counters : Counters.t;
+  spans : (string * Counters.t) list;
+}
+
+let schema_version = "cheri-obs-bench/1"
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("bench", Json.String e.bench);
+      ("mode", Json.String e.mode);
+      ("param", Json.Int (Int64.of_int e.param));
+      ("cycles", Json.Int (Counters.get e.counters Counters.cycles));
+      ("instret", Json.Int (Counters.get e.counters Counters.instret));
+      ("wall_s", Json.Float e.wall_s);
+      ("counters", Counters.to_json e.counters);
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (name, c) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("instret", Json.Int (Counters.get c Counters.instret));
+                     ("cycles", Json.Int (Counters.get c Counters.cycles));
+                   ] ))
+             e.spans) );
+    ]
+
+(* Aggregate interpreter throughput over all entries: total simulated
+   instructions per host second — the number the perf trajectory tracks. *)
+let interp_instr_per_s entries =
+  let instrs =
+    List.fold_left
+      (fun acc e -> Int64.add acc (Counters.get e.counters Counters.instret))
+      0L entries
+  in
+  let wall = List.fold_left (fun acc e -> acc +. e.wall_s) 0.0 entries in
+  if wall <= 0.0 then 0.0 else Int64.to_float instrs /. wall
+
+let summary entries =
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("interp_instr_per_s", Json.Float (interp_instr_per_s entries));
+      ("benchmarks", Json.List (List.map entry_to_json entries));
+    ]
+
+let write_file path entries =
+  let oc = open_out path in
+  output_string oc (Json.to_string (summary entries));
+  output_char oc '\n';
+  close_out oc

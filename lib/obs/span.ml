@@ -1,0 +1,88 @@
+(* Phase/region-scoped counter snapshots: open a named span, do work,
+   close it, and the span's cost is the element-wise counter delta.
+   Closing folds the delta into a per-name aggregate (a phase entered
+   many times — e.g. "alloc" around every malloc — accumulates), so the
+   fig4/fig5 phase splits fall out of [totals] instead of bespoke
+   accounting in each experiment.
+
+   Spans nest (a stack); a child's cost is included in its parent's, the
+   same convention the trace markers always had.  [read] supplies the
+   counter file — typically [Os.Kernel.read_counters] — so the span
+   machinery itself is independent of where the counters come from. *)
+
+type t = {
+  read : unit -> Counters.t;
+  bus : Event.bus option;
+  mutable stack : (string * Counters.t) list; (* open spans, innermost first *)
+  mutable totals : (string * Counters.t) list; (* closed-span aggregates, reverse order *)
+  mutable opened : int;
+  mutable closed : int;
+}
+
+let create ?bus ~read () = { read; bus; stack = []; totals = []; opened = 0; closed = 0 }
+
+let enter t name =
+  t.stack <- (name, t.read ()) :: t.stack;
+  t.opened <- t.opened + 1;
+  match t.bus with
+  | Some bus -> Event.emit bus ~kind:"span-enter" ~name []
+  | None -> ()
+
+let accumulate t name delta =
+  match List.assoc_opt name t.totals with
+  | Some acc -> Counters.accumulate acc delta
+  | None -> t.totals <- (name, delta) :: t.totals
+
+(* Close the innermost span; unbalanced closes (a trace marker fired
+   with no matching open, e.g. after a fault skipped the begin) are
+   ignored rather than corrupting the aggregate. *)
+let exit t =
+  match t.stack with
+  | [] -> ()
+  | (name, start) :: rest ->
+      t.stack <- rest;
+      t.closed <- t.closed + 1;
+      let delta = Counters.diff (t.read ()) start in
+      accumulate t name delta;
+      (match t.bus with
+      | Some bus ->
+          Event.emit bus ~kind:"span-exit" ~name
+            [
+              ("instret", Json.Int (Counters.get delta Counters.instret));
+              ("cycles", Json.Int (Counters.get delta Counters.cycles));
+            ]
+      | None -> ())
+
+(* Close everything still open (end-of-run cleanup for aborted runs). *)
+let rec close_all t = if t.stack <> [] then (exit t; close_all t)
+
+(* Aggregated per-span deltas in first-opened order. *)
+let totals t = List.rev t.totals
+let find t name = List.assoc_opt name (totals t)
+
+let cycles_of t name =
+  match find t name with Some c -> Counters.get c Counters.cycles | None -> 0L
+
+(* Render a totals list (from [totals], or any (name, delta) assoc) as a
+   phase-breakdown table; [total_cycles] adds a share column. *)
+let pp_totals ?total_cycles ppf spans =
+  Fmt.pf ppf "@[<v>%-12s %14s %14s %10s %10s %8s@," "span" "instret" "cycles" "l1d-miss"
+    "tlb-miss" "share";
+  List.iter
+    (fun (name, c) ->
+      let cyc = Counters.get c Counters.cycles in
+      let share =
+        match total_cycles with
+        | Some total when Int64.compare total 0L > 0 ->
+            Fmt.str "%6.1f%%" (100.0 *. Int64.to_float cyc /. Int64.to_float total)
+        | _ -> "-"
+      in
+      Fmt.pf ppf "%-12s %14Ld %14Ld %10Ld %10Ld %8s@," name
+        (Counters.get c Counters.instret) cyc
+        (Counters.get c Counters.l1d_misses)
+        (Counters.get c Counters.tlb_misses)
+        share)
+    spans;
+  Fmt.pf ppf "@]"
+
+let pp ppf t = pp_totals ppf (totals t)

@@ -1,0 +1,30 @@
+(* obs-smoke: a profiled treeadd/cheri run under `dune runtest` via the
+   obs-smoke alias — the cheap end-to-end check that the observability
+   subsystem stays alive.  It must produce a non-empty disasm-annotated
+   hot-PC table, balanced alloc/compute spans, and be bit-for-bit
+   reproducible (counter file, sample totals, collapsed stacks). *)
+
+let run () = Exp.Profiled.run ~bench:"treeadd" ~mode:Minic.Layout.Cheri ~param:8 ()
+
+let fail fmt = Fmt.kstr (fun s -> prerr_endline ("obs-smoke: " ^ s); exit 1) fmt
+
+let () =
+  let a = run () in
+  Fmt.pr "%a@.@.%a@."
+    (Obs.Span.pp_totals
+       ~total_cycles:(Obs.Counters.get a.Exp.Profiled.counters Obs.Counters.cycles))
+    a.Exp.Profiled.spans Exp.Profiled.pp_hot a;
+  if a.Exp.Profiled.result.Exp.Bench_run.exit_code <> 0 then
+    fail "treeadd exited %d" a.Exp.Profiled.result.Exp.Bench_run.exit_code;
+  if a.Exp.Profiled.hot = [] then fail "empty hot-PC table";
+  if a.Exp.Profiled.total_samples = 0 then fail "no samples taken";
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name a.Exp.Profiled.spans) then fail "missing %s span" name)
+    [ "alloc"; "compute" ];
+  let b = run () in
+  if not (Obs.Counters.equal a.Exp.Profiled.counters b.Exp.Profiled.counters) then
+    fail "counter file is not reproducible";
+  if a.Exp.Profiled.collapsed <> b.Exp.Profiled.collapsed then
+    fail "collapsed stacks are not reproducible";
+  print_endline "obs-smoke: ok"

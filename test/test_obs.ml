@@ -1,0 +1,305 @@
+(* Tests for lib/obs, the observability subsystem: the JSON emitter, the
+   counter file and its arithmetic, the event bus, the sampling profiler,
+   and — the properties the subsystem lives or dies by — that the
+   counters agree exactly with the machine and memory-hierarchy internals
+   they mirror, that everything is bit-for-bit deterministic, and that
+   attaching the hooks does not perturb the architectural execution. *)
+
+let counters = Alcotest.testable Obs.Counters.pp Obs.Counters.equal
+
+(* --- JSON emitter ------------------------------------------------------- *)
+
+let test_json_escaping () =
+  let open Obs.Json in
+  Alcotest.(check string)
+    "string escaping" {|"a\"b\\c\nd\te\u0001"|}
+    (to_string (String "a\"b\\c\nd\te\001"));
+  Alcotest.(check string)
+    "nested structure" {|{"k":[1,true,null,"s"],"f":1.5}|}
+    (to_string (Obj [ ("k", List [ Int 1L; Bool true; Null; String "s" ]); ("f", Float 1.5) ]));
+  Alcotest.(check string) "nan degrades to null" "null" (to_string (Float Float.nan));
+  Alcotest.(check string) "inf degrades to null" "null" (to_string (Float Float.infinity));
+  Alcotest.(check string)
+    "int64 beyond 2^53 stays exact" "9007199254740993"
+    (to_string (Int 9007199254740993L))
+
+(* --- counter arithmetic -------------------------------------------------- *)
+
+let test_counter_arithmetic () =
+  let a = Obs.Counters.create () and b = Obs.Counters.create () in
+  Obs.Counters.set a Obs.Counters.instret 100L;
+  Obs.Counters.set a Obs.Counters.cycles 250L;
+  Obs.Counters.set b Obs.Counters.instret 30L;
+  Obs.Counters.set b Obs.Counters.cycles 50L;
+  let d = Obs.Counters.diff a b in
+  Alcotest.(check int64) "diff instret" 70L (Obs.Counters.get d Obs.Counters.instret);
+  Alcotest.(check int64) "diff cycles" 200L (Obs.Counters.get d Obs.Counters.cycles);
+  Obs.Counters.accumulate b d;
+  Alcotest.check counters "before + diff = after" a b;
+  Alcotest.(check int)
+    "names cover every index" Obs.Counters.count
+    (List.length (Obs.Counters.to_assoc a));
+  let c = Obs.Counters.copy a in
+  Alcotest.check counters "copy equals source" a c;
+  Obs.Counters.incr c Obs.Counters.instret;
+  Alcotest.(check bool) "copy is independent" false (Obs.Counters.equal a c);
+  Obs.Counters.reset c;
+  Alcotest.check counters "reset is all zero" (Obs.Counters.create ()) c
+
+let test_counter_ratios () =
+  let c = Obs.Counters.create () in
+  Obs.Counters.set c Obs.Counters.l1d_hits 75L;
+  Obs.Counters.set c Obs.Counters.l1d_misses 25L;
+  Alcotest.(check (float 1e-9))
+    "miss rate" 25.0
+    (Obs.Counters.miss_rate_pct c ~hits:Obs.Counters.l1d_hits ~misses:Obs.Counters.l1d_misses);
+  Alcotest.(check (float 1e-9)) "zero denominator" 0.0 (Obs.Counters.ratio_pct 5L 0L)
+
+(* --- event bus ------------------------------------------------------------ *)
+
+let test_event_bus () =
+  let bus = Obs.Event.create () in
+  let buf = Buffer.create 256 in
+  let seen = ref [] in
+  (* seq advances even with no sinks attached ... *)
+  Obs.Event.emit bus ~kind:"early" [];
+  Obs.Event.subscribe bus (Obs.Event.jsonl_sink buf);
+  Obs.Event.subscribe bus (fun e -> seen := e :: !seen);
+  Obs.Event.emit bus ~kind:"span-enter" ~name:"alloc" [];
+  Obs.Event.emit bus ~kind:"alloc" [ ("bytes", Obs.Json.Int 64L) ];
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf) |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one JSONL line per event" 2 (List.length lines);
+  Alcotest.(check string)
+    "JSONL shape" {|{"seq":1,"kind":"span-enter","name":"alloc"}|} (List.hd lines);
+  (* ... so sinks subscribed later still see a total order. *)
+  Alcotest.(check (list int))
+    "sequence numbers" [ 2; 1 ]
+    (List.map (fun (e : Obs.Event.t) -> e.Obs.Event.seq) !seen)
+
+(* --- sampling profiler ----------------------------------------------------- *)
+
+let test_profile_sampling () =
+  let p = Obs.Profile.create ~period:10 () in
+  for i = 1 to 100 do
+    ignore (Obs.Profile.step p (Int64.of_int (0x1000 + (i mod 3))))
+  done;
+  Alcotest.(check int) "100 steps / period 10 = 10 samples" 10 (Obs.Profile.total_samples p);
+  let top = Obs.Profile.top p ~n:5 in
+  Alcotest.(check int) "three distinct pcs" 3 (List.length top);
+  Alcotest.(check int)
+    "samples sum to total" 10
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 top);
+  Alcotest.check_raises "period must be positive"
+    (Invalid_argument "Profile.create: period must be positive") (fun () ->
+      ignore (Obs.Profile.create ~period:0 ()))
+
+let test_profile_stacks () =
+  let p = Obs.Profile.create ~period:1 () in
+  Obs.Profile.call p 0x100L;
+  Obs.Profile.call p 0x200L;
+  ignore (Obs.Profile.step p 0x204L);
+  Obs.Profile.ret p;
+  ignore (Obs.Profile.step p 0x104L);
+  Obs.Profile.ret p;
+  Obs.Profile.ret p (* unbalanced return is ignored *);
+  ignore (Obs.Profile.step p 0x8L);
+  let resolve pc = match pc with 0x100L -> "f" | 0x200L -> "g" | _ -> "?" in
+  Alcotest.(check (list string))
+    "collapsed stacks" [ "all 1"; "all;f 1"; "all;f;g 1" ]
+    (Obs.Profile.collapsed ~resolve p)
+
+(* --- counters vs machine & hierarchy internals ------------------------------ *)
+
+let loop_program =
+  {|
+main:
+  li $t0, 50
+loop:
+  sd $t0, 0($sp)
+  ld $t1, 0($sp)
+  daddiu $t0, $t0, -1
+  bgtz $t0, loop
+  li $v0, 1
+  li $a0, 0
+  syscall
+|}
+
+let test_counters_match_machine () =
+  let m = Machine.create () in
+  let k = Os.Kernel.attach m in
+  let code, _ = Os.Kernel.run_program k loop_program in
+  Alcotest.(check int) "clean exit" 0 code;
+  let c = Os.Kernel.read_counters k in
+  let get = Obs.Counters.get c in
+  Alcotest.(check int64) "instret matches machine" m.Machine.instret (get Obs.Counters.instret);
+  Alcotest.(check int64) "cycles match machine" m.Machine.cycles (get Obs.Counters.cycles);
+  Alcotest.(check int64) "stores match machine" m.Machine.stores (get Obs.Counters.retired_stores);
+  Alcotest.(check int64)
+    "kernel entries match machine" m.Machine.kernel_entries (get Obs.Counters.kernel_entries);
+  let hier = m.Machine.hier in
+  Alcotest.(check int)
+    "l1d hits+misses match hierarchy"
+    (hier.Mem.Hierarchy.l1d.Mem.Cache.hits + hier.Mem.Hierarchy.l1d.Mem.Cache.misses)
+    (Int64.to_int (Int64.add (get Obs.Counters.l1d_hits) (get Obs.Counters.l1d_misses)));
+  Alcotest.(check int)
+    "l1i hits+misses match hierarchy"
+    (hier.Mem.Hierarchy.l1i.Mem.Cache.hits + hier.Mem.Hierarchy.l1i.Mem.Cache.misses)
+    (Int64.to_int (Int64.add (get Obs.Counters.l1i_hits) (get Obs.Counters.l1i_misses)));
+  Alcotest.(check int)
+    "tlb hits match hierarchy" hier.Mem.Hierarchy.tlb.Mem.Tlb.hits
+    (Int64.to_int (get Obs.Counters.tlb_hits));
+  Alcotest.(check int)
+    "loads match hierarchy" hier.Mem.Hierarchy.loads (Int64.to_int (get Obs.Counters.loads));
+  Alcotest.(check bool)
+    "instret is positive" true
+    (Int64.compare (get Obs.Counters.instret) 0L > 0)
+
+(* --- the benchmark harness ---------------------------------------------------- *)
+
+let bench_result ?probe ?bus () =
+  let source = List.assoc "treeadd" Olden.Minic_src.all in
+  Exp.Bench_run.run ?probe ?bus ~bench:"treeadd" ~mode:Minic.Layout.Cheri ~param:6 source
+
+let test_bench_counters_consistent () =
+  let r = bench_result () in
+  Alcotest.(check int) "clean exit" 0 r.Exp.Bench_run.exit_code;
+  let get = Obs.Counters.get r.Exp.Bench_run.counters in
+  Alcotest.(check int64) "result.instrs is the counter" r.Exp.Bench_run.instrs
+    (get Obs.Counters.instret);
+  Alcotest.(check int64) "result.cycles is the counter" r.Exp.Bench_run.cycles
+    (get Obs.Counters.cycles);
+  (* The fig4 phase split comes from the span aggregates. *)
+  let span name = List.assoc name r.Exp.Bench_run.spans in
+  Alcotest.(check int64)
+    "alloc phase = alloc span" r.Exp.Bench_run.phases.Exp.Bench_run.alloc_cycles
+    (Obs.Counters.get (span "alloc") Obs.Counters.cycles);
+  Alcotest.(check int64)
+    "compute phase = compute span" r.Exp.Bench_run.phases.Exp.Bench_run.compute_cycles
+    (Obs.Counters.get (span "compute") Obs.Counters.cycles);
+  let phase_sum =
+    Int64.add r.Exp.Bench_run.phases.Exp.Bench_run.alloc_cycles
+      r.Exp.Bench_run.phases.Exp.Bench_run.compute_cycles
+  in
+  Alcotest.(check bool)
+    "phases sum within the total" true
+    (Int64.compare phase_sum r.Exp.Bench_run.cycles <= 0);
+  Alcotest.(check bool)
+    "phases cover most of the run" true
+    (Int64.to_float phase_sum > 0.5 *. Int64.to_float r.Exp.Bench_run.cycles)
+
+(* Attaching the probe (and an event bus) must not change the
+   architectural execution: same instret, cycles, output, exit code. *)
+let test_hooks_do_not_perturb () =
+  let bare = bench_result () in
+  let profile = Obs.Profile.create ~period:97 () in
+  let probe = Obs.Probe.create ~profile () in
+  let bus = Obs.Event.create () in
+  let events = Buffer.create 4096 in
+  Obs.Event.subscribe bus (Obs.Event.jsonl_sink events);
+  let hooked = bench_result ~probe ~bus () in
+  Alcotest.(check int64) "instret unchanged" bare.Exp.Bench_run.instrs hooked.Exp.Bench_run.instrs;
+  Alcotest.(check int64) "cycles unchanged" bare.Exp.Bench_run.cycles hooked.Exp.Bench_run.cycles;
+  Alcotest.(check int) "exit unchanged" bare.Exp.Bench_run.exit_code hooked.Exp.Bench_run.exit_code;
+  Alcotest.(check (list string))
+    "output unchanged" bare.Exp.Bench_run.output hooked.Exp.Bench_run.output;
+  (* The hooked run produced data the bare run could not have. *)
+  Alcotest.(check bool) "profiler sampled" true (Obs.Profile.total_samples profile > 0);
+  Alcotest.(check bool) "events flowed" true (Buffer.length events > 0);
+  Alcotest.(check bool)
+    "probe counted capability ops" true
+    (Int64.compare
+       (Obs.Counters.get hooked.Exp.Bench_run.counters Obs.Counters.cap_ops)
+       0L
+    > 0);
+  (* Sample count is instret / period (to within the final partial period). *)
+  let expect = Int64.to_int (Int64.div hooked.Exp.Bench_run.instrs 97L) in
+  let got = Obs.Profile.total_samples profile in
+  Alcotest.(check bool)
+    (Printf.sprintf "sample count %d ~ instret/period %d" got expect)
+    true
+    (abs (got - expect) <= 1)
+
+(* Counters, hot-PC tables, and collapsed stacks are bit-for-bit
+   reproducible: the sampler is driven by retirement, not wall time. *)
+let test_deterministic () =
+  let go () =
+    Exp.Profiled.run ~bench:"treeadd" ~mode:Minic.Layout.Cheri ~param:6 ~period:31 ~top:10 ()
+  in
+  let a = go () and b = go () in
+  Alcotest.check counters "counter file identical" a.Exp.Profiled.counters
+    b.Exp.Profiled.counters;
+  Alcotest.(check int)
+    "sample totals identical" a.Exp.Profiled.total_samples b.Exp.Profiled.total_samples;
+  Alcotest.(check (list (pair int64 int)))
+    "hot pcs identical"
+    (List.map (fun (h : Exp.Profiled.hot) -> (h.Exp.Profiled.pc, h.Exp.Profiled.samples)) a.Exp.Profiled.hot)
+    (List.map (fun (h : Exp.Profiled.hot) -> (h.Exp.Profiled.pc, h.Exp.Profiled.samples)) b.Exp.Profiled.hot);
+  Alcotest.(check (list string))
+    "collapsed stacks identical" a.Exp.Profiled.collapsed b.Exp.Profiled.collapsed;
+  Alcotest.(check (list string))
+    "span names identical"
+    (List.map fst a.Exp.Profiled.spans)
+    (List.map fst b.Exp.Profiled.spans);
+  List.iter2
+    (fun (n, ca) (_, cb) -> Alcotest.check counters ("span " ^ n ^ " identical") ca cb)
+    a.Exp.Profiled.spans b.Exp.Profiled.spans;
+  Alcotest.(check bool) "hot table non-empty" true (a.Exp.Profiled.hot <> []);
+  (* Symbolization resolved the minic entry points, not raw addresses. *)
+  Alcotest.(check bool)
+    "some hot pc symbolizes to a label" true
+    (List.exists
+       (fun (h : Exp.Profiled.hot) ->
+         not (String.length h.Exp.Profiled.where > 1 && h.Exp.Profiled.where.[0] = '0'))
+       a.Exp.Profiled.hot)
+
+(* The export schema round-trips the counter names. *)
+let test_export_schema () =
+  let r = bench_result () in
+  let entry =
+    {
+      Obs.Export.bench = "treeadd";
+      mode = "cheri";
+      param = 6;
+      wall_s = 0.25;
+      counters = r.Exp.Bench_run.counters;
+      spans = r.Exp.Bench_run.spans;
+    }
+  in
+  let json = Obs.Json.to_string (Obs.Export.summary [ entry ]) in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema tag present" true (contains {|"schema":"cheri-obs-bench/1"|} json);
+  (* Every counter name appears as a key in every benchmark entry. *)
+  Array.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "counter %s exported" name)
+        true
+        (contains (Printf.sprintf "%S:" name) json))
+    Obs.Counters.names;
+  Alcotest.(check bool)
+    "throughput computed" true
+    (Obs.Export.interp_instr_per_s [ entry ] > 0.0)
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+        Alcotest.test_case "counter ratios" `Quick test_counter_ratios;
+        Alcotest.test_case "event bus" `Quick test_event_bus;
+        Alcotest.test_case "profile sampling" `Quick test_profile_sampling;
+        Alcotest.test_case "profile stacks" `Quick test_profile_stacks;
+        Alcotest.test_case "counters match machine" `Quick test_counters_match_machine;
+        Alcotest.test_case "bench counters consistent" `Quick test_bench_counters_consistent;
+        Alcotest.test_case "hooks do not perturb" `Quick test_hooks_do_not_perturb;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "export schema" `Quick test_export_schema;
+      ] );
+  ]
