@@ -10,6 +10,10 @@
      seg-compare  capability manipulation vs IA32 segment loads (Section 4.4)
      fault        fault-injection detection coverage (docs/FAULTS.md)
      micro        Bechamel microbenchmarks of the simulator itself
+     regress      re-run the obs export set and diff it against the
+                  committed baseline (`--baseline DIR`, default
+                  bench/baselines); exits non-zero on any architectural
+                  counter delta
      all          everything above (the default)
 
    `--paper-size` runs fig3/fig4 at the paper's original parameters
@@ -405,35 +409,60 @@ let fault () =
    the scaled-down parameters) with the obs counter file attached, and
    write BENCH_obs.json -- interpreter instructions/second plus per-run
    cycle totals, counters, and phase spans -- so future changes have a
-   perf trajectory to diff against (docs/OBSERVABILITY.md). *)
+   perf trajectory to diff against (docs/OBSERVABILITY.md).
+
+   Each run attaches a classification probe (Obs.Probe) so the
+   instruction-mix counters -- cap_ops, cap_loads, cap_stores, branches
+   -- are populated; without one they exported as zero, which made the
+   cheri-mode entries useless as an instruction-mix baseline. *)
+
+let obs_entries () =
+  List.concat_map
+    (fun (bench, param, _paper) ->
+      let src = List.assoc bench Olden.Minic_src.all in
+      List.map
+        (fun mode ->
+          let probe = Obs.Probe.create () in
+          let t0 = Unix.gettimeofday () in
+          let r = Exp.Bench_run.run ~probe ~bench ~mode ~param src in
+          let wall_s = Unix.gettimeofday () -. t0 in
+          Printf.printf "%-11s %-10s param=%-5d cycles=%-12Ld wall=%.2fs\n" bench
+            (Minic.Layout.mode_name mode) param r.Exp.Bench_run.cycles wall_s;
+          {
+            Obs.Export.bench;
+            mode = Minic.Layout.mode_name mode;
+            param;
+            wall_s;
+            counters = r.Exp.Bench_run.counters;
+            spans = r.Exp.Bench_run.spans;
+          })
+        Exp.Fig4.modes)
+    Exp.Fig4.benchmarks
 
 let obs_export () =
   section "BENCH_obs.json: machine-readable counter export";
-  let entries =
-    List.concat_map
-      (fun (bench, param, _paper) ->
-        let src = List.assoc bench Olden.Minic_src.all in
-        List.map
-          (fun mode ->
-            let t0 = Unix.gettimeofday () in
-            let r = Exp.Bench_run.run ~bench ~mode ~param src in
-            let wall_s = Unix.gettimeofday () -. t0 in
-            Printf.printf "%-11s %-10s param=%-5d cycles=%-12Ld wall=%.2fs\n" bench
-              (Minic.Layout.mode_name mode) param r.Exp.Bench_run.cycles wall_s;
-            {
-              Obs.Export.bench;
-              mode = Minic.Layout.mode_name mode;
-              param;
-              wall_s;
-              counters = r.Exp.Bench_run.counters;
-              spans = r.Exp.Bench_run.spans;
-            })
-          Exp.Fig4.modes)
-      Exp.Fig4.benchmarks
-  in
+  let entries = obs_entries () in
   Obs.Export.write_file "BENCH_obs.json" entries;
   Printf.printf "wrote BENCH_obs.json (%d runs, %.0f simulated instr/s)\n" (List.length entries)
     (Obs.Export.interp_instr_per_s entries)
+
+(* `regress`: re-run the export set live and diff it against the
+   committed baseline (bench/baselines/BENCH_obs.json, or --baseline
+   DIR).  The simulator is deterministic, so every architectural counter
+   must match exactly; the process exits non-zero when one differs. *)
+
+let obs_regress ~baseline_dir () =
+  section "regress: live run vs committed baseline";
+  let path = Filename.concat baseline_dir "BENCH_obs.json" in
+  match Obs.Baseline.load path with
+  | Error msg ->
+      Printf.eprintf "regress: %s\n" msg;
+      exit 2
+  | Ok committed ->
+      let live = Obs.Baseline.of_entries (obs_entries ()) in
+      let report = Obs.Diff.run committed live in
+      Fmt.pr "%a@." Obs.Diff.pp report;
+      if not (Obs.Diff.ok report) then exit (Obs.Diff.exit_code report)
 
 (* --- driver -------------------------------------------------------------------------------- *)
 
@@ -442,6 +471,15 @@ let () =
   let paper_size = List.mem "--paper-size" args in
   let skip_fault = List.mem "--skip-fault" args in
   let json = List.mem "--json" args in
+  (* --baseline DIR: where `regress` finds the committed exports. *)
+  let rec take_baseline = function
+    | "--baseline" :: dir :: rest -> (dir, rest)
+    | a :: rest ->
+        let dir, rest' = take_baseline rest in
+        (dir, a :: rest')
+    | [] -> ("bench/baselines", [])
+  in
+  let baseline_dir, args = take_baseline args in
   let args =
     List.filter (fun a -> a <> "--paper-size" && a <> "--skip-fault" && a <> "--json") args
   in
@@ -471,10 +509,11 @@ let () =
       | "fault" -> fault ()
       | "micro" -> micro ()
       | "obs" -> obs_export ()
+      | "regress" -> obs_regress ~baseline_dir ()
       | other ->
           Printf.eprintf
             "unknown target %S (expected \
-             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|micro|obs|all)\n"
+             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|micro|obs|regress|all)\n"
             other;
           exit 2)
     targets

@@ -4,24 +4,46 @@
      dune exec bin/cheri_prof.exe -- --bench treeadd --mode cheri
      dune exec bin/cheri_prof.exe -- --bench mst --mode cheri128 --param 96 \
          --top 20 --collapsed mst.folded --events mst.jsonl
+     dune exec bin/cheri_prof.exe -- --bench treeadd --attrib --hist
      dune exec bin/cheri_prof.exe -- --bench treeadd --json
 
    Output: the full hardware-counter file, the per-phase counter
    breakdown (alloc/compute spans from the trace markers, ccall spans
    from kernel domain crossings), and a disasm-annotated top-N hot-PC
-   table from the sampling profiler.  `--collapsed FILE` additionally
-   writes flamegraph.pl-compatible collapsed stacks; `--events FILE`
-   streams the structured event bus as JSON lines; `--json` replaces the
-   text report with one machine-readable JSON object. *)
+   table from the sampling profiler.  `--attrib` adds the miss
+   attribution tables — which PCs and which address regions generate the
+   L1/L2/TLB/tag-cache misses and the DRAM traffic (`--granule` sets the
+   region size) — and `--hist` the log2-bucket histograms (access sizes,
+   miss-reuse distances, capability bounds lengths, span durations).
+   `--collapsed FILE` additionally writes flamegraph.pl-compatible
+   collapsed stacks; `--events FILE` streams the structured event bus as
+   JSON lines; `--json` replaces the text report with one
+   machine-readable JSON object (attrib/hist sections included when the
+   flags are given). *)
 
 open Cmdliner
 
 let section title = Fmt.pr "@.== %s ==@." title
 
-let json_report (report : Exp.Profiled.report) bench mode param =
+let json_report (report : Exp.Profiled.report) bench mode param ~attrib ~hist ~top =
   let open Obs in
+  let extra =
+    (if attrib then
+       [ ( "attrib",
+           Attrib.to_json ~resolve:report.Exp.Profiled.symbol ~n:top report.Exp.Profiled.attrib )
+       ]
+     else [])
+    @
+    if hist then
+      [ ( "hists",
+          Json.List
+            (List.map Hist.to_json
+               (Attrib.hists report.Exp.Profiled.attrib @ [ report.Exp.Profiled.durations ])) )
+      ]
+    else []
+  in
   Json.Obj
-    [
+    ([
       ("schema", Json.String "cheri-obs-prof/1");
       ("bench", Json.String bench);
       ("mode", Json.String (Minic.Layout.mode_name mode));
@@ -49,8 +71,10 @@ let json_report (report : Exp.Profiled.report) bench mode param =
                  ])
              report.Exp.Profiled.hot) );
     ]
+    @ extra)
 
-let prof bench mode param iters period top max_insns json collapsed_file events_file =
+let prof bench mode param iters period top granule attrib hist max_insns json collapsed_file
+    events_file =
   Cli.check_bench bench;
   let bus, close_events =
     match events_file with
@@ -61,7 +85,10 @@ let prof bench mode param iters period top max_insns json collapsed_file events_
         (Some bus, fun () -> close_out oc)
     | None -> (None, fun () -> ())
   in
-  let report = Exp.Profiled.run ~max_insns ~iters ~period ~top ?bus ~bench ~mode ~param () in
+  let report =
+    Exp.Profiled.run ~max_insns ~iters ~period ~top ~granule_bits:granule ?bus ~bench ~mode
+      ~param ()
+  in
   close_events ();
   let result = report.Exp.Profiled.result in
   (match collapsed_file with
@@ -73,7 +100,7 @@ let prof bench mode param iters period top max_insns json collapsed_file events_
         (List.length report.Exp.Profiled.collapsed)
         path
   | None -> ());
-  if json then Fmt.pr "%a@." Obs.Json.pp (json_report report bench mode param)
+  if json then Fmt.pr "%a@." Obs.Json.pp (json_report report bench mode param ~attrib ~hist ~top)
   else begin
     Fmt.pr "%s/%s param=%d iters=%d: exit %d@." bench (Minic.Layout.mode_name mode) param iters
       result.Exp.Bench_run.exit_code;
@@ -85,7 +112,22 @@ let prof bench mode param iters period top max_insns json collapsed_file events_
          ~total_cycles:(Obs.Counters.get report.Exp.Profiled.counters Obs.Counters.cycles))
       report.Exp.Profiled.spans;
     section (Printf.sprintf "top %d hot PCs" top);
-    Fmt.pr "%a@." Exp.Profiled.pp_hot report
+    Fmt.pr "%a@." Exp.Profiled.pp_hot report;
+    if attrib then begin
+      section (Printf.sprintf "per-PC miss attribution (top %d by l1d_miss)" top);
+      Fmt.pr "%a@."
+        (Obs.Attrib.pp_pcs ~resolve:report.Exp.Profiled.symbol ~by:Obs.Attrib.c_l1d_miss ~n:top)
+        report.Exp.Profiled.attrib;
+      section (Printf.sprintf "per-region miss attribution (top %d by l1d_miss)" top);
+      Fmt.pr "%a@."
+        (Obs.Attrib.pp_regions ~by:Obs.Attrib.c_l1d_miss ~n:top)
+        report.Exp.Profiled.attrib
+    end;
+    if hist then begin
+      section "histograms";
+      Fmt.pr "%a@,%a@." Obs.Attrib.pp_hists report.Exp.Profiled.attrib Obs.Hist.pp
+        report.Exp.Profiled.durations
+    end
   end;
   exit result.Exp.Bench_run.exit_code
 
@@ -99,6 +141,24 @@ let period =
     & info [ "period" ] ~docv:"N" ~doc:"Sampling period in retired instructions.")
 
 let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Hot-PC table size.")
+
+let granule =
+  Arg.(
+    value
+    & opt int Obs.Attrib.default_granule_bits
+    & info [ "granule" ] ~docv:"BITS"
+        ~doc:"Attribution region size as a power of two (default 12 = 4 KB).")
+
+let attrib =
+  Arg.(value & flag & info [ "attrib" ] ~doc:"Print the per-PC and per-region miss attribution.")
+
+let hist =
+  Arg.(
+    value
+    & flag
+    & info [ "hist" ]
+        ~doc:"Print the log2 histograms (access sizes, reuse, bounds, span durations).")
+
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
 
 let collapsed_file =
@@ -119,6 +179,7 @@ let cmd =
        ~doc:"Profile an Olden kernel on the CHERI machine model (counters, phases, hot PCs)")
     Term.(
       const prof $ Cli.bench $ Cli.layout_mode $ Cli.param ~default:12 $ iters $ period $ top
+      $ granule $ attrib $ hist
       $ Cli.max_insns ~default:20_000_000_000L
       $ json $ collapsed_file $ events_file)
 

@@ -31,6 +31,17 @@ let param ~default =
 let max_insns ~default =
   Arg.(value & opt int64 default & info [ "max-insns" ] ~docv:"N" ~doc:"Instruction budget.")
 
+(* Where the committed regression baselines live (cheri_diff, bench
+   regress); one spelling shared by every differential tool. *)
+let default_baseline_dir = "bench/baselines"
+
+let baseline =
+  Arg.(
+    value
+    & opt string default_baseline_dir
+    & info [ "baseline" ] ~docv:"DIR"
+        ~doc:"Directory holding the committed baseline exports (BENCH_obs.json).")
+
 (* Compilation mode for tools that run one pointer representation. *)
 let layout_mode =
   let parse s =

@@ -51,14 +51,16 @@ let machine_for ?(big_mem = false) (mode : Minic.Layout.mode) =
    shared event stream; [inspect] runs against the machine after the
    program exits, before it is dropped — profilers use it to resolve
    sampled PCs against the loaded image. *)
-let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?probe ?bus ?inspect
-    ~bench ~mode ~param source =
+let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?probe ?bus
+    ?span_durations ?inspect ~bench ~mode ~param source =
   let source = Olden.Minic_src.instantiate ~iters source ~param in
   let asm = Minic.Driver.compile ~mode source in
   let m = machine_for ~big_mem mode in
   let k = Os.Kernel.attach m in
   Machine.set_probe m probe;
-  let span = Obs.Span.create ?bus ~read:(fun () -> Os.Kernel.read_counters k) () in
+  let span =
+    Obs.Span.create ?bus ?durations:span_durations ~read:(fun () -> Os.Kernel.read_counters k) ()
+  in
   Os.Kernel.set_obs ?bus ~span k;
   let allocated_bytes = ref 0L in
   Machine.set_trace_hook m (fun _m marker a _b ->

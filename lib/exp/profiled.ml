@@ -20,6 +20,9 @@ type report = {
   total_samples : int;
   hot : hot list;
   collapsed : string list; (* flamegraph.pl-compatible lines *)
+  attrib : Obs.Attrib.t; (* per-PC / per-region miss attribution *)
+  durations : Obs.Hist.t; (* span-duration histogram (cycles per close) *)
+  symbol : int64 -> string; (* the run's nearest-label symbolizer *)
 }
 
 (* Nearest-preceding-label symbolizer over the assembler's symbol table. *)
@@ -55,8 +58,10 @@ let validate_bench bench =
 
 (* Run [bench] under [mode] with a sampling profiler attached.  [period]
    is the sampling interval in retired instructions; [top] bounds the
-   hot-PC table. *)
-let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?bus ~bench ~mode ~param () =
+   hot-PC table; [granule_bits] sets the attribution region size
+   (default 4 KB pages). *)
+let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?granule_bits ?bus ~bench ~mode
+    ~param () =
   validate_bench bench;
   let source = List.assoc bench Olden.Minic_src.all in
   (* Re-derive the program image the harness will run, for its symbol
@@ -67,7 +72,9 @@ let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?bus ~bench ~mode ~pa
   in
   let symbol = symbolizer program.Asm.Assembler.symbols in
   let profile = Obs.Profile.create ~period () in
-  let probe = Obs.Probe.create ~profile () in
+  let attrib = Obs.Attrib.create ?granule_bits () in
+  let durations = Obs.Hist.create ~name:"span duration [cycles]" () in
+  let probe = Obs.Probe.create ~profile ~attrib () in
   let hot = ref [] and collapsed = ref [] in
   let inspect (m : Machine.t) =
     let disasm pc =
@@ -82,7 +89,10 @@ let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?bus ~bench ~mode ~pa
         (Obs.Profile.top profile ~n:top);
     collapsed := Obs.Profile.collapsed ~resolve:symbol profile
   in
-  let result = Bench_run.run ?max_insns ~iters ~probe ?bus ~bench ~mode ~param source ~inspect in
+  let result =
+    Bench_run.run ?max_insns ~iters ~probe ?bus ~span_durations:durations ~bench ~mode ~param
+      source ~inspect
+  in
   {
     result;
     counters = result.Bench_run.counters;
@@ -91,6 +101,9 @@ let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?bus ~bench ~mode ~pa
     total_samples = Obs.Profile.total_samples profile;
     hot = !hot;
     collapsed = !collapsed;
+    attrib;
+    durations;
+    symbol;
   }
 
 let pp_hot ppf (report : report) =

@@ -126,7 +126,23 @@ let create ?(config = default_config) () =
 let set_kernel t f = t.kernel <- f
 let set_trace_hook t f = t.on_trace <- f
 let set_step_hook t f = t.on_step <- f
-let set_probe t p = t.probe <- p
+
+(* Attach (or detach, with [None]) the observability probe.  A probe that
+   carries an attribution table additionally hooks the memory hierarchy
+   and the tag table: the installed closures read [t.pc] — which still
+   holds the in-flight instruction's address during execute — so every
+   miss, DRAM transfer, and tag write lands on the PC that caused it. *)
+let set_probe t p =
+  t.probe <- p;
+  match Option.bind p Obs.Probe.attrib with
+  | Some a ->
+      t.hier.Mem.Hierarchy.on_event <-
+        Some (fun ev ~addr -> Obs.Attrib.record a ~pc:t.pc ~addr ev);
+      Mem.Tags.set_on_write t.tags
+        (Some (fun ~set ~addr -> Obs.Attrib.record a ~pc:t.pc ~addr (Obs.Attrib.Tag_write set)))
+  | None ->
+      t.hier.Mem.Hierarchy.on_event <- None;
+      Mem.Tags.set_on_write t.tags None
 let set_timing t b = t.timing <- b
 
 let gpr t i = Regs.get t.regs i
@@ -316,10 +332,17 @@ let load_cap t ~reg c ~addr =
        bit yields data with the tag stripped (Section 6.1), giving the OS
        shared mappings that cannot carry capabilities between processes. *)
     let tag = tag && prot.Mem.Tlb.cap_load in
-    match t.config.cap_width with
-    | W256 -> Cap.Capability.of_bytes ~tag (Mem.Phys.read_bytes t.phys addr 32)
-    | W128 ->
-        Cap.Cap128.decompress ~tag (Cap.Cap128.of_bytes (Mem.Phys.read_bytes t.phys addr 16))
+    let c =
+      match t.config.cap_width with
+      | W256 -> Cap.Capability.of_bytes ~tag (Mem.Phys.read_bytes t.phys addr 32)
+      | W128 ->
+          Cap.Cap128.decompress ~tag (Cap.Cap128.of_bytes (Mem.Phys.read_bytes t.phys addr 16))
+    in
+    (match t.probe with
+    | Some p when Cap.Capability.tag c ->
+        Obs.Probe.note_cap_bounds p ~len:(Cap.Capability.length c)
+    | _ -> ());
+    c
   with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_load, a))
 
 let store_cap t ~reg c ~addr v =
@@ -349,6 +372,10 @@ let store_cap t ~reg c ~addr v =
   (try Mem.Phys.write_bytes t.phys addr image
    with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
   t.stores <- Int64.add t.stores 1L;
+  (match t.probe with
+  | Some p when Cap.Capability.tag v ->
+      Obs.Probe.note_cap_bounds p ~len:(Cap.Capability.length v)
+  | _ -> ());
   Mem.Tags.set t.tags addr (Cap.Capability.tag v)
 
 (* --- CP2 helpers -------------------------------------------------------- *)

@@ -49,6 +49,12 @@ type t = {
   mutable load_bytes : int;
   mutable store_bytes : int;
   mutable tag_dram_accesses : int;
+  mutable on_event : (Obs.Attrib.event -> addr:int64 -> unit) option;
+      (* the widened observability probe: every miss, DRAM transfer, and
+         data access is reported with its address.  [None] (the default)
+         costs one pattern match per event; the machine installs a
+         closure that adds the in-flight PC and feeds [Obs.Attrib].
+         Purely an observer — firing never changes costs or state. *)
 }
 
 let create ?(config = default_config) () =
@@ -66,11 +72,17 @@ let create ?(config = default_config) () =
     load_bytes = 0;
     store_bytes = 0;
     tag_dram_accesses = 0;
+    on_event = None;
   }
+
+(* Report one observability event at [addr]; free when no probe is attached. *)
+let fire t ev ~addr = match t.on_event with None -> () | Some f -> f ev ~addr
 
 (* Tag controller: each DRAM transaction consults the tag table; the 8 KB
    tag cache covers 2 MB of memory (one bit per 32-byte line), so misses
-   are rare (the paper: "does not noticeably degrade performance"). *)
+   are rare (the paper: "does not noticeably degrade performance").
+   Attribution events carry the *data* address, not the tag-table
+   address — "which access caused the tag fill" is the question. *)
 let tag_lookup t ~addr ~write =
   (* One tag-cache line (32 B = 256 tag bits) covers 256 lines = 8 KB. *)
   let tag_addr = Int64.div addr 256L in
@@ -79,29 +91,46 @@ let tag_lookup t ~addr ~write =
   | Cache.Miss { writeback } ->
       t.tag_dram_accesses <- t.tag_dram_accesses + 1;
       t.dram_read_bytes <- t.dram_read_bytes + t.config.line_bytes;
-      if writeback then t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
+      fire t Obs.Attrib.Tag_miss ~addr;
+      fire t (Obs.Attrib.Dram_read t.config.line_bytes) ~addr;
+      if writeback then begin
+        t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
+        fire t (Obs.Attrib.Dram_write t.config.line_bytes) ~addr
+      end;
       (* Fetched in parallel with the DRAM line fill; charge a single cycle. *)
       1
 
-(* Touch one line through L1 -> L2 -> DRAM, returning a cycle cost. *)
-let line_access t ~l1 ~addr ~write =
+(* Touch one line through L1 -> L2 -> DRAM, returning a cycle cost.
+   [l1_ev] is the attribution class of a miss in [l1] (L1I vs L1D). *)
+let line_access t ~l1 ~l1_ev ~addr ~write =
   match Cache.access l1 ~addr ~write with
   | Cache.Hit -> 0
   | Cache.Miss { writeback = l1_wb } ->
       let cost = ref t.config.l2_hit_cycles in
+      fire t l1_ev ~addr;
       if l1_wb then begin
         match Cache.access t.l2 ~addr ~write:true with
         | Cache.Hit -> ()
         | Cache.Miss { writeback } ->
             t.dram_read_bytes <- t.dram_read_bytes + t.config.line_bytes;
-            if writeback then t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes
+            fire t Obs.Attrib.L2_miss ~addr;
+            fire t (Obs.Attrib.Dram_read t.config.line_bytes) ~addr;
+            if writeback then begin
+              t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
+              fire t (Obs.Attrib.Dram_write t.config.line_bytes) ~addr
+            end
       end;
       (match Cache.access t.l2 ~addr ~write:false with
       | Cache.Hit -> ()
       | Cache.Miss { writeback } ->
           cost := !cost + t.config.dram_cycles;
           t.dram_read_bytes <- t.dram_read_bytes + t.config.line_bytes;
-          if writeback then t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
+          fire t Obs.Attrib.L2_miss ~addr;
+          fire t (Obs.Attrib.Dram_read t.config.line_bytes) ~addr;
+          if writeback then begin
+            t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
+            fire t (Obs.Attrib.Dram_write t.config.line_bytes) ~addr
+          end;
           cost := !cost + tag_lookup t ~addr ~write);
       !cost
 
@@ -110,21 +139,35 @@ let line_access t ~l1 ~addr ~write =
 let access_data t ~addr ~size ~write =
   if write then begin
     t.stores <- t.stores + 1;
-    t.store_bytes <- t.store_bytes + size
+    t.store_bytes <- t.store_bytes + size;
+    fire t (Obs.Attrib.Store size) ~addr
   end
   else begin
     t.loads <- t.loads + 1;
-    t.load_bytes <- t.load_bytes + size
+    t.load_bytes <- t.load_bytes + size;
+    fire t (Obs.Attrib.Load size) ~addr
   end;
-  let tlb_cost = if Tlb.touch t.tlb addr then 0 else t.config.tlb_refill_cycles in
+  let tlb_cost =
+    if Tlb.touch t.tlb addr then 0
+    else begin
+      fire t Obs.Attrib.Tlb_miss ~addr;
+      t.config.tlb_refill_cycles
+    end
+  in
   List.fold_left
-    (fun acc line -> acc + line_access t ~l1:t.l1d ~addr:line ~write)
+    (fun acc line -> acc + line_access t ~l1:t.l1d ~l1_ev:Obs.Attrib.L1d_miss ~addr:line ~write)
     tlb_cost
     (Cache.lines_spanned t.l1d ~addr ~size)
 
 let access_insn t ~addr =
-  let tlb_cost = if Tlb.touch t.tlb addr then 0 else t.config.tlb_refill_cycles in
-  tlb_cost + line_access t ~l1:t.l1i ~addr ~write:false
+  let tlb_cost =
+    if Tlb.touch t.tlb addr then 0
+    else begin
+      fire t Obs.Attrib.Tlb_miss ~addr;
+      t.config.tlb_refill_cycles
+    end
+  in
+  tlb_cost + line_access t ~l1:t.l1i ~l1_ev:Obs.Attrib.L1i_miss ~addr ~write:false
 
 (* Deposit the hierarchy's internal statistics into an observability
    counter file (lib/obs).  This is the lib/mem half of the counter

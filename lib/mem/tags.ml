@@ -12,14 +12,28 @@
      - ANY other store to the line clears the tag, protecting capability
        integrity against forgery through data writes. *)
 
-type t = { bits : Bytes.t; mem_size : int; line_bytes : int }
+type t = {
+  bits : Bytes.t;
+  mem_size : int;
+  line_bytes : int;
+  mutable on_write : (set:bool -> addr:int64 -> unit) option;
+      (* observability hook: every architectural tag write (capability
+         store sets or clears; general-purpose store clears) is reported
+         with the data address.  [None] (the default) costs one pattern
+         match; purely an observer — never changes the tag bits. *)
+}
 
 (* Default tag granularity: one bit per 256-bit (32-byte) line; a 128-bit
    capability machine tags 16-byte lines instead. *)
 let line_bytes = 32
 
 let create ?(line_bytes = line_bytes) ~mem_size () =
-  { bits = Bytes.make (((mem_size / line_bytes) + 7) / 8) '\000'; mem_size; line_bytes }
+  {
+    bits = Bytes.make (((mem_size / line_bytes) + 7) / 8) '\000';
+    mem_size;
+    line_bytes;
+    on_write = None;
+  }
 
 let line_index t addr = Int64.to_int (Int64.div addr (Int64.of_int t.line_bytes))
 let granularity t = t.line_bytes
@@ -33,16 +47,24 @@ let set_bit t i v =
   let b = if v then b lor (1 lsl (i land 7)) else b land lnot (1 lsl (i land 7)) in
   Bytes.set t.bits (i lsr 3) (Char.chr b)
 
-let set t addr v = set_bit t (line_index t addr) v
+let set_on_write t f = t.on_write <- f
+let fire t ~set ~addr = match t.on_write with None -> () | Some f -> f ~set ~addr
+
+let set t addr v =
+  set_bit t (line_index t addr) v;
+  fire t ~set:v ~addr
 
 (* Clear the tags of every line overlapped by a [size]-byte store at [addr]:
-   the consequence of a general-purpose (non-capability) store. *)
+   the consequence of a general-purpose (non-capability) store.  One
+   [on_write] event fires per store, not per line — attribution counts
+   architectural tag writes, not bit flips. *)
 let clear_range t addr size =
   let first = line_index t addr in
   let last = line_index t (Int64.add addr (Int64.of_int (size - 1))) in
   for i = first to last do
     set_bit t i false
-  done
+  done;
+  fire t ~set:false ~addr
 
 let count_set t =
   let n = ref 0 in

@@ -16,6 +16,12 @@ val line_bytes : int
 
 val create : ?line_bytes:int -> mem_size:int -> unit -> t
 
+(** Install (or with [None] remove) the observability hook: called with
+    the data address on every architectural tag write — [set = true] for
+    a tagged capability store, [false] for any clearing store.  Purely an
+    observer; the default [None] costs one pattern match per write. *)
+val set_on_write : t -> (set:bool -> addr:int64 -> unit) option -> unit
+
 (** Index of the tag line covering a physical address. *)
 val line_index : t -> int64 -> int
 

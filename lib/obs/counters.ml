@@ -75,6 +75,14 @@ let names =
   |]
 
 let count = Array.length names
+
+(* Index of a schema key ([names] entry), for consumers that arrive at
+   counters by name (the baseline loader, attribution reports). *)
+let index_of_name name =
+  let found = ref None in
+  Array.iteri (fun i n -> if n = name then found := Some i) names;
+  !found
+
 let create () : t = Array.make count 0L
 let copy (c : t) : t = Array.copy c
 let reset (c : t) = Array.fill c 0 count 0L

@@ -6,13 +6,18 @@
 
    Schema (documented in docs/OBSERVABILITY.md):
 
-     { "schema": "cheri-obs-bench/1",
+     { "schema": "cheri-obs-bench/2",
        "interp_instr_per_s": <host-side interpreter throughput>,
        "benchmarks": [
          { "bench": ..., "mode": ..., "param": ...,
            "cycles": ..., "instret": ..., "wall_s": ...,
            "counters": { <counter name>: <int>, ... },
-           "spans": { <span name>: { "instret": ..., "cycles": ... }, ... } } ] } *)
+           "spans": { <span name>: { "instret": ..., "cycles": ... }, ... } } ] }
+
+   cheri-obs-bench/2 drops the `samples` counter from the per-run
+   counter object: bench runs attach a classification probe but no
+   sampling profiler, so the field was always zero.  The baseline
+   loader (Obs.Baseline) still accepts /1 files. *)
 
 type entry = {
   bench : string;
@@ -23,7 +28,15 @@ type entry = {
   spans : (string * Counters.t) list;
 }
 
-let schema_version = "cheri-obs-bench/1"
+let schema_version = "cheri-obs-bench/2"
+let schema_v1 = "cheri-obs-bench/1"
+
+(* The counter fields a bench export carries: every counter except the
+   profiler's [samples] (meaningless without a profiler attached).
+   Shared with [Baseline.of_entries] so live runs and loaded files
+   compare over exactly the same keys. *)
+let counter_fields (c : Counters.t) =
+  List.filter (fun (name, _) -> name <> "samples") (Counters.to_assoc c)
 
 let entry_to_json e =
   Json.Obj
@@ -34,7 +47,7 @@ let entry_to_json e =
       ("cycles", Json.Int (Counters.get e.counters Counters.cycles));
       ("instret", Json.Int (Counters.get e.counters Counters.instret));
       ("wall_s", Json.Float e.wall_s);
-      ("counters", Counters.to_json e.counters);
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (counter_fields e.counters)));
       ( "spans",
         Json.Obj
           (List.map

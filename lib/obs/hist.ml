@@ -1,0 +1,120 @@
+(* Log2-bucket histograms: the distribution primitive behind load/store
+   sizes, capability bounds lengths, miss-reuse distances, and span
+   durations.  Bucket 0 holds exact zeros; bucket k >= 1 holds values in
+   [2^(k-1), 2^k), so one 64-slot array covers the full non-negative
+   int64 range and [observe] is a handful of shifts — cheap enough to
+   sit on the memory-access path when a probe is attached.
+
+   Everything is deterministic plain data; [merge] folds one histogram
+   into another element-wise (per-shard aggregation). *)
+
+type t = {
+  name : string;
+  counts : int array; (* counts.(k) = values in bucket k *)
+  mutable total : int;
+  mutable sum : int64;
+  mutable vmin : int64; (* meaningful only when total > 0 *)
+  mutable vmax : int64;
+}
+
+let buckets = 64
+
+let create ~name () =
+  { name; counts = Array.make buckets 0; total = 0; sum = 0L; vmin = Int64.max_int; vmax = 0L }
+
+(* Bucket index of [v]: the bit-length of v (0 for v <= 0). *)
+let bucket_of v =
+  if Int64.compare v 0L <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while Int64.compare !v 0L > 0 do
+      incr b;
+      v := Int64.shift_right_logical !v 1
+    done;
+    !b
+  end
+
+(* Inclusive-exclusive value range [lo, hi) covered by bucket [k]. *)
+let bucket_bounds k =
+  if k = 0 then (0L, 1L)
+  else (Int64.shift_left 1L (k - 1), if k >= 63 then Int64.max_int else Int64.shift_left 1L k)
+
+let observe t v =
+  let v = if Int64.compare v 0L < 0 then 0L else v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- Int64.add t.sum v;
+  if Int64.compare v t.vmin < 0 then t.vmin <- v;
+  if Int64.compare v t.vmax > 0 then t.vmax <- v
+
+let observe_int t v = observe t (Int64.of_int v)
+let total t = t.total
+let mean t = if t.total = 0 then 0.0 else Int64.to_float t.sum /. float_of_int t.total
+
+(* Fold [src] into [dst]; min/max/total/sum follow. *)
+let merge dst src =
+  for k = 0 to buckets - 1 do
+    dst.counts.(k) <- dst.counts.(k) + src.counts.(k)
+  done;
+  dst.total <- dst.total + src.total;
+  dst.sum <- Int64.add dst.sum src.sum;
+  if Int64.compare src.vmin dst.vmin < 0 then dst.vmin <- src.vmin;
+  if Int64.compare src.vmax dst.vmax > 0 then dst.vmax <- src.vmax
+
+(* Occupied buckets in ascending value order: (bucket index, count). *)
+let nonempty t =
+  let acc = ref [] in
+  for k = buckets - 1 downto 0 do
+    if t.counts.(k) > 0 then acc := (k, t.counts.(k)) :: !acc
+  done;
+  !acc
+
+(* Smallest value v such that at least [q] (0..1) of observations are in
+   buckets covering values <= v — a log2-resolution quantile, good
+   enough for "p99 span duration" style reporting. *)
+let quantile t q =
+  if t.total = 0 then 0L
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int t.total)) in
+    let target = if target < 1 then 1 else target in
+    let rec go k seen =
+      if k >= buckets then t.vmax
+      else
+        let seen = seen + t.counts.(k) in
+        if seen >= target then snd (bucket_bounds k) else go (k + 1) seen
+    in
+    let v = go 0 0 in
+    if Int64.compare v t.vmax > 0 then t.vmax else v
+  end
+
+let to_json t =
+  Json.Obj
+    [
+      ("name", Json.String t.name);
+      ("total", Json.Int (Int64.of_int t.total));
+      ("sum", Json.Int t.sum);
+      ("mean", Json.Float (mean t));
+      ("min", Json.Int (if t.total = 0 then 0L else t.vmin));
+      ("max", Json.Int t.vmax);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (k, n) ->
+               let lo, hi = bucket_bounds k in
+               Json.Obj
+                 [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int (Int64.of_int n)) ])
+             (nonempty t)) );
+    ]
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s: %d values" t.name t.total;
+  if t.total > 0 then
+    Fmt.pf ppf ", mean %.1f, min %Ld, max %Ld" (mean t) t.vmin t.vmax;
+  let peak = Array.fold_left max 1 t.counts in
+  List.iter
+    (fun (k, n) ->
+      let lo, hi = bucket_bounds k in
+      let bar = String.make (max 1 (n * 40 / peak)) '#' in
+      Fmt.pf ppf "@,  [%12Ld,%12Ld) %10d %s" lo hi n bar)
+    (nonempty t);
+  Fmt.pf ppf "@]"

@@ -1,11 +1,13 @@
-(* A minimal JSON value type and serializer for the observability
-   exporters (the toolchain image carries no yojson; the subsystem only
-   ever *emits* JSON, so a printer is all that is needed).  Output is
-   strict RFC 8259: strings are escaped, non-finite floats degrade to
-   null, and Int64 counters are emitted as bare integers (all our
-   counters fit in 63 bits, below the 2^53 interop threshold only for
-   pathological runs — consumers of the bench schema read them as
-   integers). *)
+(* A minimal JSON value type, serializer, and parser for the
+   observability exporters and the differential regression harness (the
+   toolchain image carries no yojson).  Output is strict RFC 8259:
+   strings are escaped, non-finite floats degrade to null, and Int64
+   counters are emitted as bare integers (all our counters fit in 63
+   bits, below the 2^53 interop threshold only for pathological runs —
+   consumers of the bench schema read them as integers).  The parser
+   accepts exactly what the emitter produces plus standard JSON:
+   integral numbers that fit come back as [Int], everything else as
+   [Float]. *)
 
 type t =
   | Null
@@ -64,3 +66,229 @@ let to_string v =
   Buffer.contents buf
 
 let pp ppf v = Fmt.string ppf (to_string v)
+
+(* --- parsing -------------------------------------------------------------- *)
+
+exception Parse_error of string * int (* message, byte offset *)
+
+let parse_error pos fmt = Printf.ksprintf (fun m -> raise (Parse_error (m, pos))) fmt
+
+(* Recursive-descent parser over a string.  [pos] is a byte cursor. *)
+let parse (s : string) : t =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> parse_error !pos "expected %C, got %C" c got
+    | None -> parse_error !pos "expected %C, got end of input" c
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          true
+      | _ -> false
+    do
+      ()
+    done
+  in
+  let literal word value =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else parse_error !pos "invalid literal"
+  in
+  (* Encode a Unicode scalar value as UTF-8 into [buf]. *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > len then parse_error !pos "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> parse_error !pos "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              let cp = hex4 () in
+              (* Surrogate pair: a high surrogate must be followed by
+                 \uDC00-\uDFFF; combine into one scalar value. *)
+              let cp =
+                if cp >= 0xD800 && cp <= 0xDBFF then begin
+                  if
+                    !pos + 2 <= len
+                    && s.[!pos] = '\\'
+                    && s.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo < 0xDC00 || lo > 0xDFFF then
+                      parse_error !pos "invalid low surrogate";
+                    0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                  end
+                  else parse_error !pos "lone high surrogate"
+                end
+                else cp
+              in
+              add_utf8 buf cp;
+              go ()
+          | _ -> parse_error !pos "invalid escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> parse_error start "invalid number %S" text
+    else
+      match Int64.of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          (* Out of int64 range: degrade to float rather than failing. *)
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> parse_error start "invalid number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error !pos "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> parse_error !pos "unexpected character %C" c
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then parse_error !pos "trailing garbage";
+  v
+
+let of_string s =
+  match parse s with
+  | v -> Ok v
+  | exception Parse_error (msg, pos) -> Error (Printf.sprintf "JSON parse error at byte %d: %s" pos msg)
+
+let of_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      of_string s
+
+(* --- accessors (the loader's vocabulary) ----------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_list_opt = function List items -> Some items | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+
+(* Numeric coercion: counters written by hand or by other tools may carry
+   integral floats. *)
+let to_float_opt = function Float f -> Some f | Int i -> Some (Int64.to_float i) | _ -> None

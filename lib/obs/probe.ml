@@ -18,11 +18,21 @@ type t = {
   mutable cap_stores : int64; (* stores via a capability (CSC, CS[BHWD], CSCD) *)
   mutable branches : int64; (* control-flow instructions of any kind *)
   profile : Profile.t option;
+  attrib : Attrib.t option;
+      (* per-PC / per-region miss attribution; when present the machine
+         additionally routes memory-hierarchy and tag-table events here *)
   mutable sampled : int64; (* profiler samples taken (mirrors Profile.total) *)
 }
 
-let create ?profile () =
-  { cap_ops = 0L; cap_loads = 0L; cap_stores = 0L; branches = 0L; profile; sampled = 0L }
+let create ?profile ?attrib () =
+  { cap_ops = 0L; cap_loads = 0L; cap_stores = 0L; branches = 0L; profile; attrib; sampled = 0L }
+
+let attrib t = t.attrib
+
+(* Bounds length of a tagged capability moved to or from memory (CLC/CSC
+   paths); feeds the attribution layer's bounds-length histogram. *)
+let note_cap_bounds t ~len =
+  match t.attrib with Some a -> Attrib.observe_cap_len a len | None -> ()
 
 let is_cap_op = function
   | Insn.CGetBase _ | Insn.CGetLen _ | Insn.CGetTag _ | Insn.CGetPerm _ | Insn.CGetPCC _

@@ -13,13 +13,15 @@
 type t = {
   read : unit -> Counters.t;
   bus : Event.bus option;
+  durations : Hist.t option; (* per-close span duration (cycles), log2 buckets *)
   mutable stack : (string * Counters.t) list; (* open spans, innermost first *)
   mutable totals : (string * Counters.t) list; (* closed-span aggregates, reverse order *)
   mutable opened : int;
   mutable closed : int;
 }
 
-let create ?bus ~read () = { read; bus; stack = []; totals = []; opened = 0; closed = 0 }
+let create ?bus ?durations ~read () =
+  { read; bus; durations; stack = []; totals = []; opened = 0; closed = 0 }
 
 let enter t name =
   t.stack <- (name, t.read ()) :: t.stack;
@@ -44,6 +46,9 @@ let exit t =
       t.closed <- t.closed + 1;
       let delta = Counters.diff (t.read ()) start in
       accumulate t name delta;
+      (match t.durations with
+      | Some h -> Hist.observe h (Counters.get delta Counters.cycles)
+      | None -> ());
       (match t.bus with
       | Some bus ->
           Event.emit bus ~kind:"span-exit" ~name

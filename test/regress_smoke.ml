@@ -1,0 +1,66 @@
+(* regress-smoke: the differential regression harness as a standing
+   test.  Runs a tiny fixed set of Olden kernels (treeadd param 6 in all
+   three pointer modes — seconds, not the full fig4 sweep), rebuilds the
+   live baseline in memory, and diffs it against the committed
+   `bench/baselines/SMOKE_obs.json` with the default exact-match policy:
+   any architectural counter drift — instret, cycles, cache/TLB/tag
+   events, capability mix, span aggregates — fails `dune runtest`.
+
+     dune build @regress-smoke                 # just this check
+     dune exec test/regress_smoke.exe -- --write bench/baselines/SMOKE_obs.json
+                                               # regenerate after an
+                                               # intentional change
+
+   Wall-clock fields are still recorded (so the committed file doubles
+   as a throughput snapshot) but only ever flagged, never fatal: the
+   file travels across hosts. *)
+
+let modes = [ Minic.Layout.Legacy; Minic.Layout.Softcheck; Minic.Layout.Cheri ]
+let bench = "treeadd"
+let param = 6
+
+let entries () =
+  let source = List.assoc bench Olden.Minic_src.all in
+  List.map
+    (fun mode ->
+      (* The probe mirrors bench/main.exe: capability/branch classes live
+         in the counter file only when a probe is attached. *)
+      let probe = Obs.Probe.create () in
+      let t0 = Unix.gettimeofday () in
+      let r = Exp.Bench_run.run ~probe ~bench ~mode ~param source in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      if r.Exp.Bench_run.exit_code <> 0 then begin
+        Printf.eprintf "regress-smoke: %s/%s exited %d\n" bench (Minic.Layout.mode_name mode)
+          r.Exp.Bench_run.exit_code;
+        exit 2
+      end;
+      {
+        Obs.Export.bench;
+        mode = Minic.Layout.mode_name mode;
+        param;
+        wall_s;
+        counters = r.Exp.Bench_run.counters;
+        spans = r.Exp.Bench_run.spans;
+      })
+    modes
+
+let () =
+  match Sys.argv with
+  | [| _; "--write"; path |] ->
+      Obs.Export.write_file path (entries ());
+      Printf.printf "regress-smoke: wrote baseline %s\n" path
+  | [| _; baseline_path |] -> (
+      match Obs.Baseline.load baseline_path with
+      | Error msg ->
+          Printf.eprintf "regress-smoke: %s\n" msg;
+          exit 2
+      | Ok committed ->
+          let live = Obs.Baseline.of_entries (entries ()) in
+          let report = Obs.Diff.run committed live in
+          Fmt.pr "regress-smoke: %s vs live {%s x %s, param %d}@.%a@." baseline_path bench
+            (String.concat "," (List.map Minic.Layout.mode_name modes))
+            param Obs.Diff.pp report;
+          exit (Obs.Diff.exit_code report))
+  | _ ->
+      Printf.eprintf "usage: regress_smoke (BASELINE.json | --write BASELINE.json)\n";
+      exit 2

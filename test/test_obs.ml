@@ -23,6 +23,73 @@ let test_json_escaping () =
     "int64 beyond 2^53 stays exact" "9007199254740993"
     (to_string (Int 9007199254740993L))
 
+(* --- JSON parser ---------------------------------------------------------- *)
+
+let json = Alcotest.testable Obs.Json.pp ( = )
+
+let parse_ok s =
+  match Obs.Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+
+let test_json_parse () =
+  let open Obs.Json in
+  Alcotest.check json "scalars"
+    (List [ Null; Bool true; Bool false; Int 42L; Int (-17L); Float 1.5; String "hi" ])
+    (parse_ok {| [null, true, false, 42, -17, 1.5, "hi"] |});
+  Alcotest.check json "nested object"
+    (Obj [ ("a", List [ Int 1L ]); ("b", Obj [ ("c", String "d") ]) ])
+    (parse_ok {|{"a":[1],"b":{"c":"d"}}|});
+  Alcotest.check json "empty containers" (List [ Obj []; List [] ]) (parse_ok "[{}, []]");
+  Alcotest.check json "string escapes"
+    (String "a\"b\\c\nd\te/")
+    (parse_ok {|"a\"b\\c\nd\te\/"|});
+  Alcotest.check json "unicode escapes incl. surrogate pair"
+    (String "A\xc2\xa2\xe2\x82\xac\xf0\x9d\x84\x9e")
+    (parse_ok "\"A\\u00a2\\u20ac\\ud834\\udd1e\"");
+  Alcotest.check json "max int64 stays exact"
+    (Int Int64.max_int)
+    (parse_ok "9223372036854775807");
+  Alcotest.check json "min int64 stays exact"
+    (Int Int64.min_int)
+    (parse_ok "-9223372036854775808");
+  Alcotest.check json "beyond int64 degrades to float"
+    (Float 1e19)
+    (parse_ok "10000000000000000000");
+  Alcotest.check json "exponent floats" (Float 2.5e3) (parse_ok "2.5e3");
+  List.iter
+    (fun bad ->
+      match Obs.Json.of_string bad with
+      | Ok v -> Alcotest.failf "parse %S unexpectedly succeeded: %s" bad (Obs.Json.to_string v)
+      | Error _ -> ())
+    [ ""; "{"; {|{"a":}|}; "[1,]"; "nul"; {|"unterminated|}; "1 2"; {|"\q"|}; {|"\ud834"|} ]
+
+(* Emit -> parse is the identity on every value the exporters produce. *)
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("neg", Int (-123456789L));
+        ("big", Int 9007199254740993L);
+        ("min", Int Int64.min_int);
+        ("f", Float 0.0625);
+        ("s", String "tab\t\"quote\"\x01");
+        ("l", List [ Null; Bool true; Obj [ ("x", Int 1L) ] ]);
+      ]
+  in
+  Alcotest.check json "roundtrip" v (parse_ok (to_string v));
+  (* Non-integral floats round-trip through %.12g; integral ones come
+     back as Int (the emitter prints them without a point). *)
+  List.iter
+    (fun f ->
+      Alcotest.check json
+        (Printf.sprintf "float %g roundtrips" f)
+        (Float f)
+        (parse_ok (to_string (Float f))))
+    [ 0.5; 1.5; 0.0625; 1e-3 ];
+  Alcotest.check json "integral float parses as Int" (Int 100L) (parse_ok (to_string (Float 100.0)))
+
 (* --- counter arithmetic -------------------------------------------------- *)
 
 let test_counter_arithmetic () =
@@ -110,6 +177,45 @@ let test_profile_stacks () =
     "collapsed stacks" [ "all 1"; "all;f 1"; "all;f;g 1" ]
     (Obs.Profile.collapsed ~resolve p)
 
+(* --- log2 histograms -------------------------------------------------------- *)
+
+let test_hist () =
+  let open Obs.Hist in
+  Alcotest.(check int) "bucket of 0" 0 (bucket_of 0L);
+  Alcotest.(check int) "bucket of 1" 1 (bucket_of 1L);
+  Alcotest.(check int) "bucket of 7" 3 (bucket_of 7L);
+  Alcotest.(check int) "bucket of 8" 4 (bucket_of 8L);
+  Alcotest.(check int) "bucket of max_int64" 63 (bucket_of Int64.max_int);
+  Alcotest.(check (pair int64 int64)) "bounds of bucket 0" (0L, 1L) (bucket_bounds 0);
+  Alcotest.(check (pair int64 int64)) "bounds of bucket 4" (8L, 16L) (bucket_bounds 4);
+  let h = create ~name:"t" () in
+  Alcotest.(check int) "empty total" 0 (total h);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (mean h);
+  Alcotest.(check int64) "empty quantile" 0L (quantile h 0.99);
+  List.iter (observe_int h) [ 0; 1; 3; 8; 8; 100 ];
+  Alcotest.(check int) "total counts observations" 6 (total h);
+  Alcotest.(check (float 1e-9)) "mean" 20.0 (mean h);
+  Alcotest.(check (list (pair int int)))
+    "nonempty buckets" [ (0, 1); (1, 1); (2, 1); (4, 2); (7, 1) ]
+    (nonempty h);
+  Alcotest.(check int64) "median is the [2,4) bucket's upper bound" 4L (quantile h 0.5);
+  Alcotest.(check int64) "p100 clamps to the observed max" 100L (quantile h 1.0);
+  let h2 = create ~name:"t2" () in
+  List.iter (observe_int h2) [ 2; 1000 ];
+  merge h h2;
+  Alcotest.(check int) "merge adds totals" 8 (total h);
+  Alcotest.(check int64) "merge tracks max" 1000L (quantile h 1.0);
+  (* negative observations clamp to zero rather than corrupting buckets *)
+  observe h (-5L);
+  Alcotest.(check (list (pair int int)))
+    "negative clamps to bucket 0"
+    [ (0, 2); (1, 1); (2, 2); (4, 2); (7, 1); (10, 1) ]
+    (nonempty h);
+  (match to_json h with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "json has buckets" true (List.mem_assoc "buckets" fields)
+  | _ -> Alcotest.fail "hist json is not an object")
+
 (* --- counters vs machine & hierarchy internals ------------------------------ *)
 
 let loop_program =
@@ -194,7 +300,8 @@ let test_bench_counters_consistent () =
 let test_hooks_do_not_perturb () =
   let bare = bench_result () in
   let profile = Obs.Profile.create ~period:97 () in
-  let probe = Obs.Probe.create ~profile () in
+  let attrib = Obs.Attrib.create () in
+  let probe = Obs.Probe.create ~profile ~attrib () in
   let bus = Obs.Event.create () in
   let events = Buffer.create 4096 in
   Obs.Event.subscribe bus (Obs.Event.jsonl_sink events);
@@ -207,6 +314,9 @@ let test_hooks_do_not_perturb () =
   (* The hooked run produced data the bare run could not have. *)
   Alcotest.(check bool) "profiler sampled" true (Obs.Profile.total_samples profile > 0);
   Alcotest.(check bool) "events flowed" true (Buffer.length events > 0);
+  Alcotest.(check bool)
+    "misses were attributed" true
+    (Obs.Attrib.total attrib Obs.Attrib.c_l1d_miss > 0);
   Alcotest.(check bool)
     "probe counted capability ops" true
     (Int64.compare
@@ -273,24 +383,207 @@ let test_export_schema () =
     let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "schema tag present" true (contains {|"schema":"cheri-obs-bench/1"|} json);
-  (* Every counter name appears as a key in every benchmark entry. *)
+  Alcotest.(check bool) "schema tag present" true (contains {|"schema":"cheri-obs-bench/2"|} json);
+  (* Every counter name except the dropped `samples` appears as a key. *)
   Array.iter
     (fun name ->
       Alcotest.(check bool)
-        (Printf.sprintf "counter %s exported" name)
-        true
+        (Printf.sprintf "counter %s %s" name (if name = "samples" then "dropped" else "exported"))
+        (name <> "samples")
         (contains (Printf.sprintf "%S:" name) json))
     Obs.Counters.names;
   Alcotest.(check bool)
     "throughput computed" true
     (Obs.Export.interp_instr_per_s [ entry ] > 0.0)
 
+(* --- baseline loader & differ ------------------------------------------------- *)
+
+(* A serialized export parses back into exactly the structure a live run
+   produces: write -> load is the identity under the differ. *)
+let test_baseline_roundtrip () =
+  let r = bench_result () in
+  let entry =
+    {
+      Obs.Export.bench = "treeadd";
+      mode = "cheri";
+      param = 6;
+      wall_s = 0.25;
+      counters = r.Exp.Bench_run.counters;
+      spans = r.Exp.Bench_run.spans;
+    }
+  in
+  let live = Obs.Baseline.of_entries [ entry ] in
+  let loaded =
+    match Obs.Baseline.of_string (Obs.Json.to_string (Obs.Export.summary [ entry ])) with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "baseline load failed: %s" msg
+  in
+  Alcotest.(check string) "schema" Obs.Export.schema_version loaded.Obs.Baseline.schema;
+  Alcotest.(check int) "one entry" 1 (List.length loaded.Obs.Baseline.entries);
+  let report = Obs.Diff.run live loaded in
+  Alcotest.(check bool)
+    (Fmt.str "live == loaded (%a)" Obs.Diff.pp report)
+    true (Obs.Diff.ok report);
+  Alcotest.(check int) "no rows at all" 0 (List.length report.Obs.Diff.rows);
+  (* counters survive by value, in schema order, without `samples` *)
+  let e = List.hd loaded.Obs.Baseline.entries in
+  Alcotest.(check bool) "samples dropped" false (List.mem_assoc "samples" e.Obs.Baseline.counters);
+  Alcotest.(check (option int64))
+    "instret survives"
+    (Some (Obs.Counters.get r.Exp.Bench_run.counters Obs.Counters.instret))
+    (List.assoc_opt "instret" e.Obs.Baseline.counters)
+
+let v1_doc =
+  {|{"schema":"cheri-obs-bench/1","interp_instr_per_s":1000.0,
+     "benchmarks":[{"bench":"treeadd","mode":"cheri","param":6,"wall_s":0.5,
+       "counters":{"instret":100,"cycles":200,"samples":0},
+       "spans":{"alloc":{"instret":10,"cycles":20}}}]}|}
+
+let test_baseline_versions () =
+  (match Obs.Baseline.of_string v1_doc with
+  | Error msg -> Alcotest.failf "schema /1 rejected: %s" msg
+  | Ok t ->
+      Alcotest.(check string) "v1 schema kept" "cheri-obs-bench/1" t.Obs.Baseline.schema;
+      let e = List.hd t.Obs.Baseline.entries in
+      Alcotest.(check string) "key" "treeadd/cheri/6" (Obs.Baseline.key e);
+      Alcotest.(check (option int64))
+        "v1 samples loaded" (Some 0L)
+        (List.assoc_opt "samples" e.Obs.Baseline.counters);
+      Alcotest.(check (option (list (pair string int64))))
+        "span fields loaded"
+        (Some [ ("instret", 10L); ("cycles", 20L) ])
+        (List.assoc_opt "alloc" e.Obs.Baseline.spans));
+  let reject doc frag =
+    match Obs.Baseline.of_string doc with
+    | Ok _ -> Alcotest.failf "expected rejection (%s)" frag
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error %S mentions %s" msg frag)
+          true
+          (let nl = String.length frag and hl = String.length msg in
+           let rec go i = i + nl <= hl && (String.sub msg i nl = frag || go (i + 1)) in
+           go 0)
+  in
+  reject {|{"schema":"cheri-obs-bench/99","interp_instr_per_s":1.0,"benchmarks":[]}|}
+    "unsupported schema";
+  reject
+    {|{"schema":"cheri-obs-bench/2","interp_instr_per_s":1.0,
+       "benchmarks":[{"bench":"a","mode":"m","param":1,"wall_s":0.1,"counters":{}},
+                     {"bench":"a","mode":"m","param":1,"wall_s":0.1,"counters":{}}]}|}
+    "duplicate";
+  reject {|{"schema":"cheri-obs-bench/2","interp_instr_per_s":1.0,
+            "benchmarks":[{"mode":"m","param":1,"wall_s":0.1,"counters":{}}]}|}
+    "bench"
+
+(* The differ: exact-match architectural counters decide the exit code;
+   wall clock only gets a band; `samples` deltas are ignored. *)
+let test_diff_policy () =
+  let parse doc =
+    match Obs.Baseline.of_string doc with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "bad fixture: %s" msg
+  in
+  let doc counters wall =
+    Printf.sprintf
+      {|{"schema":"cheri-obs-bench/1","interp_instr_per_s":1000.0,
+         "benchmarks":[{"bench":"b","mode":"m","param":1,"wall_s":%s,
+           "counters":{%s},"spans":{"alloc":{"cycles":7}}}]}|}
+      wall counters
+  in
+  let a = parse (doc {|"instret":100,"samples":3|} "1.0") in
+  (* identical -> ok, exit 0 *)
+  let r = Obs.Diff.run a a in
+  Alcotest.(check bool) "identical ok" true (Obs.Diff.ok r);
+  Alcotest.(check int) "identical exit 0" 0 (Obs.Diff.exit_code r);
+  (* an architectural counter differs -> regression, exit 1 *)
+  let b = parse (doc {|"instret":101,"samples":3|} "1.0") in
+  let r = Obs.Diff.run a b in
+  Alcotest.(check bool) "arch delta not ok" false (Obs.Diff.ok r);
+  Alcotest.(check int) "arch delta exit 1" 1 (Obs.Diff.exit_code r);
+  Alcotest.(check int) "one arch mismatch" 1 r.Obs.Diff.arch_mismatches;
+  (* samples differs (v1 vs probe config) -> ignored by policy *)
+  let c = parse (doc {|"instret":100,"samples":999|} "1.0") in
+  Alcotest.(check bool) "samples ignored" true (Obs.Diff.ok (Obs.Diff.run a c));
+  (* a span counter differs -> architectural *)
+  let d =
+    parse
+      {|{"schema":"cheri-obs-bench/1","interp_instr_per_s":1000.0,
+         "benchmarks":[{"bench":"b","mode":"m","param":1,"wall_s":1.0,
+           "counters":{"instret":100,"samples":3},"spans":{"alloc":{"cycles":8}}}]}|}
+  in
+  let r = Obs.Diff.run a d in
+  Alcotest.(check bool) "span delta not ok" false (Obs.Diff.ok r);
+  (* wall clock out of band -> flagged but not fatal by default *)
+  let e = parse (doc {|"instret":100,"samples":3|} "10.0") in
+  let r = Obs.Diff.run a e in
+  Alcotest.(check bool) "wall delta ok by default" true (Obs.Diff.ok r);
+  Alcotest.(check int) "wall delta flagged" 1 r.Obs.Diff.wall_flagged;
+  let strict = { Obs.Diff.default_policy with Obs.Diff.fail_on_wall = true } in
+  Alcotest.(check bool)
+    "wall delta fatal under strict" false
+    (Obs.Diff.ok (Obs.Diff.run ~policy:strict a e));
+  (* a run missing on one side -> regression both ways *)
+  let none =
+    parse {|{"schema":"cheri-obs-bench/1","interp_instr_per_s":1000.0,"benchmarks":[]}|}
+  in
+  let r = Obs.Diff.run a none in
+  Alcotest.(check int) "missing counted" 1 r.Obs.Diff.missing;
+  Alcotest.(check bool) "missing not ok" false (Obs.Diff.ok r);
+  Alcotest.(check bool) "appearing not ok" false (Obs.Diff.ok (Obs.Diff.run none a))
+
+(* --- miss attribution ---------------------------------------------------------- *)
+
+(* The acceptance invariant: for every miss class the per-PC table, the
+   per-region table, and the running totals agree — and equal the
+   whole-run counter file, because the events fire at exactly the sites
+   that feed the counters. *)
+let test_attrib_sums_match_counters () =
+  let r = Exp.Profiled.run ~bench:"treeadd" ~mode:Minic.Layout.Cheri ~param:6 () in
+  Alcotest.(check int) "clean exit" 0 r.Exp.Profiled.result.Exp.Bench_run.exit_code;
+  let a = r.Exp.Profiled.attrib in
+  let counter i = Int64.to_int (Obs.Counters.get r.Exp.Profiled.counters i) in
+  List.iter
+    (fun (cls, idx, name) ->
+      Alcotest.(check int)
+        (name ^ ": pc table sums to total")
+        (Obs.Attrib.total a cls) (Obs.Attrib.pc_total a cls);
+      Alcotest.(check int)
+        (name ^ ": region table sums to total")
+        (Obs.Attrib.total a cls)
+        (Obs.Attrib.region_total a cls);
+      Alcotest.(check int)
+        (name ^ ": attribution total equals the whole-run counter")
+        (counter idx) (Obs.Attrib.total a cls))
+    [
+      (Obs.Attrib.c_l1i_miss, Obs.Counters.l1i_misses, "l1i_miss");
+      (Obs.Attrib.c_l1d_miss, Obs.Counters.l1d_misses, "l1d_miss");
+      (Obs.Attrib.c_l2_miss, Obs.Counters.l2_misses, "l2_miss");
+      (Obs.Attrib.c_tlb_miss, Obs.Counters.tlb_misses, "tlb_miss");
+      (Obs.Attrib.c_tag_miss, Obs.Counters.tag_misses, "tag_miss");
+      (Obs.Attrib.c_dram_read_bytes, Obs.Counters.dram_read_bytes, "dram_read_bytes");
+      (Obs.Attrib.c_dram_write_bytes, Obs.Counters.dram_write_bytes, "dram_write_bytes");
+    ];
+  (* a cheri run moves tagged capabilities: tag writes and bounds flowed *)
+  Alcotest.(check bool) "tag sets observed" true (Obs.Attrib.total a Obs.Attrib.c_tag_sets > 0);
+  Alcotest.(check bool)
+    "cap bounds histogram fed" true
+    (Obs.Hist.total
+       (List.nth (Obs.Attrib.hists a) 3)
+    > 0);
+  (* span durations flowed into the profiled report's histogram *)
+  Alcotest.(check bool) "span durations observed" true (Obs.Hist.total r.Exp.Profiled.durations > 0);
+  (* the hot-PC table and attribution agree the run was attributed *)
+  Alcotest.(check bool)
+    "some PC attributed a D-miss" true
+    (Obs.Attrib.top_pcs a ~by:Obs.Attrib.c_l1d_miss ~n:1 () <> [])
+
 let suites =
   [
     ( "obs",
       [
         Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        Alcotest.test_case "json parse" `Quick test_json_parse;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
         Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
         Alcotest.test_case "counter ratios" `Quick test_counter_ratios;
         Alcotest.test_case "event bus" `Quick test_event_bus;
@@ -301,5 +594,10 @@ let suites =
         Alcotest.test_case "hooks do not perturb" `Quick test_hooks_do_not_perturb;
         Alcotest.test_case "deterministic" `Quick test_deterministic;
         Alcotest.test_case "export schema" `Quick test_export_schema;
+        Alcotest.test_case "log2 histograms" `Quick test_hist;
+        Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+        Alcotest.test_case "baseline versions" `Quick test_baseline_versions;
+        Alcotest.test_case "diff policy" `Quick test_diff_policy;
+        Alcotest.test_case "attrib sums match counters" `Quick test_attrib_sums_match_counters;
       ] );
   ]
