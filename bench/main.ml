@@ -181,9 +181,9 @@ let fig3 ~paper_size () =
 
 (* --- Figure 4 ----------------------------------------------------------------- *)
 
-let fig4 ~paper_size () =
+let fig4 ~paper_size ~jobs () =
   section "Figure 4: MIPS vs CCured(softcheck) vs CHERI on the FPGA-model machine";
-  let rows = Exp.Fig4.run_all ~paper_size () in
+  let rows = Exp.Fig4.run_all ~paper_size ~jobs () in
   Printf.printf "%-11s %-10s %11s %13s %10s %12s %10s\n" "benchmark" "mode" "alloc[%]"
     "compute[%]" "total[%]" "cycles" "heap[KB]";
   List.iter
@@ -204,7 +204,7 @@ let fig4 ~paper_size () =
         r.Exp.Fig4.alloc_overhead_pct r.Exp.Fig4.compute_overhead_pct
         r.Exp.Fig4.total_overhead_pct r.Exp.Fig4.result.Exp.Bench_run.cycles
         (Int64.div r.Exp.Fig4.result.Exp.Bench_run.heap_bytes 1024L))
-    (Exp.Fig4.run_extended ~paper_size ());
+    (Exp.Fig4.run_extended ~paper_size ~jobs ());
   Printf.printf
     "\nPaper shape check: CHERI outperforms CCured substantially in all\n\
      configurations; CHERI allocation cost is small (one CIncBase+CSetLen);\n\
@@ -212,9 +212,9 @@ let fig4 ~paper_size () =
 
 (* --- Figure 5 ------------------------------------------------------------------- *)
 
-let fig5 () =
+let fig5 ~jobs () =
   section "Figure 5: CHERI slowdown vs heap size (16 KB L1 / 64 KB L2 / 1 MB TLB reach)";
-  let points = Exp.Fig5.run_sweep () in
+  let points = Exp.Fig5.run_sweep ~jobs () in
   Printf.printf "%-11s %8s %10s %14s %18s\n" "benchmark" "param" "heap[KB]" "slowdown[%]"
     "L1D misses (C/L)";
   List.iter
@@ -273,7 +273,7 @@ loop:
   let before = m.Machine.cycles in
   let code, _ = Os.Kernel.run_program k source in
   assert (code = 0);
-  let cycles = Int64.to_int (Int64.sub m.Machine.cycles before) in
+  let cycles = m.Machine.cycles - before in
   let per_iter = float_of_int cycles /. 10000.0 in
   (* 5 instructions per iteration; 3 are capability manipulations. *)
   let per_manip = (per_iter -. 2.0) /. 3.0 in
@@ -289,7 +289,7 @@ loop:
 
 (* --- Ablations ------------------------------------------------------------------------- *)
 
-let ablation () =
+let ablation ~jobs () =
   section "Ablation 1: capability compression (256-bit vs 128-bit machine)";
   Printf.printf "%-11s %14s %14s %12s %12s\n" "benchmark" "CHERI-256[%]" "CHERI-128[%]"
     "heap256[KB]" "heap128[KB]";
@@ -298,7 +298,7 @@ let ablation () =
       Printf.printf "%-11s %14.1f %14.1f %12d %12d\n" r.Exp.Ablation.bench
         r.Exp.Ablation.cheri256_total_pct r.Exp.Ablation.cheri128_total_pct
         r.Exp.Ablation.heap256_kb r.Exp.Ablation.heap128_kb)
-    (Exp.Ablation.compression ());
+    (Exp.Ablation.compression ~jobs ());
   print_string
     "\nSection 8: 'These results reconfirm that CHERI will benefit from\n\
      capability compression' -- the 128-bit machine halves the pointer\n\
@@ -309,7 +309,7 @@ let ablation () =
     (fun (r : Exp.Ablation.tag_row) ->
       Printf.printf "%-16d %12d %12d %14.2f\n" r.Exp.Ablation.tag_cache_bytes
         r.Exp.Ablation.tag_fills r.Exp.Ablation.data_fills r.Exp.Ablation.fill_ratio_pct)
-    (Exp.Ablation.tag_cache_sweep ());
+    (Exp.Ablation.tag_cache_sweep ~jobs ());
   print_string
     "\nAt the paper's 8 KB the tag table adds only a tiny fraction of DRAM\n\
      transactions ('does not noticeably degrade performance').\n";
@@ -319,14 +319,14 @@ let ablation () =
     (fun (r : Exp.Ablation.latency_row) ->
       Printf.printf "%-16d %18.1f\n" r.Exp.Ablation.dram_cycles
         r.Exp.Ablation.treeadd_slowdown_pct)
-    (Exp.Ablation.latency_sweep ());
+    (Exp.Ablation.latency_sweep ~jobs ());
   print_string
     "\nThe slowdown scales with memory latency -- evidence that CHERI's\n\
      overhead is cache-miss-driven, as Section 8 argues.\n"
 
 (* --- Bechamel microbenchmarks ----------------------------------------------------------- *)
 
-let micro () =
+let micro ~quick () =
   section "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let cap_ops =
@@ -382,12 +382,51 @@ let micro () =
            i := Int64.add !i 40L;
            ignore (Mem.Cache.access c ~addr:(Int64.logand !i 0xFFFFFL) ~write:false)))
   in
+  (* The three hot-path fast cases, in ns per operation: what one
+     simulated instruction pays for its decode lookup, its address
+     translation, and its L1 access when everything hits. *)
+  let steady_hit =
+    (* Decode-cache hit: the same steady 200-instruction loop as the
+       interpreter benchmark, but measured per instruction after the
+       decode cache and caches are warm — the common-case ns/insn. *)
+    let m = Machine.create () in
+    let _k = Os.Kernel.attach m in
+    let program =
+      Asm.Assembler.assemble
+        "main:\n  li $t0, 100\nloop:\n  daddiu $t0, $t0, -1\n  bgtz $t0, loop\n  break\n"
+    in
+    Asm.Assembler.load m program;
+    Machine.map_identity m ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+    Machine.set_kernel m (fun _ _ -> Machine.Halt 0);
+    m.Machine.pc <- program.Asm.Assembler.entry;
+    ignore (Machine.run ~max_insns:1_000L m);
+    (* warm *)
+    Test.make ~name:"step, decode-cache hit (1 insn)"
+      (Staged.stage (fun () ->
+           m.Machine.pc <- program.Asm.Assembler.entry;
+           Machine.step m))
+  in
+  let tlb_hit =
+    let tlb = Mem.Tlb.create ~entries:256 () in
+    Mem.Tlb.map tlb ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+    ignore (Mem.Tlb.touch tlb 0x1000L);
+    Test.make ~name:"TLB touch, hit (same page)"
+      (Staged.stage (fun () -> ignore (Mem.Tlb.touch tlb 0x1040L)))
+  in
+  let l1_hit =
+    let c = Mem.Cache.create ~name:"l1hit" ~size_bytes:16384 ~line_bytes:32 ~assoc:4 in
+    ignore (Mem.Cache.access c ~addr:0x2000L ~write:false);
+    Test.make ~name:"cache access, L1 hit (same line)"
+      (Staged.stage (fun () -> ignore (Mem.Cache.access c ~addr:0x2008L ~write:false)))
+  in
   let tests =
-    Test.make_grouped ~name:"cheri" ~fmt:"%s %s" [ cap_ops; cap_bytes; decode; interp; cache ]
+    Test.make_grouped ~name:"cheri" ~fmt:"%s %s"
+      [ cap_ops; cap_bytes; decode; interp; cache; steady_hit; tlb_hit; l1_hit ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let quota = if quick then Time.second 0.05 else Time.second 0.25 in
+  let cfg = Benchmark.cfg ~limit:(if quick then 300 else 1000) ~quota ~kde:(Some 500) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   Hashtbl.iter
@@ -416,32 +455,24 @@ let fault () =
    -- are populated; without one they exported as zero, which made the
    cheri-mode entries useless as an instruction-mix baseline. *)
 
-let obs_entries () =
-  List.concat_map
-    (fun (bench, param, _paper) ->
-      let src = List.assoc bench Olden.Minic_src.all in
-      List.map
-        (fun mode ->
-          let probe = Obs.Probe.create () in
-          let t0 = Unix.gettimeofday () in
-          let r = Exp.Bench_run.run ~probe ~bench ~mode ~param src in
-          let wall_s = Unix.gettimeofday () -. t0 in
-          Printf.printf "%-11s %-10s param=%-5d cycles=%-12Ld wall=%.2fs\n" bench
-            (Minic.Layout.mode_name mode) param r.Exp.Bench_run.cycles wall_s;
-          {
-            Obs.Export.bench;
-            mode = Minic.Layout.mode_name mode;
-            param;
-            wall_s;
-            counters = r.Exp.Bench_run.counters;
-            spans = r.Exp.Bench_run.spans;
-          })
-        Exp.Fig4.modes)
-    Exp.Fig4.benchmarks
+(* Run the export set (possibly fanned across domains) and print the
+   per-run progress lines afterwards, in input order: with the printing
+   outside the workers, `--jobs N` output is byte-identical to
+   sequential. *)
+let obs_entries ~jobs ~wall () =
+  let entries = Exp.Obs_bench.fig4_entries ~jobs ~wall () in
+  List.iter
+    (fun (e : Obs.Export.entry) ->
+      Printf.printf "%-11s %-10s param=%-5d cycles=%-12Ld wall=%.2fs (%.1f MIPS)\n"
+        e.Obs.Export.bench e.Obs.Export.mode e.Obs.Export.param
+        (Obs.Counters.get e.Obs.Export.counters Obs.Counters.cycles)
+        e.Obs.Export.wall_s (Obs.Export.sim_mips e))
+    entries;
+  entries
 
-let obs_export () =
+let obs_export ~jobs ~wall () =
   section "BENCH_obs.json: machine-readable counter export";
-  let entries = obs_entries () in
+  let entries = obs_entries ~jobs ~wall () in
   Obs.Export.write_file "BENCH_obs.json" entries;
   Printf.printf "wrote BENCH_obs.json (%d runs, %.0f simulated instr/s)\n" (List.length entries)
     (Obs.Export.interp_instr_per_s entries)
@@ -451,7 +482,7 @@ let obs_export () =
    DIR).  The simulator is deterministic, so every architectural counter
    must match exactly; the process exits non-zero when one differs. *)
 
-let obs_regress ~baseline_dir () =
+let obs_regress ~baseline_dir ~jobs ~wall () =
   section "regress: live run vs committed baseline";
   let path = Filename.concat baseline_dir "BENCH_obs.json" in
   match Obs.Baseline.load path with
@@ -459,7 +490,7 @@ let obs_regress ~baseline_dir () =
       Printf.eprintf "regress: %s\n" msg;
       exit 2
   | Ok committed ->
-      let live = Obs.Baseline.of_entries (obs_entries ()) in
+      let live = Obs.Baseline.of_entries (obs_entries ~jobs ~wall ()) in
       let report = Obs.Diff.run committed live in
       Fmt.pr "%a@." Obs.Diff.pp report;
       if not (Obs.Diff.ok report) then exit (Obs.Diff.exit_code report)
@@ -471,6 +502,11 @@ let () =
   let paper_size = List.mem "--paper-size" args in
   let skip_fault = List.mem "--skip-fault" args in
   let json = List.mem "--json" args in
+  (* --no-wall: record 0.0 for host wall-clock fields, making the whole
+     export deterministic (the diff policy skips non-positive wall
+     fields).  --quick: cut the Bechamel quota for a fast micro smoke. *)
+  let wall = not (List.mem "--no-wall" args) in
+  let quick = List.mem "--quick" args in
   (* --baseline DIR: where `regress` finds the committed exports. *)
   let rec take_baseline = function
     | "--baseline" :: dir :: rest -> (dir, rest)
@@ -480,8 +516,26 @@ let () =
     | [] -> ("bench/baselines", [])
   in
   let baseline_dir, args = take_baseline args in
+  (* --jobs N: fan independent (benchmark x mode x param) points across
+     N domains.  Results merge in input order, so any N produces
+     byte-identical tables and JSON (modulo measured wall clocks). *)
+  let rec take_jobs = function
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> (j, rest)
+        | _ ->
+            Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" n;
+            exit 2)
+    | a :: rest ->
+        let j, rest' = take_jobs rest in
+        (j, a :: rest')
+    | [] -> (1, [])
+  in
+  let jobs, args = take_jobs args in
   let args =
-    List.filter (fun a -> a <> "--paper-size" && a <> "--skip-fault" && a <> "--json") args
+    List.filter
+      (fun a -> a <> "--paper-size" && a <> "--skip-fault" && a <> "--json" && a <> "--no-wall" && a <> "--quick")
+      args
   in
   let targets =
     if args = [] || args = [ "all" ] then
@@ -501,15 +555,15 @@ let () =
       | "table1" -> table1 ()
       | "table2" -> table2 ()
       | "fig3" -> fig3 ~paper_size ()
-      | "fig4" -> fig4 ~paper_size ()
-      | "fig5" -> fig5 ()
+      | "fig4" -> fig4 ~paper_size ~jobs ()
+      | "fig5" -> fig5 ~jobs ()
       | "fig6" -> fig6 ()
       | "seg-compare" -> seg_compare ()
-      | "ablation" -> ablation ()
+      | "ablation" -> ablation ~jobs ()
       | "fault" -> fault ()
-      | "micro" -> micro ()
-      | "obs" -> obs_export ()
-      | "regress" -> obs_regress ~baseline_dir ()
+      | "micro" -> micro ~quick ()
+      | "obs" -> obs_export ~jobs ~wall ()
+      | "regress" -> obs_regress ~baseline_dir ~jobs ~wall ()
       | other ->
           Printf.eprintf
             "unknown target %S (expected \

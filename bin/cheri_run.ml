@@ -43,7 +43,7 @@ let run file disasm trace stats max_insns =
       Machine.Halt 139);
   if trace then
     Machine.set_trace_hook machine (fun m marker a b ->
-        Fmt.epr "[trace] cycle %Ld: %s %Ld %Ld@." m.Machine.cycles
+        Fmt.epr "[trace] cycle %d: %s %Ld %Ld@." m.Machine.cycles
           (Beri.Insn.marker_name marker) a b);
   Os.Kernel.exec kernel program;
   let code = Machine.run ~max_insns machine in

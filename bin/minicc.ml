@@ -46,7 +46,7 @@ let compile file mode output run_it =
         Machine.Halt 139);
     let code, console = Os.Kernel.run_program kernel asm in
     print_string console;
-    Fmt.epr "[%s] exit=%d cycles=%Ld instructions=%Ld@." (Minic.Layout.mode_name mode) code
+    Fmt.epr "[%s] exit=%d cycles=%d instructions=%d@." (Minic.Layout.mode_name mode) code
       machine.Machine.cycles machine.Machine.instret;
     exit code
   end

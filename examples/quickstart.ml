@@ -58,5 +58,5 @@ let () =
   let exit_code, console = Os.Kernel.run_program kernel program in
   Fmt.pr "console output: %s@." (String.trim console);
   Fmt.pr "exit code: %d (42 = our fault handler ran)@." exit_code;
-  Fmt.pr "cycles: %Ld, instructions: %Ld@." machine.Machine.cycles machine.Machine.instret;
+  Fmt.pr "cycles: %d, instructions: %d@." machine.Machine.cycles machine.Machine.instret;
   assert (exit_code = 42)

@@ -24,8 +24,8 @@ type width_row = {
 }
 
 let compression ?(benches = [ ("treeadd", 12); ("bisort", 10); ("mst", 96); ("perimeter", 7) ])
-    () =
-  List.map
+    ?jobs () =
+  Pool.map ?jobs
     (fun (bench, param) ->
       let src = List.assoc bench Olden.Minic_src.all in
       let legacy = Bench_run.run ~bench ~mode:Minic.Layout.Legacy ~param src in
@@ -51,8 +51,8 @@ type tag_row = {
   fill_ratio_pct : float;
 }
 
-let tag_cache_sweep ?(sizes = [ 256; 1024; 4096; 8192; 16384 ]) () =
-  List.map
+let tag_cache_sweep ?(sizes = [ 256; 1024; 4096; 8192; 16384 ]) ?jobs () =
+  Pool.map ?jobs
     (fun size ->
       let config =
         {
@@ -87,8 +87,8 @@ let tag_cache_sweep ?(sizes = [ 256; 1024; 4096; 8192; 16384 ]) () =
 
 type latency_row = { dram_cycles : int; treeadd_slowdown_pct : float }
 
-let latency_sweep ?(latencies = [ 4; 12; 30; 60 ]) () =
-  List.map
+let latency_sweep ?(latencies = [ 4; 12; 30; 60 ]) ?jobs () =
+  Pool.map ?jobs
     (fun dram ->
       let config =
         {
@@ -106,7 +106,7 @@ let latency_sweep ?(latencies = [ 4; 12; 30; 60 ]) () =
         let k = Os.Kernel.attach m in
         let code, _ = Os.Kernel.run_program ~max_insns:200_000_000L k asm in
         assert (code = 0);
-        m.Machine.cycles
+        Int64.of_int m.Machine.cycles
       in
       let legacy = run Minic.Layout.Legacy in
       let cheri = run Minic.Layout.Cheri in

@@ -34,20 +34,20 @@ let source name = List.assoc name Olden.Minic_src.all
 
 let modes = [ Minic.Layout.Legacy; Minic.Layout.Softcheck; Minic.Layout.Cheri ]
 
-let run_benchmark ?(paper_size = false) name =
+(* One (benchmark, mode) point: the unit of work a parallel sweep fans
+   across domains. *)
+let run_point ~paper_size ~bench:name ~mode =
   let _, small, paper =
-    List.find (fun (n, _, _) -> n = name)
-      (List.map (fun (n, s, p) -> (n, s, p)) (benchmarks @ extended_benchmarks))
+    List.find (fun (n, _, _) -> n = name) (benchmarks @ extended_benchmarks)
   in
   let param = if paper_size then paper else small in
   (* iterated kernels: em3d sweeps, health timesteps *)
   let iters = match name with "em3d" -> 4 | "health" -> 40 | _ -> 1 in
-  let src = source name in
-  let results =
-    List.map
-      (fun mode -> Bench_run.run ~iters ~big_mem:paper_size ~bench:name ~mode ~param src)
-      modes
-  in
+  Bench_run.run ~iters ~big_mem:paper_size ~bench:name ~mode ~param (source name)
+
+(* Overhead rows for one benchmark from its per-mode results ([modes]
+   order, Legacy first — the baseline). *)
+let rows_of_results name (results : Bench_run.result list) =
   let baseline = List.hd results in
   List.map
     (fun (r : Bench_run.result) ->
@@ -68,8 +68,27 @@ let run_benchmark ?(paper_size = false) name =
       })
     results
 
-let run_all ?paper_size () =
-  List.concat_map (fun (name, _, _) -> run_benchmark ?paper_size name) benchmarks
+let run_benchmark ?(paper_size = false) ?jobs name =
+  rows_of_results name
+    (Pool.map ?jobs (fun mode -> run_point ~paper_size ~bench:name ~mode) modes)
 
-let run_extended ?paper_size () =
-  List.concat_map (fun (name, _, _) -> run_benchmark ?paper_size name) extended_benchmarks
+(* Fan (benchmark x mode) across domains; [Pool.map] returns results in
+   input order, so regrouping into per-benchmark rows — and therefore
+   every table and export downstream — is independent of [jobs]. *)
+let run_set ?(paper_size = false) ?jobs set =
+  let points =
+    List.concat_map (fun (name, _, _) -> List.map (fun m -> (name, m)) modes) set
+  in
+  let results =
+    Pool.map ?jobs (fun (name, mode) -> run_point ~paper_size ~bench:name ~mode) points
+  in
+  let n_modes = List.length modes in
+  List.concat
+    (List.mapi
+       (fun i (name, _, _) ->
+         rows_of_results name
+           (List.filteri (fun j _ -> j / n_modes = i) results))
+       set)
+
+let run_all ?paper_size ?jobs () = run_set ?paper_size ?jobs benchmarks
+let run_extended ?paper_size ?jobs () = run_set ?paper_size ?jobs extended_benchmarks

@@ -52,9 +52,13 @@ let run_point ~bench ~param =
       Int64.to_int (Obs.Counters.get legacy.Bench_run.counters Obs.Counters.l1d_misses);
   }
 
-let run_sweep ?(benches = [ "treeadd"; "bisort"; "perimeter"; "mst" ]) () =
-  List.concat_map
-    (fun (name, params) ->
-      if List.mem name benches then List.map (fun p -> run_point ~bench:name ~param:p) params
-      else [])
-    sweeps
+(* Fan the (bench, param) points across domains; [Pool.map] preserves
+   input order, so the sweep's output is identical for any [jobs]. *)
+let run_sweep ?(benches = [ "treeadd"; "bisort"; "perimeter"; "mst" ]) ?jobs () =
+  let points =
+    List.concat_map
+      (fun (name, params) ->
+        if List.mem name benches then List.map (fun p -> (name, p)) params else [])
+      sweeps
+  in
+  Pool.map ?jobs (fun (bench, param) -> run_point ~bench ~param) points

@@ -1,0 +1,71 @@
+(* The obs export set: the benchmark runs behind `bench --json`, `bench
+   regress`, and the regress-smoke / parallel-determinism tests, factored
+   into one definition so every consumer builds *exactly* the same
+   entries.
+
+   Each point runs one Olden kernel in one pointer mode with a
+   classification probe attached and returns an [Obs.Export.entry]: the
+   full counter file, phase spans, and the host wall-clock seconds the
+   simulation took (from which the export derives simulated MIPS).
+   Points are independent, so [~jobs] fans them across domains via
+   [Pool]; results come back in input order, making parallel output
+   byte-identical to sequential — except for the wall-clock fields, which
+   genuinely differ run to run.  Pass [~wall:false] to record 0.0 instead
+   (the diff policy treats non-positive wall fields as unmeasured), which
+   makes the *entire* export deterministic — that is what the
+   parallel-determinism test byte-compares. *)
+
+type point = { bench : string; mode : Minic.Layout.mode; param : int }
+
+let point ~bench ~mode ~param = { bench; mode; param }
+
+(* A run that exits non-zero has no meaningful counters; fail loudly
+   rather than export garbage. *)
+exception Run_failed of { bench : string; mode : string; exit_code : int }
+
+let () =
+  Printexc.register_printer (function
+    | Run_failed { bench; mode; exit_code } ->
+        Some (Printf.sprintf "obs-bench: %s/%s exited %d" bench mode exit_code)
+    | _ -> None)
+
+let run_point ~wall { bench; mode; param } =
+  let src = List.assoc bench Olden.Minic_src.all in
+  let probe = Obs.Probe.create () in
+  let t0 = if wall then Unix.gettimeofday () else 0.0 in
+  let r = Bench_run.run ~probe ~bench ~mode ~param src in
+  let wall_s = if wall then Unix.gettimeofday () -. t0 else 0.0 in
+  if r.Bench_run.exit_code <> 0 then
+    raise
+      (Run_failed
+         { bench; mode = Minic.Layout.mode_name mode; exit_code = r.Bench_run.exit_code });
+  {
+    Obs.Export.bench;
+    mode = Minic.Layout.mode_name mode;
+    param;
+    wall_s;
+    counters = r.Bench_run.counters;
+    spans = r.Bench_run.spans;
+  }
+
+let run_points ?(jobs = 1) ?(wall = true) points = Pool.map ~jobs (run_point ~wall) points
+
+(* The full fig4 set (all benchmarks x all three modes, scaled-down
+   parameters): what `bench --json` exports and `bench regress` replays. *)
+let fig4_points =
+  List.concat_map
+    (fun (bench, param, _paper) ->
+      List.map (fun mode -> point ~bench ~mode ~param) Fig4.modes)
+    Fig4.benchmarks
+
+let fig4_entries ?jobs ?wall () = run_points ?jobs ?wall fig4_points
+
+(* The smoke set (treeadd param 6 x all three modes — seconds, not
+   minutes): what regress-smoke and the parallel-determinism test use. *)
+let smoke_bench = "treeadd"
+let smoke_param = 6
+
+let smoke_points =
+  List.map (fun mode -> point ~bench:smoke_bench ~mode ~param:smoke_param) Fig4.modes
+
+let smoke_entries ?jobs ?wall () = run_points ?jobs ?wall smoke_points

@@ -1,0 +1,44 @@
+(* A deterministic Domain pool for experiment sweeps.
+
+   Every figure in the evaluation is a list of independent simulator runs
+   (benchmark x mode x parameter points), each a pure function of its
+   inputs — the simulator has no global mutable state.  [map ~jobs f xs]
+   fans those points across [jobs] domains and returns the results *in
+   input order*, so a parallel sweep produces byte-identical tables and
+   JSON to the sequential one; only the wall clock changes.
+
+   Work distribution is a shared atomic cursor: each worker repeatedly
+   claims the next unclaimed index and writes its result into that slot
+   of a results array.  Slots are disjoint and [Domain.join] publishes
+   the writes, so no further synchronisation is needed.  Exceptions are
+   captured per-slot and re-raised (with their backtrace) in input order
+   after all workers finish — a failing point does not tear down the
+   others mid-run. *)
+
+let map ?(jobs = 1) f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+           Some
+             (match f items.(i) with
+             | v -> Ok v
+             | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+        worker ()
+      end
+    in
+    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false (* every index was claimed by some worker *))
+  end

@@ -150,7 +150,7 @@ let golden_run cfg program =
       {
         exit_code = code;
         output = out;
-        instret = m.Machine.instret;
+        instret = Int64.of_int m.Machine.instret;
         brk = k.Os.Kernel.brk;
         stack;
         live = Array.of_list (List.rev (stack :: !allocs));
@@ -215,7 +215,7 @@ let faulted_run cfg ~program ~(golden : golden) ~heap_len seed =
          Injector.poll inj m;
          if
            cfg.monitor && Injector.fired inj && !monitor_flags = 0
-           && Int64.rem m.Machine.instret monitor_period = 0L
+           && Int64.rem (Int64.of_int m.Machine.instret) monitor_period = 0L
          then sweep ()));
   let budget = Int64.add (Int64.mul golden.instret 4L) 100_000L in
   let result = Machine.run_result ~max_insns:budget ~watchdog:1024 m in

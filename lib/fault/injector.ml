@@ -152,7 +152,7 @@ let inject_now t m =
    hook — e.g. a campaign that also samples an invariant monitor — call
    this from their own hook; standalone users just [arm]. *)
 let poll t (m : Machine.t) =
-  if t.injected = None && Int64.compare m.Machine.instret t.at_instret >= 0 then
+  if t.injected = None && Int64.compare (Int64.of_int m.Machine.instret) t.at_instret >= 0 then
     t.injected <- Some (inject_now t m)
 
 (* Hook the planned injection into [Machine.step].  The hook self-disarms

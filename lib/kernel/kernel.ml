@@ -100,8 +100,8 @@ let handle_syscall t =
         Buffer.add_string t.output (Int64.to_string a0);
         Buffer.add_char t.output '\n';
         Machine.set_gpr m Regs.v0 0L
-    | n when n = sys_cycles -> Machine.set_gpr m Regs.v0 m.Machine.cycles
-    | n when n = sys_instret -> Machine.set_gpr m Regs.v0 m.Machine.instret
+    | n when n = sys_cycles -> Machine.set_gpr m Regs.v0 (Int64.of_int m.Machine.cycles)
+    | n when n = sys_instret -> Machine.set_gpr m Regs.v0 (Int64.of_int m.Machine.instret)
     | _ -> Machine.set_gpr m Regs.v0 Int64.minus_one);
     Machine.Resume_at (Int64.add m.Machine.cp0.Cp0.epc 4L)
   end
@@ -186,8 +186,8 @@ let handler t (ctx : Machine.exn_ctx) =
           badvaddr = t.machine.Machine.cp0.Cp0.badvaddr;
           capcause = t.machine.Machine.cp0.Cp0.capcause;
           capreg = t.machine.Machine.cp0.Cp0.capcause_reg;
-          instret = t.machine.Machine.instret;
-          cycles = t.machine.Machine.cycles;
+          instret = Int64.of_int t.machine.Machine.instret;
+          cycles = Int64.of_int t.machine.Machine.cycles;
           disasm = disasm_at t.machine ctx.Machine.victim_pc;
         }
       in

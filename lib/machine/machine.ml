@@ -64,8 +64,8 @@ type t = {
   phys : Mem.Phys.t;
   tags : Mem.Tags.t;
   hier : Mem.Hierarchy.t;
-  mutable cycles : int64;
-  mutable instret : int64;
+  mutable cycles : int;
+  mutable instret : int;
   mutable ll_bit : bool;
   mutable ll_addr : int64;
   mutable kernel : t -> exn_ctx -> kernel_action;
@@ -80,14 +80,25 @@ type t = {
          architectural state or the cycle count, so probed and unprobed
          runs are architecturally identical. *)
   mutable timing : bool; (* drive the cache/TLB model (off = fast functional mode) *)
-  mutable stores : int64; (* retired stores, of any width (hang-detector fuel) *)
-  mutable kernel_entries : int64; (* exceptions dispatched to the kernel *)
-  (* Decoded-instruction cache, keyed by PC.  Purely an interpreter
-     optimisation: the architectural I-fetch (PCC check, TLB, I-cache
-     model) still happens every step; only binary decode is memoized.
-     Invalidated on [invalidate_icache] (the loader calls it). *)
-  decoded : (int64, Insn.t) Hashtbl.t;
+  mutable stores : int; (* retired stores, of any width (hang-detector fuel) *)
+  mutable kernel_entries : int; (* exceptions dispatched to the kernel *)
+  (* Decoded-instruction cache: direct-mapped on [pc lsr 2], tagged with
+     the full (int) PC, -1 = empty.  Purely an interpreter optimisation:
+     the architectural I-fetch (PCC check, TLB, I-cache model) still
+     happens every step; only binary decode is memoized.  A conflicting
+     PC simply takes the full fetch-and-decode path, which charges the
+     same architectural costs — so collisions affect host speed only,
+     never simulated counters.  Invalidated on [invalidate_icache] (the
+     loader calls it). *)
+  decode_pc : int array;
+  decode_insn : Insn.t array;
 }
+
+(* 2^14 slots x 4-byte insns = direct coverage of 64 KB of code, far more
+   than any workload's hot loops. *)
+let decode_slots = 1 lsl 14
+
+let decode_mask = decode_slots - 1
 
 (* The reset kernel: a bare machine treats any syscall as "exit 0" and has
    no handler for anything else.  Unhandled exceptions stop the machine
@@ -109,8 +120,8 @@ let create ?(config = default_config) () =
         ~line_bytes:(match config.cap_width with W256 -> 32 | W128 -> 16)
         ~mem_size:config.mem_size ();
     hier = Mem.Hierarchy.create ~config:config.hierarchy ();
-    cycles = 0L;
-    instret = 0L;
+    cycles = 0;
+    instret = 0;
     ll_bit = false;
     ll_addr = 0L;
     kernel = default_kernel;
@@ -118,9 +129,10 @@ let create ?(config = default_config) () =
     on_step = None;
     probe = None;
     timing = true;
-    stores = 0L;
-    kernel_entries = 0L;
-    decoded = Hashtbl.create 4096;
+    stores = 0;
+    kernel_entries = 0;
+    decode_pc = Array.make decode_slots (-1);
+    decode_insn = Array.make decode_slots Insn.Syscall;
   }
 
 let set_kernel t f = t.kernel <- f
@@ -153,7 +165,7 @@ let set_cap t i c = t.caps.(i) <- c
 (* Convenience: identity-map a virtual range with full permissions. *)
 let map_identity t ~vaddr ~len prot = Mem.Tlb.map t.hier.Mem.Hierarchy.tlb ~vaddr ~len prot
 
-let charge t n = if t.timing then t.cycles <- Int64.add t.cycles (Int64.of_int n)
+let charge t n = if t.timing then t.cycles <- t.cycles + n
 
 (* --- diagnostic snapshots ---------------------------------------------- *)
 
@@ -191,8 +203,8 @@ let snapshot ?(cause = "snapshot") t =
     snap_lo = t.regs.Regs.lo;
     snap_caps = Array.copy t.caps;
     snap_pcc = t.pcc;
-    snap_instret = t.instret;
-    snap_cycles = t.cycles;
+    snap_instret = Int64.of_int t.instret;
+    snap_cycles = Int64.of_int t.cycles;
   }
 
 let pp_snapshot ppf s =
@@ -311,7 +323,7 @@ let store_scalar t ~reg c ~addr ~width v =
      | Insn.W -> Mem.Phys.write_u32 t.phys addr (Int64.to_int (Int64.logand v 0xFFFF_FFFFL))
      | Insn.D -> Mem.Phys.write_u64 t.phys addr v
    with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
-  t.stores <- Int64.add t.stores 1L;
+  t.stores <- t.stores + 1;
   (* A general-purpose store clears the tag of the overlapped line(s):
      the architectural rule that makes in-memory capabilities unforgeable. *)
   Mem.Tags.clear_range t.tags addr size;
@@ -371,7 +383,7 @@ let store_cap t ~reg c ~addr v =
   data_penalty t ~addr ~size ~write:true;
   (try Mem.Phys.write_bytes t.phys addr image
    with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
-  t.stores <- Int64.add t.stores 1L;
+  t.stores <- t.stores + 1;
   (match t.probe with
   | Some p when Cap.Capability.tag v ->
       Obs.Probe.note_cap_bounds p ~len:(Cap.Capability.length v)
@@ -715,31 +727,35 @@ let fetch t =
   with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_load, a))
 
 (* Execute a single instruction, routing exceptions to the kernel model. *)
-let invalidate_icache t = Hashtbl.reset t.decoded
+let invalidate_icache t = Array.fill t.decode_pc 0 decode_slots (-1)
 
 let step t =
   (match t.on_step with Some f -> f t | None -> ());
   try
+    let ipc = Int64.to_int t.pc in
+    let slot = (ipc lsr 2) land decode_mask in
     let insn =
-      match Hashtbl.find_opt t.decoded t.pc with
-      | Some insn ->
-          (* Architectural fetch costs still apply. *)
-          check_cap t ~reg:0xFF t.pcc Cap.Capability.Execute ~addr:t.pc ~size:4;
-          if t.timing then charge t (Mem.Hierarchy.access_insn t.hier ~addr:t.pc);
-          insn
-      | None ->
-          let word = fetch t in
-          let insn =
-            try Code.decode word
-            with Code.Decode_error _ -> raise (Exn (Cp0.Reserved_instruction, 0L))
-          in
-          Hashtbl.replace t.decoded t.pc insn;
-          insn
+      if Array.unsafe_get t.decode_pc slot = ipc then begin
+        (* Decode-cache hit.  Architectural fetch costs still apply. *)
+        check_cap t ~reg:0xFF t.pcc Cap.Capability.Execute ~addr:t.pc ~size:4;
+        if t.timing then charge t (Mem.Hierarchy.access_insn t.hier ~addr:t.pc);
+        Array.unsafe_get t.decode_insn slot
+      end
+      else begin
+        let word = fetch t in
+        let insn =
+          try Code.decode word
+          with Code.Decode_error _ -> raise (Exn (Cp0.Reserved_instruction, 0L))
+        in
+        Array.unsafe_set t.decode_pc slot ipc;
+        Array.unsafe_set t.decode_insn slot insn;
+        insn
+      end
     in
     (match insn with
     | Insn.Trace _ -> () (* instrumentation: free, and excluded from instret *)
     | _ ->
-        t.instret <- Int64.add t.instret 1L;
+        t.instret <- t.instret + 1;
         charge t 1;
         (* Observability probe: classify + sample over exactly the
            instret population (markers excluded, faulting fetches
@@ -762,7 +778,7 @@ let step t =
     t.cp0.Cp0.last_exc <- Some exc;
     t.cp0.Cp0.exl <- true;
     t.ll_bit <- false;
-    t.kernel_entries <- Int64.add t.kernel_entries 1L;
+    t.kernel_entries <- t.kernel_entries + 1;
     let ctx = { exc; victim_pc = t.pc } in
     match t.kernel t ctx with
     | Resume_at pc ->
@@ -799,8 +815,8 @@ let state_digest t =
   in
   Array.iter mix_cap t.caps;
   mix_cap t.pcc;
-  h := mix !h t.stores;
-  h := mix !h t.kernel_entries;
+  h := mix !h (Int64.of_int t.stores);
+  h := mix !h (Int64.of_int t.kernel_entries);
   h := mix !h (if t.ll_bit then 13L else 17L);
   !h
 
@@ -819,19 +835,25 @@ let watchdog_ring = 64
    corrupted syscall arguments. *)
 let run_result ?(max_insns = Int64.max_int) ?(watchdog = 0) t =
   let start = t.instret in
-  let wd = if watchdog > 0 then Int64.of_int watchdog else 0L in
+  (* The budget arrives as an int64 for API stability; clamp it into the
+     native-int domain the retirement counter lives in. *)
+  let budget =
+    if Int64.compare max_insns (Int64.of_int max_int) >= 0 then max_int
+    else Int64.to_int max_insns
+  in
+  let wd = if watchdog > 0 then watchdog else 0 in
   let hist_pc = Array.make watchdog_ring Int64.minus_one in
   let hist_digest = Array.make watchdog_ring 0L in
   let hist_len = ref 0 and hist_next = ref 0 in
   let outcome = ref None in
   (try
      while !outcome = None do
-       if Int64.sub t.instret start >= max_insns then
+       if t.instret - start >= budget then
          outcome :=
            Some (Budget_exhausted (snapshot ~cause:"instruction budget exhausted" t))
        else begin
          step t;
-         if wd > 0L && Int64.rem (Int64.sub t.instret start) wd = 0L then begin
+         if wd > 0 && (t.instret - start) mod wd = 0 then begin
            let d = state_digest t in
            let repeat = ref false in
            for i = 0 to !hist_len - 1 do
@@ -892,10 +914,10 @@ let run ?max_insns ?watchdog t =
    spans diff two reads. *)
 let read_counters t =
   let c = Obs.Counters.create () in
-  Obs.Counters.set c Obs.Counters.instret t.instret;
-  Obs.Counters.set c Obs.Counters.cycles t.cycles;
-  Obs.Counters.set c Obs.Counters.retired_stores t.stores;
-  Obs.Counters.set c Obs.Counters.kernel_entries t.kernel_entries;
+  Obs.Counters.set_int c Obs.Counters.instret t.instret;
+  Obs.Counters.set_int c Obs.Counters.cycles t.cycles;
+  Obs.Counters.set_int c Obs.Counters.retired_stores t.stores;
+  Obs.Counters.set_int c Obs.Counters.kernel_entries t.kernel_entries;
   Mem.Hierarchy.fill_counters t.hier c;
   (match t.probe with Some p -> Obs.Probe.fill p c | None -> ());
   c

@@ -1,15 +1,25 @@
 (* A set-associative, write-back, write-allocate cache model with LRU
    replacement.  Purely a performance model: data lives in [Phys]; the
    cache tracks only which lines are resident, so it can be driven by both
-   the machine and the trace-replay simulators. *)
+   the machine and the trace-replay simulators.
 
-type line = { mutable tag : int64; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+   The model sits on the simulator's per-instruction path (every fetch and
+   every data access touches it), so [access] is engineered to be
+   allocation-free: geometry is restricted to powers of two and indexing
+   is native-int shift/mask (no boxed [Int64.div]/[unsigned_rem]), way
+   search and victim selection are loops over the set (no intermediate
+   lists), and the two possible [Miss] outcomes are preallocated
+   constants. *)
+
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
 
 type t = {
   name : string;
   line_bytes : int;
   sets : int;
   assoc : int;
+  line_bits : int; (* log2 line_bytes: addr -> line index by shift *)
+  set_bits : int; (* log2 sets: line index -> (set, tag) by mask/shift *)
   data : line array array; (* [set].[way] *)
   mutable tick : int;
   mutable hits : int;
@@ -17,17 +27,40 @@ type t = {
   mutable writebacks : int;
 }
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* log2 of a power of two. *)
+let log2 n =
+  let rec go b v = if v <= 1 then b else go (b + 1) (v lsr 1) in
+  go 0 n
+
 let create ~name ~size_bytes ~line_bytes ~assoc =
-  if size_bytes mod (line_bytes * assoc) <> 0 then invalid_arg "Cache.create";
+  if line_bytes <= 0 || assoc <= 0 || size_bytes mod (line_bytes * assoc) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Cache.create %s: size %d B is not a multiple of line_bytes*assoc = %d*%d"
+         name size_bytes line_bytes assoc);
+  if not (is_pow2 line_bytes) then
+    invalid_arg
+      (Printf.sprintf
+         "Cache.create %s: line_bytes %d is not a power of two (required by shift/mask indexing)"
+         name line_bytes);
   let sets = size_bytes / (line_bytes * assoc) in
+  if not (is_pow2 sets) then
+    invalid_arg
+      (Printf.sprintf
+         "Cache.create %s: derived set count %d (= %d B / (%d B lines x %d ways)) is not a \
+          power of two (required by shift/mask indexing)"
+         name sets size_bytes line_bytes assoc);
   {
     name;
     line_bytes;
     sets;
     assoc;
+    line_bits = log2 line_bytes;
+    set_bits = log2 sets;
     data =
       Array.init sets (fun _ ->
-          Array.init assoc (fun _ -> { tag = 0L; valid = false; dirty = false; lru = 0 }));
+          Array.init assoc (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 }));
     tick = 0;
     hits = 0;
     misses = 0;
@@ -36,57 +69,74 @@ let create ~name ~size_bytes ~line_bytes ~assoc =
 
 let size_bytes t = t.sets * t.assoc * t.line_bytes
 
-let set_of t addr =
-  Int64.to_int (Int64.unsigned_rem (Int64.div addr (Int64.of_int t.line_bytes))
-                  (Int64.of_int t.sets))
-
-let tag_of t addr = Int64.div addr (Int64.of_int (t.line_bytes * t.sets))
+(* Line index of an address: the unit the hierarchy iterates over.
+   Physical addresses fit a native int (63 bits), so this is a plain
+   shift. *)
+let line_index t addr = Int64.to_int addr lsr t.line_bits
 
 (* Result of touching one line. *)
 type outcome = Hit | Miss of { writeback : bool }
 
-(* [access t ~addr ~write] touches the line containing [addr].  On a miss
-   the LRU way is evicted (recording a writeback if it was dirty) and the
-   new line installed. *)
-let access t ~addr ~write =
-  t.tick <- t.tick + 1;
-  let set = t.data.(set_of t addr) in
-  let tag = tag_of t addr in
-  let rec find i =
-    if i >= t.assoc then None
-    else if set.(i).valid && Int64.equal set.(i).tag tag then Some set.(i)
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some line ->
-      t.hits <- t.hits + 1;
-      line.lru <- t.tick;
-      if write then line.dirty <- true;
-      Hit
-  | None ->
-      t.misses <- t.misses + 1;
-      (* Prefer an invalid way; otherwise evict the least recently used. *)
-      let victim =
-        match Array.to_list set |> List.find_opt (fun l -> not l.valid) with
-        | Some l -> l
-        | None ->
-            Array.fold_left (fun best l -> if l.lru < best.lru then l else best) set.(0) set
-      in
-      let writeback = victim.valid && victim.dirty in
-      if writeback then t.writebacks <- t.writebacks + 1;
-      victim.valid <- true;
-      victim.dirty <- write;
-      victim.tag <- tag;
-      victim.lru <- t.tick;
-      Miss { writeback }
+(* Preallocated outcomes: [access] never allocates. *)
+let miss_clean = Miss { writeback = false }
+let miss_writeback = Miss { writeback = true }
 
-(* Lines touched by a [size]-byte access at [addr]. *)
+(* [access_line t ~line ~write] touches line index [line] (= addr /
+   line_bytes).  On a miss the first invalid way — or, with the set full,
+   the least-recently-used way — is evicted (recording a writeback if it
+   was dirty) and the new line installed. *)
+let access_line t ~line ~write =
+  t.tick <- t.tick + 1;
+  let set = t.data.(line land (t.sets - 1)) in
+  let tag = line lsr t.set_bits in
+  let n = t.assoc in
+  let rec find i =
+    if i >= n then -1
+    else
+      let l = Array.unsafe_get set i in
+      if l.valid && l.tag = tag then i else find (i + 1)
+  in
+  let way = find 0 in
+  if way >= 0 then begin
+    let l = Array.unsafe_get set way in
+    t.hits <- t.hits + 1;
+    l.lru <- t.tick;
+    if write then l.dirty <- true;
+    Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Prefer the first invalid way; otherwise evict the least recently
+       used (earliest way wins ties, matching the reference fold). *)
+    let rec pick i best =
+      if i >= n then best
+      else
+        let l = Array.unsafe_get set i in
+        if not l.valid then l
+        else pick (i + 1) (if l.lru < best.lru then l else best)
+    in
+    let w0 = Array.unsafe_get set 0 in
+    let v = if not w0.valid then w0 else pick 1 w0 in
+    let writeback = v.valid && v.dirty in
+    if writeback then t.writebacks <- t.writebacks + 1;
+    v.valid <- true;
+    v.dirty <- write;
+    v.tag <- tag;
+    v.lru <- t.tick;
+    if writeback then miss_writeback else miss_clean
+  end
+
+(* [access t ~addr ~write] touches the line containing [addr]. *)
+let access t ~addr ~write = access_line t ~line:(line_index t addr) ~write
+
+(* Lines touched by a [size]-byte access at [addr].  Kept for external
+   consumers; the hierarchy's hot path iterates line indices directly
+   instead of building this list. *)
 let lines_spanned t ~addr ~size =
-  let lb = Int64.of_int t.line_bytes in
-  let first = Int64.div addr lb in
-  let last = Int64.div (Int64.add addr (Int64.of_int (max 1 size - 1))) lb in
+  let first = line_index t addr in
+  let last = line_index t (Int64.add addr (Int64.of_int (max 1 size - 1))) in
   let rec go acc l =
-    if Int64.compare l first < 0 then acc else go (Int64.mul l lb :: acc) (Int64.sub l 1L)
+    if l < first then acc else go (Int64.of_int (l lsl t.line_bits) :: acc) (l - 1)
   in
   go [] last
 

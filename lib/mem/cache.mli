@@ -3,13 +3,18 @@
 
     Purely a performance model: data lives in {!Phys}; the cache tracks
     which lines are resident so both the machine and the trace-replay
-    simulators can drive it. *)
+    simulators can drive it.  The model is on the simulator's
+    per-instruction path, so geometry is restricted to powers of two and
+    {!access} is allocation-free (int shift/mask indexing, loop-based way
+    and victim search, preallocated outcomes). *)
 
 type t = {
   name : string;
   line_bytes : int;
   sets : int;
   assoc : int;
+  line_bits : int;  (** log2 [line_bytes] *)
+  set_bits : int;  (** log2 [sets] *)
   data : line array array;
   mutable tick : int;
   mutable hits : int;
@@ -17,25 +22,35 @@ type t = {
   mutable writebacks : int;
 }
 
-and line = { mutable tag : int64; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+and line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
 
 (** [create ~name ~size_bytes ~line_bytes ~assoc] — capacity must be a
-    multiple of [line_bytes * assoc].
-    @raise Invalid_argument otherwise. *)
+    multiple of [line_bytes * assoc], and both [line_bytes] and the
+    derived set count must be powers of two (shift/mask indexing).
+    @raise Invalid_argument otherwise, naming the offending parameter. *)
 val create : name:string -> size_bytes:int -> line_bytes:int -> assoc:int -> t
 
 val size_bytes : t -> int
+
+(** Line index of an address ([addr / line_bytes] as a native int): the
+    unit {!access_line} operates on. *)
+val line_index : t -> int64 -> int
 
 type outcome =
   | Hit
   | Miss of { writeback : bool }  (** the victim line was dirty *)
 
 (** [access t ~addr ~write] touches the line containing [addr]; on a miss
-    the LRU way is evicted and the line installed. *)
+    the LRU way is evicted and the line installed.  Never allocates. *)
 val access : t -> addr:int64 -> write:bool -> outcome
 
+(** [access_line t ~line ~write] — the int-indexed equivalent of
+    {!access} for callers that already hold a line index. *)
+val access_line : t -> line:int -> write:bool -> outcome
+
 (** Line-aligned addresses of every line a [size]-byte access at [addr]
-    touches. *)
+    touches.  (The memory hierarchy's hot path iterates line indices
+    directly instead; this remains for external consumers.) *)
 val lines_spanned : t -> addr:int64 -> size:int -> int64 list
 
 val reset_stats : t -> unit

@@ -5,7 +5,13 @@
    below the L2 with an 8 KB tag cache.  Access functions return a cycle
    cost and accumulate DRAM traffic statistics; data itself moves through
    [Phys] separately.  All capacities and penalties are configurable so
-   benches can run ablations. *)
+   benches can run ablations.
+
+   The access functions sit on the simulator's per-instruction path, so
+   they are allocation-free in the common case: line spans are iterated
+   as native-int line indices (no intermediate list), the caches are
+   indexed by shift/mask, and observability events are only constructed
+   when a probe is actually attached. *)
 
 type config = {
   l1_size : int;
@@ -42,6 +48,7 @@ type t = {
   l2 : Cache.t;
   tag_cache : Cache.t;
   tlb : Tlb.t;
+  line_bits : int; (* log2 of the (shared) line size: line index <-> addr *)
   mutable dram_read_bytes : int;
   mutable dram_write_bytes : int;
   mutable loads : int;
@@ -52,19 +59,26 @@ type t = {
   mutable on_event : (Obs.Attrib.event -> addr:int64 -> unit) option;
       (* the widened observability probe: every miss, DRAM transfer, and
          data access is reported with its address.  [None] (the default)
-         costs one pattern match per event; the machine installs a
-         closure that adds the in-flight PC and feeds [Obs.Attrib].
-         Purely an observer — firing never changes costs or state. *)
+         costs one pattern match per event site — the event value itself
+         is only constructed when a probe is attached.  The machine
+         installs a closure that adds the in-flight PC and feeds
+         [Obs.Attrib].  Purely an observer — firing never changes costs
+         or state. *)
 }
 
 let create ?(config = default_config) () =
+  let l1d =
+    Cache.create ~name:"L1D" ~size_bytes:config.l1_size ~line_bytes:config.line_bytes
+      ~assoc:config.assoc
+  in
   {
     config;
     l1i = Cache.create ~name:"L1I" ~size_bytes:config.l1_size ~line_bytes:config.line_bytes ~assoc:config.assoc;
-    l1d = Cache.create ~name:"L1D" ~size_bytes:config.l1_size ~line_bytes:config.line_bytes ~assoc:config.assoc;
+    l1d;
     l2 = Cache.create ~name:"L2" ~size_bytes:config.l2_size ~line_bytes:config.line_bytes ~assoc:config.assoc;
     tag_cache = Cache.create ~name:"TagCache" ~size_bytes:config.tag_cache_size ~line_bytes:config.line_bytes ~assoc:config.assoc;
     tlb = Tlb.create ~entries:config.tlb_entries ();
+    line_bits = l1d.Cache.line_bits;
     dram_read_bytes = 0;
     dram_write_bytes = 0;
     loads = 0;
@@ -82,56 +96,88 @@ let fire t ev ~addr = match t.on_event with None -> () | Some f -> f ev ~addr
    tag cache covers 2 MB of memory (one bit per 32-byte line), so misses
    are rare (the paper: "does not noticeably degrade performance").
    Attribution events carry the *data* address, not the tag-table
-   address — "which access caused the tag fill" is the question. *)
-let tag_lookup t ~addr ~write =
-  (* One tag-cache line (32 B = 256 tag bits) covers 256 lines = 8 KB. *)
-  let tag_addr = Int64.div addr 256L in
-  match Cache.access t.tag_cache ~addr:tag_addr ~write with
+   address — "which access caused the tag fill" is the question.
+   [line] is the data line index; one tag-cache line (32 B = 256 tag
+   bits) covers 256 lines = 8 KB, so the tag-table line index is the
+   data address divided by 256 then by the line size. *)
+let tag_lookup t ~line ~write =
+  let tag_line = line lsr 8 in
+  match Cache.access_line t.tag_cache ~line:tag_line ~write with
   | Cache.Hit -> 0
   | Cache.Miss { writeback } ->
       t.tag_dram_accesses <- t.tag_dram_accesses + 1;
       t.dram_read_bytes <- t.dram_read_bytes + t.config.line_bytes;
-      fire t Obs.Attrib.Tag_miss ~addr;
-      fire t (Obs.Attrib.Dram_read t.config.line_bytes) ~addr;
+      (match t.on_event with
+      | None -> ()
+      | Some f ->
+          let addr = Int64.of_int (line lsl t.line_bits) in
+          f Obs.Attrib.Tag_miss ~addr;
+          f (Obs.Attrib.Dram_read t.config.line_bytes) ~addr);
       if writeback then begin
         t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
-        fire t (Obs.Attrib.Dram_write t.config.line_bytes) ~addr
+        match t.on_event with
+        | None -> ()
+        | Some f ->
+            f (Obs.Attrib.Dram_write t.config.line_bytes)
+              ~addr:(Int64.of_int (line lsl t.line_bits))
       end;
       (* Fetched in parallel with the DRAM line fill; charge a single cycle. *)
       1
 
+(* One L2 lookup (with its DRAM and tag-controller consequences) for data
+   line index [line]. *)
+let l2_access t ~line ~write =
+  match Cache.access_line t.l2 ~line ~write with
+  | Cache.Hit -> 0
+  | Cache.Miss { writeback } ->
+      t.dram_read_bytes <- t.dram_read_bytes + t.config.line_bytes;
+      (match t.on_event with
+      | None -> ()
+      | Some f ->
+          let addr = Int64.of_int (line lsl t.line_bits) in
+          f Obs.Attrib.L2_miss ~addr;
+          f (Obs.Attrib.Dram_read t.config.line_bytes) ~addr);
+      if writeback then begin
+        t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
+        match t.on_event with
+        | None -> ()
+        | Some f ->
+            f (Obs.Attrib.Dram_write t.config.line_bytes)
+              ~addr:(Int64.of_int (line lsl t.line_bits))
+      end;
+      1
+
 (* Touch one line through L1 -> L2 -> DRAM, returning a cycle cost.
    [l1_ev] is the attribution class of a miss in [l1] (L1I vs L1D). *)
-let line_access t ~l1 ~l1_ev ~addr ~write =
-  match Cache.access l1 ~addr ~write with
+let line_access t ~l1 ~l1_ev ~line ~write =
+  match Cache.access_line l1 ~line ~write with
   | Cache.Hit -> 0
   | Cache.Miss { writeback = l1_wb } ->
       let cost = ref t.config.l2_hit_cycles in
-      fire t l1_ev ~addr;
-      if l1_wb then begin
-        match Cache.access t.l2 ~addr ~write:true with
-        | Cache.Hit -> ()
-        | Cache.Miss { writeback } ->
-            t.dram_read_bytes <- t.dram_read_bytes + t.config.line_bytes;
-            fire t Obs.Attrib.L2_miss ~addr;
-            fire t (Obs.Attrib.Dram_read t.config.line_bytes) ~addr;
-            if writeback then begin
-              t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
-              fire t (Obs.Attrib.Dram_write t.config.line_bytes) ~addr
-            end
-      end;
-      (match Cache.access t.l2 ~addr ~write:false with
+      (match t.on_event with
+      | None -> ()
+      | Some f -> f l1_ev ~addr:(Int64.of_int (line lsl t.line_bits)));
+      if l1_wb then ignore (l2_access t ~line ~write:true);
+      (match Cache.access_line t.l2 ~line ~write:false with
       | Cache.Hit -> ()
       | Cache.Miss { writeback } ->
           cost := !cost + t.config.dram_cycles;
           t.dram_read_bytes <- t.dram_read_bytes + t.config.line_bytes;
-          fire t Obs.Attrib.L2_miss ~addr;
-          fire t (Obs.Attrib.Dram_read t.config.line_bytes) ~addr;
+          (match t.on_event with
+          | None -> ()
+          | Some f ->
+              let addr = Int64.of_int (line lsl t.line_bits) in
+              f Obs.Attrib.L2_miss ~addr;
+              f (Obs.Attrib.Dram_read t.config.line_bytes) ~addr);
           if writeback then begin
             t.dram_write_bytes <- t.dram_write_bytes + t.config.line_bytes;
-            fire t (Obs.Attrib.Dram_write t.config.line_bytes) ~addr
+            (match t.on_event with
+            | None -> ()
+            | Some f ->
+                f (Obs.Attrib.Dram_write t.config.line_bytes)
+                  ~addr:(Int64.of_int (line lsl t.line_bits)))
           end;
-          cost := !cost + tag_lookup t ~addr ~write);
+          cost := !cost + tag_lookup t ~line ~write);
       !cost
 
 (* A data access of [size] bytes at [addr]; returns the cycle penalty beyond
@@ -139,14 +185,15 @@ let line_access t ~l1 ~l1_ev ~addr ~write =
 let access_data t ~addr ~size ~write =
   if write then begin
     t.stores <- t.stores + 1;
-    t.store_bytes <- t.store_bytes + size;
-    fire t (Obs.Attrib.Store size) ~addr
+    t.store_bytes <- t.store_bytes + size
   end
   else begin
     t.loads <- t.loads + 1;
-    t.load_bytes <- t.load_bytes + size;
-    fire t (Obs.Attrib.Load size) ~addr
+    t.load_bytes <- t.load_bytes + size
   end;
+  (match t.on_event with
+  | None -> ()
+  | Some f -> f (if write then Obs.Attrib.Store size else Obs.Attrib.Load size) ~addr);
   let tlb_cost =
     if Tlb.touch t.tlb addr then 0
     else begin
@@ -154,10 +201,14 @@ let access_data t ~addr ~size ~write =
       t.config.tlb_refill_cycles
     end
   in
-  List.fold_left
-    (fun acc line -> acc + line_access t ~l1:t.l1d ~l1_ev:Obs.Attrib.L1d_miss ~addr:line ~write)
-    tlb_cost
-    (Cache.lines_spanned t.l1d ~addr ~size)
+  let iaddr = Int64.to_int addr in
+  let first = iaddr lsr t.line_bits in
+  let last = (iaddr + max 1 size - 1) lsr t.line_bits in
+  let cost = ref tlb_cost in
+  for line = first to last do
+    cost := !cost + line_access t ~l1:t.l1d ~l1_ev:Obs.Attrib.L1d_miss ~line ~write
+  done;
+  !cost
 
 let access_insn t ~addr =
   let tlb_cost =
@@ -167,7 +218,10 @@ let access_insn t ~addr =
       t.config.tlb_refill_cycles
     end
   in
-  tlb_cost + line_access t ~l1:t.l1i ~l1_ev:Obs.Attrib.L1i_miss ~addr ~write:false
+  tlb_cost
+  + line_access t ~l1:t.l1i ~l1_ev:Obs.Attrib.L1i_miss
+      ~line:(Int64.to_int addr lsr t.line_bits)
+      ~write:false
 
 (* Deposit the hierarchy's internal statistics into an observability
    counter file (lib/obs).  This is the lib/mem half of the counter

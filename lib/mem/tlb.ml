@@ -7,7 +7,24 @@
    (Section 6.1) — and (b) TLB reach: the paper's Figure 5 'steps' come
    from a TLB covering 1 MB (256 entries x 4 KB), which this model
    reproduces by counting hits and misses over a fully-associative LRU
-   entry set. *)
+   entry set.
+
+   The TLB is consulted at least twice per simulated instruction (I-fetch
+   and any data access), so the hot paths are engineered to be
+   allocation-free:
+
+   - [touch] keeps a one-entry last-translation cache (same page as the
+     previous translation: two int compares, no hashing) in front of a
+     VPN -> slot hashtable; residency ticks live in a plain int array so
+     the LRU victim scan on a miss is an array minimum instead of an
+     allocating [Hashtbl.fold].
+   - [protection] memoises page-table lookups in a small direct-mapped
+     array keyed by VPN, invalidated whole on [map]/[unmap]; the common
+     case is two array reads and an int compare.
+
+   Replacement decisions are identical to the reference model (true LRU,
+   ticks are unique so there are no ties): hit/miss counters are
+   bit-exact with the pre-optimisation implementation. *)
 
 let page_bits = 12
 let page_bytes = 1 lsl page_bits
@@ -23,10 +40,20 @@ type prot = {
 let prot_none = { valid = false; writable = false; executable = false; cap_load = false; cap_store = false }
 let prot_rwx = { valid = true; writable = true; executable = true; cap_load = true; cap_store = true }
 
+(* Direct-mapped [protection] memo size; indexed by the low VPN bits. *)
+let prot_memo_slots = 64
+
 type t = {
   entries : int; (* TLB capacity in page entries *)
-  table : (int64, prot) Hashtbl.t; (* the page table: VPN -> protections *)
-  resident : (int64, int) Hashtbl.t; (* VPN -> last-use tick, models TLB residency *)
+  table : (int, prot) Hashtbl.t; (* the page table: VPN -> protections *)
+  slot_of : (int, int) Hashtbl.t; (* resident VPN -> slot index *)
+  slot_vpn : int array; (* slot -> VPN (valid for slots < used) *)
+  slot_tick : int array; (* slot -> last-use tick, the LRU order *)
+  mutable used : int; (* live slots; eviction starts at [entries] *)
+  mutable last_vpn : int; (* one-entry last-translation cache (-1 empty) *)
+  mutable last_slot : int;
+  prot_vpn : int array; (* protection memo: VPN per memo slot (-1 empty) *)
+  prot_val : prot array;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -36,29 +63,42 @@ let create ?(entries = 256) () =
   {
     entries;
     table = Hashtbl.create 1024;
-    resident = Hashtbl.create 512;
+    slot_of = Hashtbl.create 512;
+    slot_vpn = Array.make entries (-1);
+    slot_tick = Array.make entries 0;
+    used = 0;
+    last_vpn = -1;
+    last_slot = -1;
+    prot_vpn = Array.make prot_memo_slots (-1);
+    prot_val = Array.make prot_memo_slots prot_none;
     tick = 0;
     hits = 0;
     misses = 0;
   }
 
-let vpn addr = Int64.shift_right_logical addr page_bits
+(* Addresses are below 2^63, so the VPN fits a native int. *)
+let vpn addr = Int64.to_int addr lsr page_bits
+
+let invalidate_prot_memo t = Array.fill t.prot_vpn 0 prot_memo_slots (-1)
 
 let map t ~vaddr ~len prot =
   let first = vpn vaddr in
   let last = vpn (Int64.add vaddr (Int64.of_int (max 1 len - 1))) in
-  let rec go p =
-    if Int64.compare p last <= 0 then begin
-      Hashtbl.replace t.table p prot;
-      go (Int64.add p 1L)
-    end
-  in
-  go first
+  for p = first to last do
+    Hashtbl.replace t.table p prot
+  done;
+  invalidate_prot_memo t
 
 let protection t vaddr =
-  match Hashtbl.find_opt t.table (vpn vaddr) with
-  | Some p -> p
-  | None -> prot_none
+  let p = vpn vaddr in
+  let i = p land (prot_memo_slots - 1) in
+  if Array.unsafe_get t.prot_vpn i = p then Array.unsafe_get t.prot_val i
+  else begin
+    let pr = match Hashtbl.find_opt t.table p with Some pr -> pr | None -> prot_none in
+    Array.unsafe_set t.prot_vpn i p;
+    Array.unsafe_set t.prot_val i pr;
+    pr
+  end
 
 (* Touch the TLB for a translation; returns [true] on a TLB hit.  On a miss
    the least-recently-used entry is evicted (modelling the software refill
@@ -66,40 +106,83 @@ let protection t vaddr =
 let touch t vaddr =
   t.tick <- t.tick + 1;
   let p = vpn vaddr in
-  match Hashtbl.find_opt t.resident p with
-  | Some _ ->
-      t.hits <- t.hits + 1;
-      Hashtbl.replace t.resident p t.tick;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      if Hashtbl.length t.resident >= t.entries then begin
-        let victim =
-          Hashtbl.fold
-            (fun k v acc ->
-              match acc with
-              | Some (_, bv) when bv <= v -> acc
-              | _ -> Some (k, v))
-            t.resident None
+  if p = t.last_vpn then begin
+    (* Same page as the previous translation: resident by construction. *)
+    t.hits <- t.hits + 1;
+    Array.unsafe_set t.slot_tick t.last_slot t.tick;
+    true
+  end
+  else
+    match Hashtbl.find t.slot_of p with
+    | slot ->
+        t.hits <- t.hits + 1;
+        t.slot_tick.(slot) <- t.tick;
+        t.last_vpn <- p;
+        t.last_slot <- slot;
+        true
+    | exception Not_found ->
+        t.misses <- t.misses + 1;
+        let slot =
+          if t.used >= t.entries then begin
+            (* Evict true LRU: the minimum tick (ticks are unique). *)
+            let best = ref 0 in
+            for i = 1 to t.entries - 1 do
+              if t.slot_tick.(i) < t.slot_tick.(!best) then best := i
+            done;
+            Hashtbl.remove t.slot_of t.slot_vpn.(!best);
+            !best
+          end
+          else begin
+            let s = t.used in
+            t.used <- t.used + 1;
+            s
+          end
         in
-        match victim with Some (k, _) -> Hashtbl.remove t.resident k | None -> ()
-      end;
-      Hashtbl.replace t.resident p t.tick;
-      false
+        t.slot_vpn.(slot) <- p;
+        t.slot_tick.(slot) <- t.tick;
+        Hashtbl.replace t.slot_of p slot;
+        t.last_vpn <- p;
+        t.last_slot <- slot;
+        false
 
-let flush t = Hashtbl.reset t.resident
+let flush t =
+  Hashtbl.reset t.slot_of;
+  Array.fill t.slot_vpn 0 t.entries (-1);
+  t.used <- 0;
+  t.last_vpn <- -1;
+  t.last_slot <- -1
+
+(* Drop a page from residency: move the last live slot into the hole so
+   slots [0, used) stay dense (membership and ticks are preserved, so LRU
+   decisions are unaffected). *)
+let evict_page t p =
+  match Hashtbl.find_opt t.slot_of p with
+  | None -> ()
+  | Some slot ->
+      Hashtbl.remove t.slot_of p;
+      let last = t.used - 1 in
+      if slot <> last then begin
+        let moved = t.slot_vpn.(last) in
+        t.slot_vpn.(slot) <- moved;
+        t.slot_tick.(slot) <- t.slot_tick.(last);
+        Hashtbl.replace t.slot_of moved slot
+      end;
+      t.slot_vpn.(last) <- -1;
+      t.used <- last;
+      if t.last_vpn = p then begin
+        t.last_vpn <- -1;
+        t.last_slot <- -1
+      end
+      else if t.last_slot = last then t.last_slot <- slot
 
 let unmap t ~vaddr ~len =
   let first = vpn vaddr in
   let last = vpn (Int64.add vaddr (Int64.of_int (max 1 len - 1))) in
-  let rec go p =
-    if Int64.compare p last <= 0 then begin
-      Hashtbl.remove t.table p;
-      Hashtbl.remove t.resident p;
-      go (Int64.add p 1L)
-    end
-  in
-  go first
+  for p = first to last do
+    Hashtbl.remove t.table p;
+    evict_page t p
+  done;
+  invalidate_prot_memo t
 
 let reset_stats t =
   t.hits <- 0;

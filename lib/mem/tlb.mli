@@ -5,7 +5,14 @@
     table extension bits authorising capability loads and stores (§6.1),
     and (b) TLB reach — Figure 5's steps come from a TLB covering 1 MB
     (256 x 4 KB entries), reproduced by counting hits and misses over a
-    fully-associative LRU entry set. *)
+    fully-associative LRU entry set.
+
+    The hot paths are allocation-free: {!touch} fronts its VPN -> slot
+    hashtable with a one-entry last-translation cache and scans an int
+    array for the LRU victim; {!protection} memoises page-table lookups
+    in a small direct-mapped array invalidated on {!map}/{!unmap}.
+    Replacement is true LRU with unique ticks, so hit/miss counts are
+    bit-exact with the reference implementation. *)
 
 val page_bits : int
 val page_bytes : int
@@ -25,8 +32,15 @@ val prot_rwx : prot
 
 type t = {
   entries : int;
-  table : (int64, prot) Hashtbl.t;
-  resident : (int64, int) Hashtbl.t;
+  table : (int, prot) Hashtbl.t;
+  slot_of : (int, int) Hashtbl.t;
+  slot_vpn : int array;
+  slot_tick : int array;
+  mutable used : int;
+  mutable last_vpn : int;
+  mutable last_slot : int;
+  prot_vpn : int array;
+  prot_val : prot array;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;

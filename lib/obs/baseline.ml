@@ -2,15 +2,18 @@
    read half of the differential regression harness.  A baseline is a
    set of benchmark runs keyed by bench/mode/param, each carrying its
    wall time, counter file, and span aggregates; [Diff] compares two of
-   them.  Accepts both cheri-obs-bench/1 (with the `samples` counter)
-   and /2 (without); the simulator is deterministic, so a loaded
-   baseline is an exact architectural oracle, not just a dashboard. *)
+   them.  Accepts cheri-obs-bench/1 (with the `samples` counter), /2
+   (without), and /3 (with per-run `sim_mips`; absent in older files
+   and defaulted to 0.0 = unmeasured); the simulator is deterministic,
+   so a loaded baseline is an exact architectural oracle, not just a
+   dashboard. *)
 
 type entry = {
   bench : string;
   mode : string;
   param : int;
   wall_s : float;
+  sim_mips : float; (* schema /3; 0.0 in older files = unmeasured *)
   counters : (string * int64) list; (* schema order preserved *)
   spans : (string * (string * int64) list) list;
 }
@@ -21,7 +24,7 @@ type t = {
   entries : entry list;
 }
 
-let supported_schemas = [ Export.schema_v1; Export.schema_version ]
+let supported_schemas = [ Export.schema_v1; Export.schema_v2; Export.schema_version ]
 
 (* "bench/mode/param": the identity of a run across baseline files. *)
 let key e = Printf.sprintf "%s/%s/%d" e.bench e.mode e.param
@@ -59,6 +62,16 @@ let entry_of_json i json =
   let* mode = require ctx "mode" Json.to_string_opt json in
   let* param = require ctx "param" Json.to_int_opt json in
   let* wall_s = require ctx "wall_s" Json.to_float_opt json in
+  (* Schema /3 only; absent in /1 and /2 files. *)
+  let* sim_mips =
+    match Json.member "sim_mips" json with
+    | None -> Ok 0.0
+    | Some v -> (
+        match Json.to_float_opt v with
+        | Some f -> Ok f
+        | None ->
+            Error (Printf.sprintf "field %S has the wrong type" (field_ctx ctx "sim_mips")))
+  in
   let* counters_json = require ctx "counters" (fun v -> Some v) json in
   let* counters = int_fields (field_ctx ctx "counters") counters_json in
   let* spans =
@@ -74,7 +87,7 @@ let entry_of_json i json =
         go [] span_fields
     | Some _ -> Error (Printf.sprintf "field %S is not an object" (field_ctx ctx "spans"))
   in
-  Ok { bench; mode; param = Int64.to_int param; wall_s; counters; spans }
+  Ok { bench; mode; param = Int64.to_int param; wall_s; sim_mips; counters; spans }
 
 let of_json json =
   let* schema = require "" "schema" Json.to_string_opt json in
@@ -129,6 +142,7 @@ let of_entries (entries : Export.entry list) =
             mode = e.Export.mode;
             param = e.Export.param;
             wall_s = e.Export.wall_s;
+            sim_mips = Export.sim_mips e;
             counters = Export.counter_fields e.Export.counters;
             spans =
               List.map

@@ -6,7 +6,7 @@
    file — instret, cycles, cache/TLB/tag events, capability instruction
    mix, span aggregates — is *architectural* on this simulator, so the
    policy demands exact equality; only host-side wall-clock numbers
-   (`wall_s`, `interp_instr_per_s`) get a tolerance band, and by default
+   (`wall_s`, `sim_mips`, `interp_instr_per_s`) get a tolerance band, and by default
    exceeding it is reported but not fatal (committed baselines travel
    across hosts).  `cheri_diff` and `bench regress` exit non-zero iff
    [ok] is false: an architectural counter changed, or a run appeared
@@ -120,13 +120,17 @@ let compare_entry ~policy (a : Baseline.entry) (b : Baseline.entry) =
       span_names
   in
   let wall = wall_row ~policy ~key ~field:"wall_s" a.Baseline.wall_s b.Baseline.wall_s in
+  (* sim_mips is host timing like wall_s: banded, never exact (and
+     skipped entirely against pre-/3 baselines, where it loads as 0.0). *)
+  let mips = wall_row ~policy ~key ~field:"sim_mips" a.Baseline.sim_mips b.Baseline.sim_mips in
   let compared =
-    1 + counters_compared + List.fold_left (fun acc (n, _) -> acc + n) 0 span_results
+    2 + counters_compared + List.fold_left (fun acc (n, _) -> acc + n) 0 span_results
   in
   ( compared,
     counter_rows
     @ List.concat_map snd span_results
-    @ (match wall with Some r -> [ r ] | None -> []) )
+    @ (match wall with Some r -> [ r ] | None -> [])
+    @ (match mips with Some r -> [ r ] | None -> []) )
 
 (* --- the whole-file diff ----------------------------------------------------- *)
 

@@ -6,18 +6,25 @@
 
    Schema (documented in docs/OBSERVABILITY.md):
 
-     { "schema": "cheri-obs-bench/2",
+     { "schema": "cheri-obs-bench/3",
        "interp_instr_per_s": <host-side interpreter throughput>,
        "benchmarks": [
          { "bench": ..., "mode": ..., "param": ...,
-           "cycles": ..., "instret": ..., "wall_s": ...,
+           "cycles": ..., "instret": ..., "wall_s": ..., "sim_mips": ...,
            "counters": { <counter name>: <int>, ... },
            "spans": { <span name>: { "instret": ..., "cycles": ... }, ... } } ] }
 
-   cheri-obs-bench/2 drops the `samples` counter from the per-run
+   cheri-obs-bench/3 adds `sim_mips` per run: simulated millions of
+   instructions per host second (instret / wall_s / 1e6; 0.0 when the
+   run's wall clock was not measured) — the per-run resolution of the
+   file-level `interp_instr_per_s` perf trajectory.  Host-timing fields
+   (`wall_s`, `sim_mips`, `interp_instr_per_s`) are never compared
+   exactly by the diff harness, only banded.
+
+   cheri-obs-bench/2 dropped the `samples` counter from the per-run
    counter object: bench runs attach a classification probe but no
    sampling profiler, so the field was always zero.  The baseline
-   loader (Obs.Baseline) still accepts /1 files. *)
+   loader (Obs.Baseline) still accepts /1 and /2 files. *)
 
 type entry = {
   bench : string;
@@ -28,8 +35,16 @@ type entry = {
   spans : (string * Counters.t) list;
 }
 
-let schema_version = "cheri-obs-bench/2"
+let schema_version = "cheri-obs-bench/3"
 let schema_v1 = "cheri-obs-bench/1"
+let schema_v2 = "cheri-obs-bench/2"
+
+(* Simulated MIPS of one run: how many millions of simulated instructions
+   the interpreter retired per host second.  0.0 when the wall clock was
+   not measured (deterministic-output mode). *)
+let sim_mips e =
+  if e.wall_s <= 0.0 then 0.0
+  else Int64.to_float (Counters.get e.counters Counters.instret) /. e.wall_s /. 1e6
 
 (* The counter fields a bench export carries: every counter except the
    profiler's [samples] (meaningless without a profiler attached).
@@ -47,6 +62,7 @@ let entry_to_json e =
       ("cycles", Json.Int (Counters.get e.counters Counters.cycles));
       ("instret", Json.Int (Counters.get e.counters Counters.instret));
       ("wall_s", Json.Float e.wall_s);
+      ("sim_mips", Json.Float (sim_mips e));
       ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (counter_fields e.counters)));
       ( "spans",
         Json.Obj

@@ -1,7 +1,8 @@
 (* regress-smoke: the differential regression harness as a standing
    test.  Runs a tiny fixed set of Olden kernels (treeadd param 6 in all
-   three pointer modes — seconds, not the full fig4 sweep), rebuilds the
-   live baseline in memory, and diffs it against the committed
+   three pointer modes — seconds, not the full fig4 sweep) via the same
+   Exp.Obs_bench definition `bench --json` uses, rebuilds the live
+   baseline in memory, and diffs it against the committed
    `bench/baselines/SMOKE_obs.json` with the default exact-match policy:
    any architectural counter drift — instret, cycles, cache/TLB/tag
    events, capability mix, span aggregates — fails `dune runtest`.
@@ -15,34 +16,11 @@
    as a throughput snapshot) but only ever flagged, never fatal: the
    file travels across hosts. *)
 
-let modes = [ Minic.Layout.Legacy; Minic.Layout.Softcheck; Minic.Layout.Cheri ]
-let bench = "treeadd"
-let param = 6
-
 let entries () =
-  let source = List.assoc bench Olden.Minic_src.all in
-  List.map
-    (fun mode ->
-      (* The probe mirrors bench/main.exe: capability/branch classes live
-         in the counter file only when a probe is attached. *)
-      let probe = Obs.Probe.create () in
-      let t0 = Unix.gettimeofday () in
-      let r = Exp.Bench_run.run ~probe ~bench ~mode ~param source in
-      let wall_s = Unix.gettimeofday () -. t0 in
-      if r.Exp.Bench_run.exit_code <> 0 then begin
-        Printf.eprintf "regress-smoke: %s/%s exited %d\n" bench (Minic.Layout.mode_name mode)
-          r.Exp.Bench_run.exit_code;
-        exit 2
-      end;
-      {
-        Obs.Export.bench;
-        mode = Minic.Layout.mode_name mode;
-        param;
-        wall_s;
-        counters = r.Exp.Bench_run.counters;
-        spans = r.Exp.Bench_run.spans;
-      })
-    modes
+  try Exp.Obs_bench.smoke_entries ()
+  with Exp.Obs_bench.Run_failed _ as e ->
+    Printf.eprintf "regress-smoke: %s\n" (Printexc.to_string e);
+    exit 2
 
 let () =
   match Sys.argv with
@@ -57,9 +35,10 @@ let () =
       | Ok committed ->
           let live = Obs.Baseline.of_entries (entries ()) in
           let report = Obs.Diff.run committed live in
-          Fmt.pr "regress-smoke: %s vs live {%s x %s, param %d}@.%a@." baseline_path bench
-            (String.concat "," (List.map Minic.Layout.mode_name modes))
-            param Obs.Diff.pp report;
+          Fmt.pr "regress-smoke: %s vs live {%s x %s, param %d}@.%a@." baseline_path
+            Exp.Obs_bench.smoke_bench
+            (String.concat "," (List.map Minic.Layout.mode_name Exp.Fig4.modes))
+            Exp.Obs_bench.smoke_param Obs.Diff.pp report;
           exit (Obs.Diff.exit_code report))
   | _ ->
       Printf.eprintf "usage: regress_smoke (BASELINE.json | --write BASELINE.json)\n";

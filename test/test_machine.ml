@@ -577,9 +577,58 @@ loop:
 |}
       ^ exit_with_v1)
   in
-  Alcotest.(check bool) "instructions counted" true (Int64.compare m.Machine.instret 200L > 0);
-  Alcotest.(check bool) "cycles >= instructions" true
-    (Int64.compare m.Machine.cycles m.Machine.instret >= 0)
+  Alcotest.(check bool) "instructions counted" true (m.Machine.instret > 200);
+  Alcotest.(check bool) "cycles >= instructions" true (m.Machine.cycles >= m.Machine.instret)
+
+(* Decode-cache coherence under self-modifying code.  The interpreter
+   caches decoded instructions by PC; like real MIPS I-caches, stores are
+   NOT snooped — code that rewrites itself must execute an explicit
+   synchronization (here [Machine.invalidate_icache], the model's
+   CACHE/SYNCI).  This pins down both halves of that contract: without
+   the flush the stale decode is (observably) still executed, and after
+   the flush the newly stored word is fetched and decoded. *)
+let test_smc_decode_coherence () =
+  let m = Machine.create () in
+  Machine.set_timing m false;
+  Machine.set_kernel m (fun _ ctx ->
+      match ctx.Machine.exc with
+      | Cp0.Breakpoint -> Machine.Halt 0
+      | e -> Alcotest.failf "unexpected exception: %s" (Cp0.exc_to_string e));
+  Machine.map_identity m ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+  (* target: v1 <- 1, then break *)
+  let target = 0x10000L in
+  Mem.Phys.write_u32 m.Machine.phys target (Code.encode (Insn.Daddiu (3, 0, 1)));
+  Mem.Phys.write_u32 m.Machine.phys (Int64.add target 4L) (Code.encode Insn.Break);
+  (* patcher: sw $t1, 0($t0), then break — a store through the machine's
+     own data path, aimed at the already-executed target PC.  Placed near
+     the target so it does not alias the target's direct-mapped decode
+     slot (which would flush the entry by collision and mask the staleness
+     this test is about). *)
+  let patcher = 0x10100L in
+  Mem.Phys.write_u32 m.Machine.phys patcher (Code.encode (Insn.Store (Insn.W, 9, 8, 0)));
+  Mem.Phys.write_u32 m.Machine.phys (Int64.add patcher 4L) (Code.encode Insn.Break);
+  let run_at pc =
+    m.Machine.pc <- pc;
+    ignore (Machine.run ~max_insns:100L m)
+  in
+  run_at target;
+  Alcotest.(check int64) "original insn executed" 1L (Machine.gpr m 3);
+  (* machine-store the replacement word (v1 <- 2) over the target PC *)
+  Machine.set_gpr m 8 target;
+  Machine.set_gpr m 9 (Int64.of_int (Code.encode (Insn.Daddiu (3, 0, 2))));
+  run_at patcher;
+  Alcotest.(check int) "memory holds the new word"
+    (Code.encode (Insn.Daddiu (3, 0, 2)))
+    (Mem.Phys.read_u32 m.Machine.phys target);
+  (* without synchronization the decode cache still serves the old insn *)
+  Machine.set_gpr m 3 0L;
+  run_at target;
+  Alcotest.(check int64) "stale decode without invalidate" 1L (Machine.gpr m 3);
+  (* explicit flush: the new instruction becomes visible *)
+  Machine.invalidate_icache m;
+  Machine.set_gpr m 3 0L;
+  run_at target;
+  Alcotest.(check int64) "new insn after invalidate_icache" 2L (Machine.gpr m 3)
 
 let test_tag_controller_traffic () =
   (* Touching lots of distinct lines drives tag-table fills through the tag
@@ -651,6 +700,7 @@ let suites =
         Alcotest.test_case "cache LRU/writeback" `Quick test_cache_model;
         Alcotest.test_case "TLB reach" `Quick test_tlb_model;
         Alcotest.test_case "cycle accounting" `Quick test_timing_counts;
+        Alcotest.test_case "SMC decode coherence" `Quick test_smc_decode_coherence;
         Alcotest.test_case "tag controller traffic" `Quick test_tag_controller_traffic;
       ] );
   ]

@@ -95,6 +95,31 @@ let prop_tlb_reach =
       let lru_evicted = not (Mem.Tlb.touch t 0L) in
       all_hit && mru_resident && lru_evicted)
 
+(* Cache.create indexes by shift/mask, so it must reject geometries the
+   fast path cannot represent — with messages that say which parameter
+   is at fault. *)
+let test_cache_geometry_validation () =
+  let rejects frag f =
+    match f () with
+    | _ -> Alcotest.failf "geometry accepted (expected rejection: %s)" frag
+    | exception Invalid_argument msg ->
+        let nl = String.length frag and hl = String.length msg in
+        let rec go i = i + nl <= hl && (String.sub msg i nl = frag || go (i + 1)) in
+        Alcotest.(check bool) (Printf.sprintf "error %S mentions %s" msg frag) true (go 0)
+  in
+  (* non-power-of-two line size *)
+  rejects "line_bytes 24" (fun () ->
+      Mem.Cache.create ~name:"bad" ~size_bytes:4608 ~line_bytes:24 ~assoc:2);
+  (* pow2 lines but a non-pow2 derived set count: 6144 / (32*2) = 96 sets *)
+  rejects "not a power of two" (fun () ->
+      Mem.Cache.create ~name:"bad" ~size_bytes:6144 ~line_bytes:32 ~assoc:2);
+  (* size not divisible by line_bytes*assoc at all *)
+  rejects "not a multiple" (fun () ->
+      Mem.Cache.create ~name:"bad" ~size_bytes:4100 ~line_bytes:32 ~assoc:2);
+  (* and a valid pow2 geometry still constructs *)
+  let c = Mem.Cache.create ~name:"ok" ~size_bytes:4096 ~line_bytes:32 ~assoc:2 in
+  Alcotest.(check int) "size round-trips" 4096 (Mem.Cache.size_bytes c)
+
 let test_hierarchy_dram_accounting () =
   let h = Mem.Hierarchy.create () in
   Mem.Tlb.map h.Mem.Hierarchy.tlb ~vaddr:0L ~len:0x100000 Mem.Tlb.prot_rwx;
@@ -137,6 +162,7 @@ let suites =
       ];
     ( "mem-hierarchy",
       [
+        Alcotest.test_case "cache geometry validation" `Quick test_cache_geometry_validation;
         Alcotest.test_case "DRAM accounting" `Quick test_hierarchy_dram_accounting;
         Alcotest.test_case "writeback traffic" `Quick test_hierarchy_writeback;
       ] );

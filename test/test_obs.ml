@@ -239,11 +239,15 @@ let test_counters_match_machine () =
   Alcotest.(check int) "clean exit" 0 code;
   let c = Os.Kernel.read_counters k in
   let get = Obs.Counters.get c in
-  Alcotest.(check int64) "instret matches machine" m.Machine.instret (get Obs.Counters.instret);
-  Alcotest.(check int64) "cycles match machine" m.Machine.cycles (get Obs.Counters.cycles);
-  Alcotest.(check int64) "stores match machine" m.Machine.stores (get Obs.Counters.retired_stores);
   Alcotest.(check int64)
-    "kernel entries match machine" m.Machine.kernel_entries (get Obs.Counters.kernel_entries);
+    "instret matches machine" (Int64.of_int m.Machine.instret) (get Obs.Counters.instret);
+  Alcotest.(check int64)
+    "cycles match machine" (Int64.of_int m.Machine.cycles) (get Obs.Counters.cycles);
+  Alcotest.(check int64)
+    "stores match machine" (Int64.of_int m.Machine.stores) (get Obs.Counters.retired_stores);
+  Alcotest.(check int64)
+    "kernel entries match machine" (Int64.of_int m.Machine.kernel_entries)
+    (get Obs.Counters.kernel_entries);
   let hier = m.Machine.hier in
   Alcotest.(check int)
     "l1d hits+misses match hierarchy"
@@ -383,7 +387,9 @@ let test_export_schema () =
     let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "schema tag present" true (contains {|"schema":"cheri-obs-bench/2"|} json);
+  Alcotest.(check bool) "schema tag present" true
+    (contains (Printf.sprintf {|"schema":%S|} Obs.Export.schema_version) json);
+  Alcotest.(check bool) "sim_mips exported" true (contains {|"sim_mips":|} json);
   (* Every counter name except the dropped `samples` appears as a key. *)
   Array.iter
     (fun name ->
@@ -439,6 +445,21 @@ let v1_doc =
        "counters":{"instret":100,"cycles":200,"samples":0},
        "spans":{"alloc":{"instret":10,"cycles":20}}}]}|}
 
+(* /2 dropped `samples` from exports; entries otherwise look like /1. *)
+let v2_doc =
+  {|{"schema":"cheri-obs-bench/2","interp_instr_per_s":1000.0,
+     "benchmarks":[{"bench":"treeadd","mode":"cheri","param":6,"wall_s":0.5,
+       "counters":{"instret":100,"cycles":200},
+       "spans":{"alloc":{"instret":10,"cycles":20}}}]}|}
+
+(* /3 added a per-entry `sim_mips` throughput field. *)
+let v3_doc =
+  {|{"schema":"cheri-obs-bench/3","interp_instr_per_s":1000.0,
+     "benchmarks":[{"bench":"treeadd","mode":"cheri","param":6,"wall_s":0.5,
+       "sim_mips":4.25,
+       "counters":{"instret":100,"cycles":200},
+       "spans":{"alloc":{"instret":10,"cycles":20}}}]}|}
+
 let test_baseline_versions () =
   (match Obs.Baseline.of_string v1_doc with
   | Error msg -> Alcotest.failf "schema /1 rejected: %s" msg
@@ -452,7 +473,32 @@ let test_baseline_versions () =
       Alcotest.(check (option (list (pair string int64))))
         "span fields loaded"
         (Some [ ("instret", 10L); ("cycles", 20L) ])
-        (List.assoc_opt "alloc" e.Obs.Baseline.spans));
+        (List.assoc_opt "alloc" e.Obs.Baseline.spans);
+      (* Pre-/3 files have no sim_mips; the loader defaults it. *)
+      Alcotest.(check (float 0.0)) "v1 sim_mips defaults" 0.0 e.Obs.Baseline.sim_mips);
+  (match Obs.Baseline.of_string v2_doc with
+  | Error msg -> Alcotest.failf "schema /2 rejected: %s" msg
+  | Ok t ->
+      Alcotest.(check string) "v2 schema kept" "cheri-obs-bench/2" t.Obs.Baseline.schema;
+      let e = List.hd t.Obs.Baseline.entries in
+      Alcotest.(check string) "v2 key" "treeadd/cheri/6" (Obs.Baseline.key e);
+      Alcotest.(check (float 0.0)) "v2 sim_mips defaults" 0.0 e.Obs.Baseline.sim_mips);
+  (match Obs.Baseline.of_string v3_doc with
+  | Error msg -> Alcotest.failf "schema /3 rejected: %s" msg
+  | Ok t ->
+      Alcotest.(check string) "v3 schema kept" "cheri-obs-bench/3" t.Obs.Baseline.schema;
+      let e = List.hd t.Obs.Baseline.entries in
+      Alcotest.(check string) "v3 key" "treeadd/cheri/6" (Obs.Baseline.key e);
+      Alcotest.(check (float 0.0001)) "v3 sim_mips loaded" 4.25 e.Obs.Baseline.sim_mips);
+  (* sim_mips must be a number when present. *)
+  (match
+     Obs.Baseline.of_string
+       {|{"schema":"cheri-obs-bench/3","interp_instr_per_s":1.0,
+          "benchmarks":[{"bench":"a","mode":"m","param":1,"wall_s":0.1,
+            "sim_mips":"fast","counters":{}}]}|}
+   with
+  | Ok _ -> Alcotest.fail "non-numeric sim_mips accepted"
+  | Error _ -> ());
   let reject doc frag =
     match Obs.Baseline.of_string doc with
     | Ok _ -> Alcotest.failf "expected rejection (%s)" frag
