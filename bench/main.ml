@@ -442,6 +442,23 @@ let fault () =
   section "Fault-injection detection coverage (docs/FAULTS.md)";
   ignore (Exp.Fault_cov.run ())
 
+(* `fuzz`: a 10k-program differential lockstep campaign (W256 vs W128 in
+   lockstep, wide bounds armed), exported through the obs schema so
+   `cheri_diff` bands fuzz throughput like any other benchmark.  Honors
+   --jobs (shard-grid determinism makes the export independent of the
+   domain count) and --no-wall (byte-comparable output).  Not in the
+   default `all` set — it is a correctness sweep, not a paper figure. *)
+let fuzz ~jobs ~wall ~json () =
+  section "fuzz: differential lockstep campaign (docs/FAULTS.md)";
+  let cfg = { Fuzz.Campaign.default with Fuzz.Campaign.programs = 10_000 } in
+  let r = Fuzz.Campaign.run ~jobs ~wall cfg in
+  Fmt.pr "%a" Fuzz.Campaign.pp r;
+  if json then begin
+    Obs.Export.write_file "FUZZ_obs.json" [ Fuzz.Campaign.export_entry r ];
+    Printf.printf "wrote FUZZ_obs.json\n"
+  end;
+  if not (Fuzz.Campaign.clean r) then exit 3
+
 (* --- machine-readable export ---------------------------------------------------------------- *)
 
 (* `--json`: run the Figure 4 benchmark set (all three pointer modes, at
@@ -545,7 +562,7 @@ let () =
           "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "seg-compare"; "ablation"; "fault";
           "micro";
         ]
-    else if json && not (List.mem "obs" args) then args @ [ "obs" ]
+    else if json && not (List.mem "obs" args) && not (List.mem "fuzz" args) then args @ [ "obs" ]
     else args
   in
   let targets = if skip_fault then List.filter (fun t -> t <> "fault") targets else targets in
@@ -561,13 +578,14 @@ let () =
       | "seg-compare" -> seg_compare ()
       | "ablation" -> ablation ~jobs ()
       | "fault" -> fault ()
+      | "fuzz" -> fuzz ~jobs ~wall ~json ()
       | "micro" -> micro ~quick ()
       | "obs" -> obs_export ~jobs ~wall ()
       | "regress" -> obs_regress ~baseline_dir ~jobs ~wall ()
       | other ->
           Printf.eprintf
             "unknown target %S (expected \
-             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|micro|obs|regress|all)\n"
+             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|fuzz|micro|obs|regress|all)\n"
             other;
           exit 2)
     targets

@@ -11,7 +11,7 @@
 
 open Cmdliner
 
-let campaign bench modes seeds base_seed param sites verbose no_monitor =
+let campaign bench modes seeds base_seed param sites verbose no_monitor checkpoint resume =
   let sites =
     match sites with
     | [] -> Fault.Injector.all_sites
@@ -26,19 +26,34 @@ let campaign bench modes seeds base_seed param sites verbose no_monitor =
           names
   in
   Cli.check_bench bench;
+  (* With several modes, each gets its own checkpoint file (the
+     fingerprint covers the mode, so they cannot be mixed up). *)
+  let checkpoint_for mode =
+    match checkpoint with
+    | None -> None
+    | Some path when List.length modes > 1 ->
+        Some (path ^ "." ^ Fault.Campaign.mode_name mode)
+    | Some path -> Some path
+  in
   let summaries =
     List.map
       (fun mode ->
-        Fault.Campaign.run
-          {
-            Fault.Campaign.bench;
-            mode;
-            seeds;
-            base_seed;
-            param;
-            sites;
-            monitor = not no_monitor;
-          })
+        match
+          Fault.Campaign.run ?checkpoint:(checkpoint_for mode) ~resume
+            {
+              Fault.Campaign.bench;
+              mode;
+              seeds;
+              base_seed;
+              param;
+              sites;
+              monitor = not no_monitor;
+            }
+        with
+        | s -> s
+        | exception Failure msg ->
+            Fmt.epr "%s@." msg;
+            exit 2)
       modes
   in
   if verbose then
@@ -71,11 +86,25 @@ let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Print the per-seed cl
 let no_monitor =
   Arg.(value & flag & info [ "no-monitor" ] ~doc:"Skip the post-run invariant sweep.")
 
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write periodic campaign checkpoints to $(docv) (per-mode suffixes when several modes \
+           run).")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ] ~doc:"Continue from the checkpoint file instead of starting over.")
+
 let cmd =
   Cmd.v
     (Cmd.info "cheri_fault" ~doc:"Fault-injection campaigns against the CHERI machine model")
     Term.(
       const campaign $ Cli.bench $ Cli.fault_modes $ seeds $ base_seed $ Cli.param ~default:8
-      $ sites $ verbose $ no_monitor)
+      $ sites $ verbose $ no_monitor $ checkpoint $ resume)
 
 let () = exit (Cmd.eval cmd)

@@ -81,10 +81,16 @@ type summary = {
   golden_exit : int;
   golden_output : string;
   golden_instret : int64;
-  records : record list;
+  records : record list; (* the seeds this process actually ran *)
+  prior : (outcome * int) list;
+      (* outcome tallies carried over from a resumed checkpoint: seeds
+         [0, seeds - |records|) of the same campaign, classified by an
+         earlier (interrupted) process.  Empty for a fresh run. *)
 }
 
-let count s o = List.length (List.filter (fun r -> r.outcome = o) s.records)
+let count s o =
+  (match List.assoc_opt o s.prior with Some n -> n | None -> 0)
+  + List.length (List.filter (fun r -> r.outcome = o) s.records)
 
 let fraction s o =
   if s.config.seeds = 0 then 0.0 else 100.0 *. float_of_int (count s o) /. float_of_int s.config.seeds
@@ -176,8 +182,11 @@ let effective_sites cfg =
 (* How often the sampled invariant monitor runs, in retired instructions.
    Between samples corruption is only caught by the trap machinery; a
    smaller period catches more transient violations at proportional cost
-   (the monitor only starts sampling once the injection has fired). *)
-let monitor_period = 512L
+   (the monitor only starts sampling once the injection has fired).
+   Native int: the period check runs on every retired instruction, and
+   [Machine.instret] is a native int — going through [Int64.rem] boxed a
+   fresh Int64 per retirement on the hot path. *)
+let monitor_period = 512
 
 (* One faulted run under seed [seed]. *)
 let faulted_run cfg ~program ~(golden : golden) ~heap_len seed =
@@ -215,7 +224,7 @@ let faulted_run cfg ~program ~(golden : golden) ~heap_len seed =
          Injector.poll inj m;
          if
            cfg.monitor && Injector.fired inj && !monitor_flags = 0
-           && Int64.rem (Int64.of_int m.Machine.instret) monitor_period = 0L
+           && m.Machine.instret mod monitor_period = 0
          then sweep ()));
   let budget = Int64.add (Int64.mul golden.instret 4L) 100_000L in
   let result = Machine.run_result ~max_insns:budget ~watchdog:1024 m in
@@ -248,40 +257,119 @@ let faulted_run cfg ~program ~(golden : golden) ~heap_len seed =
     monitor_flags = !monitor_flags;
   }
 
+(* Stable short outcome keys for checkpoint tallies (the long
+   [outcome_name] strings are display text, not a file format). *)
+let outcome_key = function
+  | Masked -> "masked"
+  | Detected_cap -> "detected-cap"
+  | Detected_trap -> "detected-trap"
+  | Detected_monitor -> "detected-monitor"
+  | Sdc -> "sdc"
+  | Hang -> "hang"
+
+(* The checkpoint fingerprint: everything that determines the per-seed
+   classification.  Resuming under a different config would silently mix
+   incomparable outcome streams, so [run] refuses on mismatch. *)
+let fingerprint cfg =
+  Printf.sprintf "fault:%s:%s:seeds=%d:base=%Ld:param=%d:sites=%s:monitor=%b" cfg.bench
+    (mode_name cfg.mode) cfg.seeds cfg.base_seed cfg.param
+    (String.concat "," (List.map Injector.site_name cfg.sites))
+    cfg.monitor
+
 (* [bus]: when given, every classified injection is emitted as a
    structured "fault-campaign" event on the shared lib/obs event bus, so
    campaign verdicts interleave with spans and kernel faults in one
-   machine-readable stream. *)
-let run ?bus cfg =
+   machine-readable stream.
+
+   [checkpoint]: path of a Checkpoint file rewritten every
+   [checkpoint_every] classified seeds (and at completion).  With
+   [resume], a matching checkpoint's cursor and tallies are folded in and
+   the campaign continues at the first unclassified seed — every seed is
+   deterministic, so the resumed summary's counts equal an uninterrupted
+   run's.  [stop_after n] classifies at most [n] seeds this call (the
+   deterministic stand-in for an interruption; used by the resume tests
+   and nonsensical without [checkpoint]). *)
+let run ?bus ?checkpoint ?(checkpoint_every = 64) ?(resume = false) ?stop_after cfg =
   let program = compile cfg in
   let golden = golden_run cfg program in
   (* The invariant monitor still sweeps the whole heap the golden run
      touched (plus a page of slack for allocator state). *)
   let heap_len = Int64.add (Int64.sub golden.brk Os.Layout.heap_base) 4096L in
-  let records =
-    List.init cfg.seeds (fun i ->
-        let r =
-          faulted_run cfg ~program ~golden ~heap_len (Int64.add cfg.base_seed (Int64.of_int i))
-        in
-        (match bus with
-        | Some bus ->
-            Obs.Event.emit bus ~kind:"fault-campaign" ~name:(outcome_name r.outcome)
-              [
-                ("bench", Obs.Json.String cfg.bench);
-                ("mode", Obs.Json.String (mode_name cfg.mode));
-                ("seed", Obs.Json.Int r.seed);
-                ("injection", Obs.Json.String r.injection);
-                ("monitor_flags", Obs.Json.Int (Int64.of_int r.monitor_flags));
-              ]
-        | None -> ());
-        r)
+  let fp = fingerprint cfg in
+  let start, prior =
+    match checkpoint with
+    | Some path when resume && Sys.file_exists path -> (
+        match Checkpoint.load path with
+        | Error msg -> Fmt.failwith "campaign: cannot resume: %s" msg
+        | Ok c ->
+            if not (String.equal c.Checkpoint.kind "fault" && String.equal c.Checkpoint.fingerprint fp)
+            then
+              Fmt.failwith "campaign: checkpoint %s was written by a different campaign (%s)" path
+                c.Checkpoint.fingerprint;
+            let prior =
+              List.filter_map
+                (fun o ->
+                  match List.assoc_opt (outcome_key o) c.Checkpoint.tallies with
+                  | Some n when Int64.compare n 0L > 0 -> Some (o, Int64.to_int n)
+                  | _ -> None)
+                all_outcomes
+            in
+            (c.Checkpoint.next, prior))
+    | _ -> (0, [])
   in
+  let records = ref [] in
+  let ndone = ref start in
+  let save () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        let tallies =
+          List.map
+            (fun o ->
+              let n =
+                (match List.assoc_opt o prior with Some n -> n | None -> 0)
+                + List.length (List.filter (fun r -> r.outcome = o) !records)
+              in
+              (outcome_key o, Int64.of_int n))
+            all_outcomes
+        in
+        Checkpoint.save path
+          {
+            Checkpoint.kind = "fault";
+            fingerprint = fp;
+            total = cfg.seeds;
+            next = !ndone;
+            tallies;
+            counters = [];
+            hists = [];
+          }
+  in
+  let stop = match stop_after with Some n -> min cfg.seeds (start + n) | None -> cfg.seeds in
+  for i = start to stop - 1 do
+    let r = faulted_run cfg ~program ~golden ~heap_len (Int64.add cfg.base_seed (Int64.of_int i)) in
+    (match bus with
+    | Some bus ->
+        Obs.Event.emit bus ~kind:"fault-campaign" ~name:(outcome_name r.outcome)
+          [
+            ("bench", Obs.Json.String cfg.bench);
+            ("mode", Obs.Json.String (mode_name cfg.mode));
+            ("seed", Obs.Json.Int r.seed);
+            ("injection", Obs.Json.String r.injection);
+            ("monitor_flags", Obs.Json.Int (Int64.of_int r.monitor_flags));
+          ]
+    | None -> ());
+    records := r :: !records;
+    incr ndone;
+    if !ndone mod checkpoint_every = 0 then save ()
+  done;
+  save ();
   {
     config = cfg;
     golden_exit = golden.exit_code;
     golden_output = golden.output;
     golden_instret = golden.instret;
-    records;
+    records = List.rev !records;
+    prior;
   }
 
 (* --- reporting ----------------------------------------------------------- *)

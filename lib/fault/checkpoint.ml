@@ -1,0 +1,160 @@
+(* Campaign checkpoints: a periodic JSON snapshot of a seeded campaign's
+   cursor and aggregated results, shared by the fault-injection campaign
+   (`cheri_fault --checkpoint/--resume`) and the fuzzer (`cheri_fuzz`).
+
+   A checkpoint deliberately stores no per-seed records: every seed is
+   deterministic, so the cursor plus the running tallies reconstruct the
+   campaign exactly.  [--resume] continues at [next] with the prior
+   tallies folded in, which makes a resumed campaign's final report
+   byte-identical to an uninterrupted one — provided the config matches,
+   which [fingerprint] enforces (resuming a checkpoint written by a
+   different campaign is a hard error, not a silent restart).
+
+   Schema (one JSON object per file):
+
+     { "schema": "cheri-campaign-checkpoint/1",
+       "kind": "fault" | "fuzz",
+       "fingerprint": <config digest string>,
+       "total": <seeds in the whole campaign>,
+       "next": <first seed index not yet accounted for>,
+       "tallies": { <outcome>: <count>, ... },
+       "counters": { <name>: <int64>, ... },
+       "hists": [ <full-fidelity histogram>, ... ] }
+
+   Histograms round-trip at full fidelity (every non-empty bucket, not
+   the elided rendering of [Obs.Hist.to_json]) so a resumed campaign's
+   exported distributions match the uninterrupted run exactly. *)
+
+type t = {
+  kind : string; (* which campaign wrote it: "fault" | "fuzz" *)
+  fingerprint : string; (* config digest; resume refuses a mismatch *)
+  total : int; (* seeds in the whole campaign *)
+  next : int; (* first seed index not yet accounted for *)
+  tallies : (string * int64) list; (* outcome name -> count so far *)
+  counters : (string * int64) list; (* aggregate counters (instret, ...) *)
+  hists : Obs.Hist.t list;
+}
+
+let schema = "cheri-campaign-checkpoint/1"
+
+(* --- serialization ------------------------------------------------------ *)
+
+let hist_to_json (h : Obs.Hist.t) =
+  let buckets =
+    List.map
+      (fun (k, n) ->
+        Obs.Json.List [ Obs.Json.Int (Int64.of_int k); Obs.Json.Int (Int64.of_int n) ])
+      (Obs.Hist.nonempty h)
+  in
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String h.Obs.Hist.name);
+      ("total", Obs.Json.Int (Int64.of_int h.Obs.Hist.total));
+      ("sum", Obs.Json.Int h.Obs.Hist.sum);
+      ("min", Obs.Json.Int h.Obs.Hist.vmin);
+      ("max", Obs.Json.Int h.Obs.Hist.vmax);
+      ("counts", Obs.Json.List buckets);
+    ]
+
+let assoc_to_json kvs = Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
+
+let to_json c =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("kind", Obs.Json.String c.kind);
+      ("fingerprint", Obs.Json.String c.fingerprint);
+      ("total", Obs.Json.Int (Int64.of_int c.total));
+      ("next", Obs.Json.Int (Int64.of_int c.next));
+      ("tallies", assoc_to_json c.tallies);
+      ("counters", assoc_to_json c.counters);
+      ("hists", Obs.Json.List (List.map hist_to_json c.hists));
+    ]
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Malformed of string
+
+let get key j =
+  match Obs.Json.member key j with Some v -> v | None -> raise (Malformed ("missing " ^ key))
+
+let get_string key j =
+  match get key j with Obs.Json.String s -> s | _ -> raise (Malformed (key ^ ": expected string"))
+
+let get_i64 key j =
+  match get key j with Obs.Json.Int i -> i | _ -> raise (Malformed (key ^ ": expected integer"))
+
+let get_int key j = Int64.to_int (get_i64 key j)
+
+let get_assoc key j =
+  match get key j with
+  | Obs.Json.Obj fields ->
+      List.map
+        (fun (k, v) ->
+          match v with
+          | Obs.Json.Int i -> (k, i)
+          | _ -> raise (Malformed (key ^ "." ^ k ^ ": expected integer")))
+        fields
+  | _ -> raise (Malformed (key ^ ": expected object"))
+
+let hist_of_json j =
+  let h = Obs.Hist.create ~name:(get_string "name" j) () in
+  h.Obs.Hist.total <- get_int "total" j;
+  h.Obs.Hist.sum <- get_i64 "sum" j;
+  h.Obs.Hist.vmin <- get_i64 "min" j;
+  h.Obs.Hist.vmax <- get_i64 "max" j;
+  (match get "counts" j with
+  | Obs.Json.List pairs ->
+      List.iter
+        (function
+          | Obs.Json.List [ Obs.Json.Int k; Obs.Json.Int n ] ->
+              let k = Int64.to_int k in
+              if k < 0 || k >= Obs.Hist.buckets then raise (Malformed "hist bucket out of range");
+              h.Obs.Hist.counts.(k) <- Int64.to_int n
+          | _ -> raise (Malformed "hist counts: expected [bucket, count] pairs"))
+        pairs
+  | _ -> raise (Malformed "hist counts: expected list"));
+  h
+
+let of_json j =
+  (match get_string "schema" j with
+  | s when String.equal s schema -> ()
+  | s -> raise (Malformed (Printf.sprintf "unsupported schema %S (want %S)" s schema)));
+  {
+    kind = get_string "kind" j;
+    fingerprint = get_string "fingerprint" j;
+    total = get_int "total" j;
+    next = get_int "next" j;
+    tallies = get_assoc "tallies" j;
+    counters = get_assoc "counters" j;
+    hists =
+      (match get "hists" j with
+      | Obs.Json.List hs -> List.map hist_of_json hs
+      | _ -> raise (Malformed "hists: expected list"));
+  }
+
+(* --- file I/O ----------------------------------------------------------- *)
+
+(* Write-then-rename: a campaign killed mid-checkpoint leaves the previous
+   complete checkpoint in place, never a truncated file. *)
+let save path c =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Obs.Json.to_string (to_json c));
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_json (Obs.Json.parse s)
+  with
+  | c -> Ok c
+  | exception Malformed msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | exception Obs.Json.Parse_error (msg, off) ->
+      Error (Printf.sprintf "%s: JSON parse error at byte %d: %s" path off msg)
+  | exception Sys_error msg -> Error msg

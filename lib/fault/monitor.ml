@@ -60,15 +60,35 @@ let check_one ~cap_width ~root ~subject c acc =
       :: acc
   | _ -> acc
 
-(* Scan the capability register file and PCC. *)
+(* Scan the capability register file and PCC.  The fuzzer runs this on
+   every retired instruction, so the clean path renders no subject
+   strings: the register's name is only materialised when one of the
+   oracles actually fires. *)
+let reg_subject i = if i < 0 then "pcc" else Printf.sprintf "register c%d" i
+
 let check_regs ?root (m : Machine.t) =
   let cap_width = m.Machine.config.Machine.cap_width in
   let acc = ref [] in
+  let scan i c =
+    (match well_formed ~cap_width c with
+    | Some detail -> acc := { oracle = "well-formed"; subject = reg_subject i; detail } :: !acc
+    | None -> ());
+    match root with
+    | Some root when Cap.Capability.tag c && not (Cap.Capability.rights_subset c root) ->
+        acc :=
+          {
+            oracle = "monotonicity";
+            subject = reg_subject i;
+            detail =
+              Fmt.str "%a exceeds the domain root %a" Cap.Capability.pp c Cap.Capability.pp root;
+          }
+          :: !acc
+    | _ -> ()
+  in
   for i = 0 to 31 do
-    acc :=
-      check_one ~cap_width ~root ~subject:(Printf.sprintf "register c%d" i) (Machine.cap m i) !acc
+    scan i (Machine.cap m i)
   done;
-  acc := check_one ~cap_width ~root ~subject:"pcc" m.Machine.pcc !acc;
+  scan (-1) m.Machine.pcc;
   List.rev !acc
 
 (* Scan every tagged line in [base, base+len): decode it exactly as a CLC
@@ -78,8 +98,18 @@ let check_memory ?root (m : Machine.t) ~base ~len =
   let cap_width = m.Machine.config.Machine.cap_width in
   let tags = m.Machine.tags in
   let line_bytes = Mem.Tags.granularity tags in
-  let first = Int64.div base (Int64.of_int line_bytes) in
-  let count = Int64.to_int (Int64.div len (Int64.of_int line_bytes)) in
+  let line = Int64.of_int line_bytes in
+  (* Cover [base, base+len) in full: the first line rounds down and the
+     last rounds up, so an unaligned [base] does not shift the window off
+     its tail and a [len] that is not a granularity multiple still scans
+     the partial last line. *)
+  let first = Int64.div base line in
+  let count =
+    if Int64.compare len 0L <= 0 then 0
+    else
+      let last = Int64.div (Int64.sub (Int64.add base len) 1L) line in
+      Int64.to_int (Int64.add (Int64.sub last first) 1L)
+  in
   let acc = ref [] in
   for i = 0 to count - 1 do
     let addr = Int64.mul (Int64.add first (Int64.of_int i)) (Int64.of_int line_bytes) in

@@ -1,0 +1,104 @@
+(* Persisted corpus of minimized fuzz failures.
+
+   One JSON file per failure, named by mode and seed.  The file carries
+   both the encoded instruction words (the authoritative program — replay
+   decodes these, so a corpus file reproduces *exactly* the minimized
+   program even if the generator's biases later change) and a
+   disassembly for the human reading the corpus.  The seed alone also
+   replays the original un-shrunk program via [--replay SEED], since the
+   generator is a pure function of the seed.
+
+   Schema:
+
+     { "schema": "cheri-fuzz-failure/1",
+       "seed": <int64>, "mode": "cheri"|"cheri128"|"lockstep",
+       "wide": bool, "insns": <generator length>,
+       "reason": <first-divergence / oracle description>,
+       "words": [ <encoded u32>, ... ],
+       "disasm": [ <string>, ... ] } *)
+
+open Beri
+
+type failure = {
+  seed : int64;
+  mode : string; (* campaign mode key *)
+  wide : bool;
+  insns : int; (* generator program length the seed was drawn under *)
+  reason : string;
+  program : Insn.t array; (* the minimized failing program *)
+}
+
+let schema = "cheri-fuzz-failure/1"
+
+let to_json f =
+  let words =
+    Array.to_list f.program
+    |> List.map (fun i -> Obs.Json.Int (Int64.of_int (Code.encode i land 0xFFFFFFFF)))
+  in
+  let disasm = Array.to_list f.program |> List.map (fun i -> Obs.Json.String (Fmt.str "%a" Insn.pp i)) in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("seed", Obs.Json.Int f.seed);
+      ("mode", Obs.Json.String f.mode);
+      ("wide", Obs.Json.Bool f.wide);
+      ("insns", Obs.Json.Int (Int64.of_int f.insns));
+      ("reason", Obs.Json.String f.reason);
+      ("words", Obs.Json.List words);
+      ("disasm", Obs.Json.List disasm);
+    ]
+
+exception Malformed = Fault.Checkpoint.Malformed
+
+let of_json j =
+  (match Fault.Checkpoint.get_string "schema" j with
+  | s when String.equal s schema -> ()
+  | s -> raise (Malformed (Printf.sprintf "unsupported schema %S (want %S)" s schema)));
+  let words =
+    match Fault.Checkpoint.get "words" j with
+    | Obs.Json.List ws ->
+        List.map
+          (function
+            | Obs.Json.Int w -> Int64.to_int w
+            | _ -> raise (Malformed "words: expected integers"))
+          ws
+    | _ -> raise (Malformed "words: expected list")
+  in
+  let bool_field key =
+    match Fault.Checkpoint.get key j with
+    | Obs.Json.Bool b -> b
+    | _ -> raise (Malformed (key ^ ": expected bool"))
+  in
+  {
+    seed = Fault.Checkpoint.get_i64 "seed" j;
+    mode = Fault.Checkpoint.get_string "mode" j;
+    wide = bool_field "wide";
+    insns = Fault.Checkpoint.get_int "insns" j;
+    reason = Fault.Checkpoint.get_string "reason" j;
+    program = Array.of_list (List.map Code.decode words);
+  }
+
+let path ~dir f = Filename.concat dir (Printf.sprintf "fuzz-%s-%Ld.json" f.mode f.seed)
+
+let save ~dir f =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let p = path ~dir f in
+  let oc = open_out p in
+  output_string oc (Obs.Json.to_string (to_json f));
+  output_char oc '\n';
+  close_out oc;
+  p
+
+let load file =
+  match
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_json (Obs.Json.parse s)
+  with
+  | f -> Ok f
+  | exception Malformed msg -> Error (Printf.sprintf "%s: %s" file msg)
+  | exception Obs.Json.Parse_error (msg, off) ->
+      Error (Printf.sprintf "%s: JSON parse error at byte %d: %s" file off msg)
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,101 @@
+(* Single-machine fuzz harness: run one generated program under the
+   instruction budget and the [Fault.Monitor] oracles, and classify the
+   outcome.
+
+   The monitor rides the machine's per-retirement step hook.  An oracle
+   violation cannot abort the run by raising (the run loop's catch-all
+   would fold a stray exception into [Trap_unhandled] and destroy the
+   classification), so the hook records the first violation set in a ref
+   and the run simply plays out its budget; the program is short enough
+   that this costs nothing.
+
+   Memory sweeps are sampled every [mem_period] retirements *relative to
+   the program's own start*: the machine object is reused across
+   thousands of programs and [instret] is monotone across them, so an
+   absolute phase would make a program's sampling points — and in the
+   limit its classification — depend on which programs ran before it on
+   the same machine, breaking sharded/resumed determinism. *)
+
+type outcome =
+  | Clean (* ran to the Break terminator *)
+  | Cap_trap of Cap.Cause.t (* capability coprocessor exception *)
+  | Other_trap of Beri.Cp0.exc (* any other architectural exception *)
+  | Monitor of Fault.Monitor.violation list (* an oracle fired: a machine bug *)
+  | Hang (* exhausted the budget: straight-line code cannot loop, so also a bug *)
+
+let outcome_key = function
+  | Clean -> "ok"
+  | Cap_trap _ -> "trap-cap"
+  | Other_trap _ -> "trap-other"
+  | Monitor _ -> "monitor"
+  | Hang -> "hang"
+
+let pp_outcome ppf = function
+  | Clean -> Fmt.string ppf "clean exit"
+  | Cap_trap c -> Fmt.pf ppf "capability trap (%s)" (Cap.Cause.to_string c)
+  | Other_trap e -> Fmt.pf ppf "trap (%s)" (Beri.Cp0.exc_to_string e)
+  | Monitor vs ->
+      Fmt.pf ppf "monitor violation: %a" (Fmt.list ~sep:Fmt.semi Fault.Monitor.pp_violation) vs
+  | Hang -> Fmt.string ppf "budget exhausted"
+
+let mem_period = 32
+
+type monitor = {
+  violations : Fault.Monitor.violation list ref;
+  finish : unit -> unit; (* detach the hook and run the final full sweep *)
+}
+
+let attach_monitor m (cfg : Gen.cfg) =
+  let root = Gen.monitor_root cfg in
+  let violations = ref [] in
+  let start = m.Machine.instret in
+  let sweep_mem () =
+    match Fault.Monitor.check_memory ~root m ~base:Gen.scalar_base ~len:Gen.region_len with
+    | [] -> Fault.Monitor.check_memory ~root m ~base:Gen.cap_base ~len:Gen.region_len
+    | vs -> vs
+  in
+  let note vs = if !violations = [] && vs <> [] then violations := vs in
+  Machine.set_step_hook m
+    (Some
+       (fun m ->
+         if !violations = [] then begin
+           note (Fault.Monitor.check_regs ~root m);
+           if !violations = [] && (m.Machine.instret - start) land (mem_period - 1) = 0 then
+             note (sweep_mem ())
+         end));
+  let finish () =
+    Machine.set_step_hook m None;
+    note (Fault.Monitor.check_regs ~root m);
+    if !violations = [] then note (sweep_mem ())
+  in
+  { violations; finish }
+
+(* Classify a finished run from the machine's recorded last exception.
+   The generator terminates every program with Break, so a clean exit
+   reports [Breakpoint]. *)
+let classify_exit (m : Machine.t) =
+  match m.Machine.cp0.Beri.Cp0.last_exc with
+  | Some Beri.Cp0.Breakpoint | None -> Clean
+  | Some (Beri.Cp0.Cp2 cause) -> Cap_trap cause
+  | Some exc -> Other_trap exc
+
+(* Run [program] for [seed] on [m] (any prior state is overwritten by the
+   deterministic reset).  Returns the outcome and the retired-instruction
+   count. *)
+let run m (cfg : Gen.cfg) ~seed ~program =
+  Gen.reset m cfg seed;
+  Gen.load m program;
+  let mon = attach_monitor m cfg in
+  let start = m.Machine.instret in
+  let result = Machine.run_result ~max_insns:(Int64.of_int (Gen.budget cfg)) m in
+  mon.finish ();
+  let retired = m.Machine.instret - start in
+  let outcome =
+    if !(mon.violations) <> [] then Monitor !(mon.violations)
+    else
+      match result with
+      | Machine.Exited _ -> classify_exit m
+      | Machine.Budget_exhausted _ | Machine.Watchdog_hang _ -> Hang
+      | Machine.Trap_unhandled (ctx, _) -> Other_trap ctx.Machine.exc
+  in
+  (outcome, retired)

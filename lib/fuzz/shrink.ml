@@ -1,0 +1,88 @@
+(* Greedy shrinking of a failing program against an arbitrary failure
+   predicate.
+
+   Two passes, each run to a fixpoint:
+
+     1. instruction deletion — try removing each instruction in turn,
+        keeping any deletion under which the program still fails;
+     2. operand simplification — rewrite surviving instructions toward
+        canonical operands (immediate 0, index register $zero, branch
+        offset 1), keeping any rewrite under which the program still
+        fails.
+
+   The predicate re-runs the whole harness (single or lockstep) on each
+   candidate, so the result is a genuinely minimal *reproducer*, not a
+   syntactic trim.  Everything is deterministic: candidates are tried in
+   a fixed order, so the same failure always shrinks to the same
+   program. *)
+
+open Beri
+
+let remove_at a i = Array.append (Array.sub a 0 i) (Array.sub a (i + 1) (Array.length a - i - 1))
+
+(* Strictly-simpler variants of one instruction, most aggressive first. *)
+let simpler = function
+  | Insn.Daddiu (d, s, i) when i <> 0 -> [ Insn.Daddiu (d, s, 0) ]
+  | Insn.Load (w, u, rt, b, o) when o <> 0 -> [ Insn.Load (w, u, rt, b, 0) ]
+  | Insn.Store (w, rt, b, o) when o <> 0 -> [ Insn.Store (w, rt, b, 0) ]
+  | Insn.CLoad (w, u, rd, cb, rt, i) ->
+      (if rt <> 0 then [ Insn.CLoad (w, u, rd, cb, 0, i) ] else [])
+      @ (if i <> 0 then [ Insn.CLoad (w, u, rd, cb, rt, 0) ] else [])
+  | Insn.CStore (w, rs, cb, rt, i) ->
+      (if rt <> 0 then [ Insn.CStore (w, rs, cb, 0, i) ] else [])
+      @ (if i <> 0 then [ Insn.CStore (w, rs, cb, rt, 0) ] else [])
+  | Insn.CLC (cd, cb, rt, i) ->
+      (if rt <> 0 then [ Insn.CLC (cd, cb, 0, i) ] else [])
+      @ (if i <> 0 then [ Insn.CLC (cd, cb, rt, 0) ] else [])
+  | Insn.CSC (cs, cb, rt, i) ->
+      (if rt <> 0 then [ Insn.CSC (cs, cb, 0, i) ] else [])
+      @ (if i <> 0 then [ Insn.CSC (cs, cb, rt, 0) ] else [])
+  | Insn.Beq (s, t, o) when o <> 1 -> [ Insn.Beq (s, t, 1) ]
+  | Insn.Bne (s, t, o) when o <> 1 -> [ Insn.Bne (s, t, 1) ]
+  | Insn.CBTU (c, o) when o <> 1 -> [ Insn.CBTU (c, 1) ]
+  | Insn.CBTS (c, o) when o <> 1 -> [ Insn.CBTS (c, 1) ]
+  | _ -> []
+
+(* [minimize ~check program] requires [check program = true] ("still
+   fails") and returns the minimized program together with the number of
+   predicate evaluations spent. *)
+let minimize ~check (program : Insn.t array) =
+  let checks = ref 0 in
+  let fails p =
+    incr checks;
+    check p
+  in
+  let cur = ref (Array.copy program) in
+  (* pass 1: deletion to a fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let i = ref 0 in
+    while !i < Array.length !cur && Array.length !cur > 1 do
+      let cand = remove_at !cur !i in
+      if fails cand then begin
+        cur := cand;
+        changed := true
+      end
+      else incr i
+    done
+  done;
+  (* pass 2: operand simplification to a fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to Array.length !cur - 1 do
+      List.iter
+        (fun insn' ->
+          if not !changed then begin
+            let cand = Array.copy !cur in
+            cand.(i) <- insn';
+            if fails cand then begin
+              cur := cand;
+              changed := true
+            end
+          end)
+        (simpler (!cur).(i))
+    done
+  done;
+  (!cur, !checks)

@@ -79,6 +79,14 @@ type t = {
          costs one match per step and nothing else; a probe never touches
          architectural state or the cycle count, so probed and unprobed
          runs are architecturally identical. *)
+  mutable on_store : (int64 -> int -> int64 -> unit) option;
+      (* store-stream observer: [f addr kind payload] after every retired
+         store.  [kind] is the access width in bytes for a scalar store;
+         0 marks a capability store, whose payload is a digest of the
+         stored capability's architectural fields ([cap_digest]).  [None]
+         (the default) costs one match per store.  The differential
+         fuzzer diffs this stream across capability widths, so the
+         payload must not depend on the in-memory image format. *)
   mutable timing : bool; (* drive the cache/TLB model (off = fast functional mode) *)
   mutable stores : int; (* retired stores, of any width (hang-detector fuel) *)
   mutable kernel_entries : int; (* exceptions dispatched to the kernel *)
@@ -128,6 +136,7 @@ let create ?(config = default_config) () =
     on_trace = (fun _ _ _ _ -> ());
     on_step = None;
     probe = None;
+    on_store = None;
     timing = true;
     stores = 0;
     kernel_entries = 0;
@@ -138,6 +147,7 @@ let create ?(config = default_config) () =
 let set_kernel t f = t.kernel <- f
 let set_trace_hook t f = t.on_trace <- f
 let set_step_hook t f = t.on_step <- f
+let set_store_hook t f = t.on_store <- f
 
 (* Attach (or detach, with [None]) the observability probe.  A probe that
    carries an attribution table additionally hooks the memory hierarchy
@@ -328,9 +338,32 @@ let store_scalar t ~reg c ~addr ~width v =
      the architectural rule that makes in-memory capabilities unforgeable. *)
   Mem.Tags.clear_range t.tags addr size;
   if t.ll_bit && Mem.Tags.line_index t.tags addr = Mem.Tags.line_index t.tags t.ll_addr
-  then t.ll_bit <- false
+  then t.ll_bit <- false;
+  match t.on_store with Some f -> f addr size v | None -> ()
 
 let cap_size t = match t.config.cap_width with W256 -> 32 | W128 -> 16
+
+(* Digest of a stored capability's architectural fields: what the
+   store-stream observer sees for a capability store.  Deliberately built
+   from the register-file view (not the memory image, which is 32 bytes
+   on W256 and 16 on W128), so equal capabilities stored on either width
+   produce equal payloads.  An untagged store collapses to a constant:
+   its field bits are dead (any dereference traps), and on the compressed
+   machine they are format-dependent residue a cross-width diff must not
+   see. *)
+let cap_digest v =
+  if not (Cap.Capability.tag v) then 5L
+  else begin
+    let mix h x =
+      let h = Int64.mul (Int64.logxor h x) 0xFF51_AFD7_ED55_8CCDL in
+      Int64.logxor h (Int64.shift_right_logical h 33)
+    in
+    let h = mix 0x9E37_79B9_7F4A_7C15L (Cap.Capability.base v) in
+    let h = mix h (Cap.Capability.length v) in
+    let h = mix h (Int64.of_int (Cap.Perms.to_int (Cap.Capability.perms v))) in
+    let h = mix h (Int64.of_int (Cap.Capability.otype v)) in
+    mix h (if Cap.Capability.is_sealed v then 7L else 11L)
+  end
 
 let load_cap t ~reg c ~addr =
   let size = cap_size t in
@@ -388,7 +421,8 @@ let store_cap t ~reg c ~addr v =
   | Some p when Cap.Capability.tag v ->
       Obs.Probe.note_cap_bounds p ~len:(Cap.Capability.length v)
   | _ -> ());
-  Mem.Tags.set t.tags addr (Cap.Capability.tag v)
+  Mem.Tags.set t.tags addr (Cap.Capability.tag v);
+  match t.on_store with Some f -> f addr 0 (cap_digest v) | None -> ()
 
 (* --- CP2 helpers -------------------------------------------------------- *)
 

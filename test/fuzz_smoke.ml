@@ -1,0 +1,44 @@
+(* Standing fuzz smoke test (`dune build @fuzz-smoke`, pulled into
+   `dune runtest`): a small seeded campaign in each harness with the
+   exact outcome tallies asserted.
+
+   The pinned numbers are a determinism oracle, not a statistical
+   expectation: the generator is a pure function of the seed, so any
+   drift here means the generator, the machines, or the harness changed
+   behaviour — which is exactly what this test exists to surface.  If
+   you changed one of those *deliberately*, rerun
+
+     dune exec bin/cheri_fuzz.exe -- --programs 400 --no-wall
+     dune exec bin/cheri_fuzz.exe -- --programs 256 --mode cheri --no-wall
+
+   and update the constants below. *)
+
+let fail fmt = Fmt.kstr (fun s -> prerr_endline ("fuzz-smoke: " ^ s); exit 1) fmt
+
+let check name (r : Fuzz.Campaign.result) expected_tallies expected_instret =
+  if not (Fuzz.Campaign.clean r) then fail "%s: campaign not clean:@.%a" name Fuzz.Campaign.pp r;
+  let tallies = Array.to_list r.Fuzz.Campaign.tallies in
+  if tallies <> expected_tallies then
+    fail "%s: tallies drifted:@.%a" name Fuzz.Campaign.pp r;
+  if r.Fuzz.Campaign.instret <> expected_instret then
+    fail "%s: instret drifted (%Ld, want %Ld)" name r.Fuzz.Campaign.instret expected_instret;
+  Fmt.pr "fuzz-smoke: %s ok (%d programs, %Ld instret)@." name r.Fuzz.Campaign.programs_done
+    r.Fuzz.Campaign.instret
+
+let () =
+  (* outcome_keys order: ok trap-cap trap-other monitor hang rep-divergence mismatch *)
+  check "lockstep/400"
+    (Fuzz.Campaign.run ~wall:false
+       { Fuzz.Campaign.default with Fuzz.Campaign.programs = 400 })
+    [ 30L; 330L; 0L; 0L; 0L; 40L; 0L ]
+    3247L;
+  check "cheri/256"
+    (Fuzz.Campaign.run ~wall:false
+       {
+         Fuzz.Campaign.default with
+         Fuzz.Campaign.mode = Fuzz.Campaign.Cheri;
+         programs = 256;
+         wide = false;
+       })
+    [ 16L; 240L; 0L; 0L; 0L; 0L; 0L ]
+    2213L

@@ -21,7 +21,26 @@
 
 let jobs = 4
 
+(* The fuzz campaign makes the same promise: the 128-seed shard grid is
+   fixed at absolute indices and shard results merge in seed order, so
+   the export must not depend on the domain count. *)
+let check_fuzz_determinism () =
+  let cfg = { Fuzz.Campaign.default with Fuzz.Campaign.programs = 300 } in
+  let entry r = Obs.Json.to_string (Obs.Export.summary [ Fuzz.Campaign.export_entry r ]) in
+  let seq = entry (Fuzz.Campaign.run ~jobs:1 ~wall:false cfg) in
+  let par = entry (Fuzz.Campaign.run ~jobs ~wall:false cfg) in
+  if not (String.equal seq par) then begin
+    Printf.eprintf
+      "par-determ: fuzz jobs=%d export differs from sequential\n--- sequential ---\n%s\n--- \
+       jobs=%d ---\n%s\n"
+      jobs seq jobs par;
+    exit 1
+  end;
+  Printf.printf "par-determ: fuzz jobs=%d export is byte-identical to sequential (%d bytes)\n" jobs
+    (String.length seq)
+
 let () =
+  check_fuzz_determinism ();
   let seq = Exp.Obs_bench.smoke_entries ~jobs:1 ~wall:false () in
   let par = Exp.Obs_bench.smoke_entries ~jobs ~wall:false () in
   let seq_json = Obs.Json.to_string (Obs.Export.summary seq) in

@@ -127,6 +127,104 @@ let test_monitor_flags_nonmonotonic_register () =
          v.Fault.Monitor.oracle = "monotonicity" && v.Fault.Monitor.subject = "register c5")
        violations)
 
+(* --- check_memory window rounding ------------------------------------------ *)
+
+(* Regressions for the sweep-window arithmetic: [base, base+len) must be
+   covered in full.  The old code floored both ends, so a partial tail
+   line — or a window whose unaligned base pushed its end past the last
+   whole line — escaped the sweep entirely. *)
+
+let forge_line m addr =
+  (* An invalid capability image (unsealed but otype=1) under a forged
+     tag: flags word bit 32 is the otype field's low bit. *)
+  Mem.Phys.write_u64 m.Machine.phys addr (Int64.shift_left 1L 32);
+  Mem.Tags.set m.Machine.tags addr true
+
+let test_monitor_window_partial_tail () =
+  let m = Machine.create () in
+  let g = Int64.of_int (Mem.Tags.granularity m.Machine.tags) in
+  (* Bad line starts at 2g; the window [0, 2g+8) only reaches 8 bytes into
+     it, but those bytes are tagged and must be swept. *)
+  forge_line m (Int64.add heap (Int64.mul 2L g));
+  let violations =
+    Fault.Monitor.check_memory m ~base:heap ~len:(Int64.add (Int64.mul 2L g) 8L)
+  in
+  Alcotest.(check bool) "partial tail line is swept" true (violations <> [])
+
+let test_monitor_window_unaligned_base () =
+  let m = Machine.create () in
+  let g = Int64.of_int (Mem.Tags.granularity m.Machine.tags) in
+  (* Bad line at heap+g; window starts 8 bytes into the previous line and
+     spans g bytes, so it ends 8 bytes into the bad line. *)
+  forge_line m (Int64.add heap g);
+  let violations = Fault.Monitor.check_memory m ~base:(Int64.add heap 8L) ~len:g in
+  Alcotest.(check bool) "unaligned base still reaches the last line" true (violations <> [])
+
+(* --- seeded oracle violations ----------------------------------------------- *)
+
+(* One deliberate violation per oracle, each reported by exactly the
+   expected oracle (forged tags over garbage additionally imply
+   tag-integrity; that pairing is part of the contract). *)
+
+let oracle_names violations =
+  List.sort_uniq compare (List.map (fun (v : Fault.Monitor.violation) -> v.Fault.Monitor.oracle) violations)
+
+let test_oracle_forged_tag_over_data () =
+  let m = Machine.create () in
+  forge_line m heap;
+  let violations = Fault.Monitor.check_memory m ~base:heap ~len:32L in
+  Alcotest.(check (list string))
+    "well-formed + tag-integrity, nothing else" [ "tag-integrity"; "well-formed" ]
+    (oracle_names violations)
+
+let test_oracle_unsealed_with_otype () =
+  let m = Machine.create () in
+  (* Forge the register value through the serialized form: the public
+     constructors cannot build an unsealed capability carrying an otype,
+     which is exactly why holding one violates well-formedness. *)
+  let b = Bytes.make 32 '\000' in
+  Bytes.set_int64_le b 0 (Int64.shift_left 1L 32);
+  Bytes.set_int64_le b 24 16L;
+  Machine.set_cap m 9 (Cap.Capability.of_bytes ~tag:true b);
+  let violations = Fault.Monitor.check_regs m in
+  Alcotest.(check (list string)) "well-formed only" [ "well-formed" ] (oracle_names violations);
+  Alcotest.(check bool) "names register c9" true
+    (List.exists (fun (v : Fault.Monitor.violation) -> v.Fault.Monitor.subject = "register c9") violations)
+
+let test_oracle_unrepresentable_on_w128 () =
+  let config = { Machine.default_config with Machine.cap_width = Machine.W128 } in
+  let m = Machine.create ~config () in
+  (* Fine on the 256-bit machine, but the length exceeds the compressed
+     format's 40-bit field. *)
+  let c = Cap.Capability.make ~perms:Cap.Perms.all ~base:0L ~length:(Int64.shift_left 1L 45) in
+  Alcotest.(check bool) "not representable" false (Cap.Cap128.representable c);
+  Machine.set_cap m 9 c;
+  let violations = Fault.Monitor.check_regs m in
+  Alcotest.(check (list string)) "well-formed only" [ "well-formed" ] (oracle_names violations)
+
+let test_oracle_monotonicity () =
+  let m = Machine.create () in
+  let root = Cap.Capability.make ~perms:Cap.Perms.all ~base:0L ~length:4096L in
+  Machine.set_cap m 9 (Cap.Capability.make ~perms:Cap.Perms.all ~base:0L ~length:8192L);
+  let violations = Fault.Monitor.check_regs ~root m in
+  Alcotest.(check (list string)) "monotonicity only" [ "monotonicity" ] (oracle_names violations)
+
+(* --- campaign checkpoint/resume --------------------------------------------- *)
+
+let summary_tallies (s : Fault.Campaign.summary) =
+  List.map (fun o -> Fault.Campaign.count s o) Fault.Campaign.all_outcomes
+
+let test_campaign_checkpoint_resume () =
+  let cfg = small_config Fault.Campaign.Cheri in
+  let full = Fault.Campaign.run cfg in
+  let path = Filename.temp_file "cheri-fault-ckpt" ".json" in
+  (* Interrupt after 8 seeds, then resume to the end. *)
+  let _ = Fault.Campaign.run ~checkpoint:path ~checkpoint_every:4 ~stop_after:8 cfg in
+  let resumed = Fault.Campaign.run ~checkpoint:path ~resume:true cfg in
+  Sys.remove path;
+  Alcotest.(check (list int))
+    "resumed tallies equal uninterrupted" (summary_tallies full) (summary_tallies resumed)
+
 (* --- seeded bounds corruption: detection vs silent corruption --------------- *)
 
 (* Both programs build a 64-byte object at the heap base, plant 42 at
@@ -248,6 +346,19 @@ let suites =
         Alcotest.test_case "monitor flags forged tag" `Quick test_monitor_flags_forged_tag;
         Alcotest.test_case "monitor flags non-monotonic register" `Quick
           test_monitor_flags_nonmonotonic_register;
+        Alcotest.test_case "sweep window covers partial tail line" `Quick
+          test_monitor_window_partial_tail;
+        Alcotest.test_case "sweep window survives unaligned base" `Quick
+          test_monitor_window_unaligned_base;
+        Alcotest.test_case "oracle: forged tag over plain data" `Quick
+          test_oracle_forged_tag_over_data;
+        Alcotest.test_case "oracle: unsealed capability with otype" `Quick
+          test_oracle_unsealed_with_otype;
+        Alcotest.test_case "oracle: unrepresentable on w128" `Quick
+          test_oracle_unrepresentable_on_w128;
+        Alcotest.test_case "oracle: monotonicity against the root" `Quick test_oracle_monotonicity;
+        Alcotest.test_case "campaign checkpoint/resume equivalence" `Quick
+          test_campaign_checkpoint_resume;
         Alcotest.test_case "bounds corruption traps under cheri" `Quick
           test_bounds_corruption_cheri_traps;
         Alcotest.test_case "bounds corruption silent on baseline" `Quick
