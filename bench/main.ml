@@ -20,7 +20,11 @@
    (slow under an interpreter); the default is a scaled-down configuration
    whose *shape* matches (EXPERIMENTS.md records both).  `--skip-fault`
    drops the fault campaign from `all`: it is a functional (untimed)
-   experiment, so timing-focused sweeps need not pay for it. *)
+   experiment, so timing-focused sweeps need not pay for it.
+   `--engine plain|superblock` pins the interpreter engine for the obs
+   export targets — both engines are architecturally identical, so
+   `regress --engine plain` against the committed (superblock-run)
+   baseline is itself an engine-equivalence check. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -406,6 +410,52 @@ let micro ~quick () =
            m.Machine.pc <- program.Asm.Assembler.entry;
            Machine.step m))
   in
+  let sb_dispatch =
+    (* Superblock dispatch: the same warm loop, but stepped through the
+       superblock tier — one pinned-block lookup plus the pre-decoded
+       execute loop.  Compared against "step, decode-cache hit" this is
+       the per-dispatch win of skipping fetch+decode-lookup per insn. *)
+    let m = Machine.create () in
+    let _k = Os.Kernel.attach m in
+    let program =
+      Asm.Assembler.assemble
+        "main:\n  li $t0, 100\nloop:\n  daddiu $t0, $t0, -1\n  bgtz $t0, loop\n  break\n"
+    in
+    Asm.Assembler.load m program;
+    Machine.map_identity m ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+    Machine.set_kernel m (fun _ _ -> Machine.Halt 0);
+    Machine.set_engine m Machine.Superblock;
+    m.Machine.pc <- program.Asm.Assembler.entry;
+    ignore (Machine.run ~max_insns:1_000L m);
+    (* warm: blocks formed *)
+    Test.make ~name:"sb_step, superblock dispatch (1 block)"
+      (Staged.stage (fun () ->
+           m.Machine.pc <- program.Asm.Assembler.entry;
+           Machine.sb_step m ~fuel:64))
+  in
+  let cold_fetch =
+    (* Full front end: two identical instructions whose PCs alias in the
+       direct-mapped decode cache (64 K insns apart), stepped
+       alternately — every step is a decode-cache conflict miss paying
+       fetch + decode + insert, the cost the two tiers above amortize. *)
+    let m = Machine.create () in
+    let _k = Os.Kernel.attach m in
+    let program =
+      Asm.Assembler.assemble
+        "  .text 0x1000\n  daddiu $t0, $t0, 1\n  .text 0x11000\n  daddiu $t0, $t0, 1\n"
+    in
+    Asm.Assembler.load m program;
+    Machine.map_identity m ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+    Machine.set_kernel m (fun _ _ -> Machine.Halt 0);
+    m.Machine.pc <- 0x1000L;
+    Machine.step m;
+    Test.make ~name:"step, decode-cache conflict miss (2 insns)"
+      (Staged.stage (fun () ->
+           m.Machine.pc <- 0x1000L;
+           Machine.step m;
+           m.Machine.pc <- 0x11000L;
+           Machine.step m))
+  in
   let tlb_hit =
     let tlb = Mem.Tlb.create ~entries:256 () in
     Mem.Tlb.map tlb ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
@@ -421,7 +471,10 @@ let micro ~quick () =
   in
   let tests =
     Test.make_grouped ~name:"cheri" ~fmt:"%s %s"
-      [ cap_ops; cap_bytes; decode; interp; cache; steady_hit; tlb_hit; l1_hit ]
+      [
+        cap_ops; cap_bytes; decode; interp; cache; steady_hit; sb_dispatch; cold_fetch; tlb_hit;
+        l1_hit;
+      ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -476,8 +529,8 @@ let fuzz ~jobs ~wall ~json () =
    per-run progress lines afterwards, in input order: with the printing
    outside the workers, `--jobs N` output is byte-identical to
    sequential. *)
-let obs_entries ~jobs ~wall () =
-  let entries = Exp.Obs_bench.fig4_entries ~jobs ~wall () in
+let obs_entries ?engine ~jobs ~wall () =
+  let entries = Exp.Obs_bench.fig4_entries ?engine ~jobs ~wall () in
   List.iter
     (fun (e : Obs.Export.entry) ->
       Printf.printf "%-11s %-10s param=%-5d cycles=%-12Ld wall=%.2fs (%.1f MIPS)\n"
@@ -487,9 +540,9 @@ let obs_entries ~jobs ~wall () =
     entries;
   entries
 
-let obs_export ~jobs ~wall () =
+let obs_export ?engine ~jobs ~wall () =
   section "BENCH_obs.json: machine-readable counter export";
-  let entries = obs_entries ~jobs ~wall () in
+  let entries = obs_entries ?engine ~jobs ~wall () in
   Obs.Export.write_file "BENCH_obs.json" entries;
   Printf.printf "wrote BENCH_obs.json (%d runs, %.0f simulated instr/s)\n" (List.length entries)
     (Obs.Export.interp_instr_per_s entries)
@@ -499,7 +552,7 @@ let obs_export ~jobs ~wall () =
    DIR).  The simulator is deterministic, so every architectural counter
    must match exactly; the process exits non-zero when one differs. *)
 
-let obs_regress ~baseline_dir ~jobs ~wall () =
+let obs_regress ?engine ~baseline_dir ~jobs ~wall () =
   section "regress: live run vs committed baseline";
   let path = Filename.concat baseline_dir "BENCH_obs.json" in
   match Obs.Baseline.load path with
@@ -507,7 +560,7 @@ let obs_regress ~baseline_dir ~jobs ~wall () =
       Printf.eprintf "regress: %s\n" msg;
       exit 2
   | Ok committed ->
-      let live = Obs.Baseline.of_entries (obs_entries ~jobs ~wall ()) in
+      let live = Obs.Baseline.of_entries (obs_entries ?engine ~jobs ~wall ()) in
       let report = Obs.Diff.run committed live in
       Fmt.pr "%a@." Obs.Diff.pp report;
       if not (Obs.Diff.ok report) then exit (Obs.Diff.exit_code report)
@@ -549,6 +602,24 @@ let () =
     | [] -> (1, [])
   in
   let jobs, args = take_jobs args in
+  (* --engine plain|superblock: pin the interpreter engine for the obs
+     export set (`obs` / `regress`).  The engines are architecturally
+     identical, so `regress --engine plain` against a
+     superblock-generated baseline must — and does — pass: the diff
+     policy compares architectural counters only. *)
+  let rec take_engine = function
+    | "--engine" :: e :: rest -> (
+        match Machine.engine_of_string e with
+        | Some _ as eng -> (eng, rest)
+        | None ->
+            Printf.eprintf "bench: --engine expects plain|superblock, got %S\n" e;
+            exit 2)
+    | a :: rest ->
+        let eng, rest' = take_engine rest in
+        (eng, a :: rest')
+    | [] -> (None, [])
+  in
+  let engine, args = take_engine args in
   let args =
     List.filter
       (fun a -> a <> "--paper-size" && a <> "--skip-fault" && a <> "--json" && a <> "--no-wall" && a <> "--quick")
@@ -580,8 +651,8 @@ let () =
       | "fault" -> fault ()
       | "fuzz" -> fuzz ~jobs ~wall ~json ()
       | "micro" -> micro ~quick ()
-      | "obs" -> obs_export ~jobs ~wall ()
-      | "regress" -> obs_regress ~baseline_dir ~jobs ~wall ()
+      | "obs" -> obs_export ?engine ~jobs ~wall ()
+      | "regress" -> obs_regress ?engine ~baseline_dir ~jobs ~wall ()
       | other ->
           Printf.eprintf
             "unknown target %S (expected \

@@ -11,7 +11,7 @@
 
 open Cmdliner
 
-let campaign bench modes seeds base_seed param sites verbose no_monitor checkpoint resume =
+let campaign bench modes seeds base_seed param sites verbose no_monitor checkpoint resume engine =
   let sites =
     match sites with
     | [] -> Fault.Injector.all_sites
@@ -39,7 +39,7 @@ let campaign bench modes seeds base_seed param sites verbose no_monitor checkpoi
     List.map
       (fun mode ->
         match
-          Fault.Campaign.run ?checkpoint:(checkpoint_for mode) ~resume
+          Fault.Campaign.run ?checkpoint:(checkpoint_for mode) ~resume ~engine
             {
               Fault.Campaign.bench;
               mode;
@@ -105,6 +105,6 @@ let cmd =
     (Cmd.info "cheri_fault" ~doc:"Fault-injection campaigns against the CHERI machine model")
     Term.(
       const campaign $ Cli.bench $ Cli.fault_modes $ seeds $ base_seed $ Cli.param ~default:8
-      $ sites $ verbose $ no_monitor $ checkpoint $ resume)
+      $ sites $ verbose $ no_monitor $ checkpoint $ resume $ Cli.engine)
 
 let () = exit (Cmd.eval cmd)

@@ -9,7 +9,9 @@
    Default mode is the differential lockstep harness: every seeded
    program runs on a 256-bit and a 128-bit machine simultaneously and
    all architecturally observable state is diffed at each retirement
-   (docs/FAULTS.md).  Failures shrink to minimal reproducers and land in
+   (docs/FAULTS.md).  `--mode engines` instead diffs the two interpreter
+   engines (superblock vs plain step loop) on identical W256 machines
+   with timing on.  Failures shrink to minimal reproducers and land in
    the corpus directory; any failure makes the exit status nonzero. *)
 
 open Cmdliner
@@ -21,16 +23,19 @@ let make_cfg mode programs insns base_seed wide narrow =
     match Fuzz.Campaign.mode_of_string mode with
     | Some m -> m
     | None ->
-        Fmt.epr "unknown mode %S (expected cheri|cheri128|lockstep)@." mode;
+        Fmt.epr "unknown mode %S (expected cheri|cheri128|lockstep|engines)@." mode;
         exit 2
   in
-  let wide = if narrow then false else wide || mode = Fuzz.Campaign.Lockstep in
+  let wide =
+    if narrow then false
+    else wide || mode = Fuzz.Campaign.Lockstep || mode = Fuzz.Campaign.Engines
+  in
   { Fuzz.Campaign.mode; programs; insns; base_seed; wide }
 
 (* Shrink one failing seed, print the minimized reproducer, and persist
    it when a corpus directory was given. *)
-let shrink_one cfg corpus seed =
-  match Fuzz.Campaign.shrink_failure cfg ~seed with
+let shrink_one ~engine cfg corpus seed =
+  match Fuzz.Campaign.shrink_failure ~engine cfg ~seed with
   | None -> Fmt.pr "seed %Ld: failure did not reproduce under replay@." seed
   | Some (f, checks) ->
       Fmt.pr "seed %Ld shrunk to %d instructions (%d candidate runs): %s@." seed
@@ -41,14 +46,14 @@ let shrink_one cfg corpus seed =
       | None -> ())
 
 let campaign mode programs insns base_seed wide narrow jobs checkpoint every resume corpus json
-    no_wall replay replay_file =
+    no_wall replay replay_file engine =
   match (replay, replay_file) with
   | Some seed, _ ->
       let cfg = make_cfg mode programs insns base_seed wide narrow in
-      let desc, failed = Fuzz.Campaign.replay cfg ~seed in
+      let desc, failed = Fuzz.Campaign.replay ~engine cfg ~seed in
       Fmt.pr "seed %Ld [%s]: %s@." seed (Fuzz.Campaign.mode_key cfg.Fuzz.Campaign.mode) desc;
       if failed then begin
-        shrink_one cfg corpus seed;
+        shrink_one ~engine cfg corpus seed;
         exit failure_exit
       end
   | None, Some file -> (
@@ -63,7 +68,8 @@ let campaign mode programs insns base_seed wide narrow jobs checkpoint every res
               (not f.Fuzz.Corpus.wide)
           in
           let desc, failed =
-            Fuzz.Campaign.replay ~program:f.Fuzz.Corpus.program cfg ~seed:f.Fuzz.Corpus.seed
+            Fuzz.Campaign.replay ~program:f.Fuzz.Corpus.program ~engine cfg
+              ~seed:f.Fuzz.Corpus.seed
           in
           Fmt.pr "%s seed %Ld [%s]: %s@." file f.Fuzz.Corpus.seed f.Fuzz.Corpus.mode desc;
           Fmt.pr "  recorded reason: %s@." f.Fuzz.Corpus.reason;
@@ -73,7 +79,7 @@ let campaign mode programs insns base_seed wide narrow jobs checkpoint every res
       let r =
         try
           Fuzz.Campaign.run ~jobs ?checkpoint ~checkpoint_every:every ~resume ~wall:(not no_wall)
-            cfg
+            ~engine cfg
         with Fuzz.Campaign.Resume_mismatch msg ->
           Fmt.epr "%s@." msg;
           exit 2
@@ -84,14 +90,14 @@ let campaign mode programs insns base_seed wide narrow jobs checkpoint every res
           Obs.Export.write_file path [ Fuzz.Campaign.export_entry r ];
           Fmt.pr "wrote %s@." path
       | None -> ());
-      List.iter (fun (seed, _) -> shrink_one cfg corpus seed) r.Fuzz.Campaign.failures;
+      List.iter (fun (seed, _) -> shrink_one ~engine cfg corpus seed) r.Fuzz.Campaign.failures;
       if not (Fuzz.Campaign.clean r) then exit failure_exit
 
 let mode =
   Arg.(
     value
     & opt string "lockstep"
-    & info [ "mode" ] ~docv:"MODE" ~doc:"cheri|cheri128|lockstep (default: lockstep).")
+    & info [ "mode" ] ~docv:"MODE" ~doc:"cheri|cheri128|lockstep|engines (default: lockstep).")
 
 let programs =
   Arg.(value & opt int 1000 & info [ "programs" ] ~docv:"N" ~doc:"Programs per campaign.")
@@ -166,6 +172,6 @@ let cmd =
     (Cmd.info "cheri_fuzz" ~doc:"Differential observational-correctness fuzzing of the CHERI model")
     Term.(
       const campaign $ mode $ programs $ insns $ base_seed $ wide $ narrow $ jobs $ checkpoint
-      $ every $ resume $ corpus $ json $ no_wall $ replay $ replay_file)
+      $ every $ resume $ corpus $ json $ no_wall $ replay $ replay_file $ Cli.engine)
 
 let () = exit (Cmd.eval cmd)

@@ -74,7 +74,7 @@ let json_report (report : Exp.Profiled.report) bench mode param ~attrib ~hist ~t
     @ extra)
 
 let prof bench mode param iters period top granule attrib hist max_insns json collapsed_file
-    events_file =
+    events_file engine =
   Cli.check_bench bench;
   let bus, close_events =
     match events_file with
@@ -86,8 +86,8 @@ let prof bench mode param iters period top granule attrib hist max_insns json co
     | None -> (None, fun () -> ())
   in
   let report =
-    Exp.Profiled.run ~max_insns ~iters ~period ~top ~granule_bits:granule ?bus ~bench ~mode
-      ~param ()
+    Exp.Profiled.run ~max_insns ~iters ~period ~top ~granule_bits:granule ?bus ~engine ~bench
+      ~mode ~param ()
   in
   close_events ();
   let result = report.Exp.Profiled.result in
@@ -181,6 +181,6 @@ let cmd =
       const prof $ Cli.bench $ Cli.layout_mode $ Cli.param ~default:12 $ iters $ period $ top
       $ granule $ attrib $ hist
       $ Cli.max_insns ~default:20_000_000_000L
-      $ json $ collapsed_file $ events_file)
+      $ json $ collapsed_file $ events_file $ Cli.engine)
 
 let () = exit (Cmd.eval cmd)

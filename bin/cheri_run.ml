@@ -10,7 +10,7 @@
 
 open Cmdliner
 
-let run file disasm trace stats max_insns =
+let run file disasm trace stats max_insns engine =
   let source = In_channel.with_open_text file In_channel.input_all in
   let program =
     try Asm.Assembler.assemble source
@@ -29,6 +29,7 @@ let run file disasm trace stats max_insns =
             (Asm.Disasm.range m ~addr:base ~count:(String.length bytes / 4)))
       program.Asm.Assembler.segments;
   let machine = Machine.create () in
+  Machine.set_engine machine engine;
   let kernel = Os.Kernel.attach machine in
   (* The probe feeds the instruction-class counters (cap_ops, branches,
      ...) in the --stats counter file; without it they would read 0. *)
@@ -64,6 +65,9 @@ let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and cache sta
 let cmd =
   Cmd.v
     (Cmd.info "cheri_run" ~doc:"Run a BERI/CHERI assembly program on the simulated machine")
-    Term.(const run $ file $ disasm $ trace $ stats $ Cli.max_insns ~default:1_000_000_000L)
+    Term.(
+      const run $ file $ disasm $ trace $ stats
+      $ Cli.max_insns ~default:1_000_000_000L
+      $ Cli.engine)
 
 let () = exit (Cmd.eval cmd)

@@ -42,6 +42,22 @@ let baseline =
     & info [ "baseline" ] ~docv:"DIR"
         ~doc:"Directory holding the committed baseline exports (BENCH_obs.json).")
 
+(* Interpreter engine selector.  Superblock (the default everywhere) and
+   plain are architecturally identical — the flag exists so any tool can
+   pin the reference engine for cross-checking or host-perf triage. *)
+let engine =
+  let parse s =
+    match Machine.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S (expected plain|superblock)" s))
+  in
+  let print ppf e = Fmt.string ppf (Machine.engine_to_string e) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Machine.Superblock
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Interpreter engine: plain|superblock (default: superblock).")
+
 (* Compilation mode for tools that run one pointer representation. *)
 let layout_mode =
   let parse s =

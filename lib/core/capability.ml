@@ -219,26 +219,24 @@ let rights_subset a b =
 
 let size_bytes = 32
 
-let to_bytes c =
-  let b = Bytes.make size_bytes '\000' in
-  let flags =
-    Int64.logor
-      (if c.sealed then 1L else 0L)
-      (Int64.logor
-         (Int64.shift_left (Int64.of_int (Perms.to_int c.perms)) 1)
-         (Int64.logor
-            (Int64.shift_left (Int64.of_int c.otype) 32)
-            (Int64.shift_left (Int64.of_int c.flags_rest) 56)))
-  in
-  Bytes.set_int64_le b 0 flags;
-  Bytes.set_int64_le b 8 c.reserved;
-  Bytes.set_int64_le b 16 c.base;
-  Bytes.set_int64_le b 24 c.length;
-  b
+(* Word-granule image accessors: the flags word packs sealed/perms/otype
+   and the uninterpreted high byte.  [of_words]/[flags_word] let the
+   machine's CLC/CSC path move capabilities through memory as four
+   64-bit words without materialising an intermediate [Bytes] buffer
+   (that allocation was measurable on the simulator's hot path);
+   [of_bytes]/[to_bytes] below are the same codec over a buffer. *)
+let flags_word c =
+  Int64.logor
+    (if c.sealed then 1L else 0L)
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int (Perms.to_int c.perms)) 1)
+       (Int64.logor
+          (Int64.shift_left (Int64.of_int c.otype) 32)
+          (Int64.shift_left (Int64.of_int c.flags_rest) 56)))
 
-let of_bytes ~tag b =
-  if Bytes.length b <> size_bytes then invalid_arg "Capability.of_bytes";
-  let flags = Bytes.get_int64_le b 0 in
+let reserved_word c = c.reserved
+
+let of_words ~tag ~flags ~reserved ~base ~length =
   let sealed = Int64.logand flags 1L = 1L in
   let perms =
     Perms.of_int (Int64.to_int (Int64.logand (Int64.shift_right_logical flags 1) 0x7FFF_FFFFL))
@@ -247,13 +245,17 @@ let of_bytes ~tag b =
     Int64.to_int (Int64.logand (Int64.shift_right_logical flags 32) (Int64.of_int otype_mask))
   in
   let flags_rest = Int64.to_int (Int64.shift_right_logical flags 56) in
-  {
-    tag;
-    sealed;
-    perms;
-    otype;
-    base = Bytes.get_int64_le b 16;
-    length = Bytes.get_int64_le b 24;
-    flags_rest;
-    reserved = Bytes.get_int64_le b 8;
-  }
+  { tag; sealed; perms; otype; base; length; flags_rest; reserved }
+
+let to_bytes c =
+  let b = Bytes.make size_bytes '\000' in
+  Bytes.set_int64_le b 0 (flags_word c);
+  Bytes.set_int64_le b 8 c.reserved;
+  Bytes.set_int64_le b 16 c.base;
+  Bytes.set_int64_le b 24 c.length;
+  b
+
+let of_bytes ~tag b =
+  if Bytes.length b <> size_bytes then invalid_arg "Capability.of_bytes";
+  of_words ~tag ~flags:(Bytes.get_int64_le b 0) ~reserved:(Bytes.get_int64_le b 8)
+    ~base:(Bytes.get_int64_le b 16) ~length:(Bytes.get_int64_le b 24)

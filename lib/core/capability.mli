@@ -102,6 +102,18 @@ val rights_subset : t -> t -> bool
     it lives in the tag table. *)
 val size_bytes : int
 
+(** Word-granule image codec — the 32-byte image as four little-endian
+    64-bit words (flags, reserved, base, length), letting hot paths move
+    capabilities through memory without an intermediate buffer.  The
+    flags word packs sealed/perms/otype plus the uninterpreted high
+    byte; every bit round-trips. *)
+
+val flags_word : t -> U64.t
+
+val reserved_word : t -> U64.t
+
+val of_words : tag:bool -> flags:U64.t -> reserved:U64.t -> base:U64.t -> length:U64.t -> t
+
 (** Serialize to the 32-byte image (losslessly — registers may hold plain
     data). *)
 val to_bytes : t -> bytes

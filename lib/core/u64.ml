@@ -26,12 +26,19 @@ let shift_left = Int64.shift_left
 let shift_right_logical = Int64.shift_right_logical
 let shift_right = Int64.shift_right
 
-let compare = Int64.unsigned_compare
+(* Unsigned comparisons via the sign-flip trick: a <u b iff
+   (a xor 2^63) <s (b xor 2^63).  Written with primitive [Int64] ops only
+   (xor, typed comparison) so the native compiler keeps every
+   intermediate unboxed — [Int64.unsigned_compare] would allocate two
+   boxed subtractions per call, and these run several times per simulated
+   instruction (every capability bounds check). *)
+let flip = Int64.min_int
+let compare a b = Stdlib.compare (Int64.logxor a flip) (Int64.logxor b flip)
 let equal = Int64.equal
-let lt a b = compare a b < 0
-let le a b = compare a b <= 0
-let gt a b = compare a b > 0
-let ge a b = compare a b >= 0
+let lt a b = Int64.logxor a flip < Int64.logxor b flip
+let le a b = Int64.logxor a flip <= Int64.logxor b flip
+let gt a b = Int64.logxor a flip > Int64.logxor b flip
+let ge a b = Int64.logxor a flip >= Int64.logxor b flip
 let min a b = if le a b then a else b
 let max a b = if ge a b then a else b
 
@@ -48,7 +55,12 @@ let add_overflows a b =
    The arithmetic is careful about 2^64 wrap-around: a segment with
    base=0, length=2^64-1 must admit an access at address 2^64-2 of size 1. *)
 let in_range ~addr ~size ~base ~length =
-  le size length && ge addr base && le (sub addr base) (sub length size)
+  (* Spelled out with primitive ops (xor-flip unsigned comparisons, raw
+     subtraction) rather than [le]/[ge] so the native compiler unboxes
+     the intermediates: this runs on every capability bounds check. *)
+  Int64.logxor size flip <= Int64.logxor length flip
+  && Int64.logxor addr flip >= Int64.logxor base flip
+  && Int64.logxor (Int64.sub addr base) flip <= Int64.logxor (Int64.sub length size) flip
 
 (* Alignment helpers; [align] must be a power of two. *)
 let is_aligned v align = equal (logand v (sub align 1L)) 0L

@@ -51,11 +51,15 @@ let machine_for ?(big_mem = false) (mode : Minic.Layout.mode) =
    shared event stream; [inspect] runs against the machine after the
    program exits, before it is dropped — profilers use it to resolve
    sampled PCs against the loaded image. *)
-let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?probe ?bus
+let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?engine ?probe ?bus
     ?span_durations ?inspect ~bench ~mode ~param source =
   let source = Olden.Minic_src.instantiate ~iters source ~param in
   let asm = Minic.Driver.compile ~mode source in
   let m = machine_for ~big_mem mode in
+  (* [engine] selects the interpreter engine (plain vs superblock) — a
+     host-speed knob with no architectural effect; [None] keeps the
+     machine default. *)
+  (match engine with Some e -> Machine.set_engine m e | None -> ());
   let k = Os.Kernel.attach m in
   Machine.set_probe m probe;
   let span =

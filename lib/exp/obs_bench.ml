@@ -29,11 +29,11 @@ let () =
         Some (Printf.sprintf "obs-bench: %s/%s exited %d" bench mode exit_code)
     | _ -> None)
 
-let run_point ~wall { bench; mode; param } =
+let run_point ?engine ~wall { bench; mode; param } =
   let src = List.assoc bench Olden.Minic_src.all in
   let probe = Obs.Probe.create () in
   let t0 = if wall then Unix.gettimeofday () else 0.0 in
-  let r = Bench_run.run ~probe ~bench ~mode ~param src in
+  let r = Bench_run.run ?engine ~probe ~bench ~mode ~param src in
   let wall_s = if wall then Unix.gettimeofday () -. t0 else 0.0 in
   if r.Bench_run.exit_code <> 0 then
     raise
@@ -48,7 +48,8 @@ let run_point ~wall { bench; mode; param } =
     spans = r.Bench_run.spans;
   }
 
-let run_points ?(jobs = 1) ?(wall = true) points = Pool.map ~jobs (run_point ~wall) points
+let run_points ?(jobs = 1) ?(wall = true) ?engine points =
+  Pool.map ~jobs (run_point ?engine ~wall) points
 
 (* The full fig4 set (all benchmarks x all three modes, scaled-down
    parameters): what `bench --json` exports and `bench regress` replays. *)
@@ -58,7 +59,7 @@ let fig4_points =
       List.map (fun mode -> point ~bench ~mode ~param) Fig4.modes)
     Fig4.benchmarks
 
-let fig4_entries ?jobs ?wall () = run_points ?jobs ?wall fig4_points
+let fig4_entries ?jobs ?wall ?engine () = run_points ?jobs ?wall ?engine fig4_points
 
 (* The smoke set (treeadd param 6 x all three modes — seconds, not
    minutes): what regress-smoke and the parallel-determinism test use. *)
@@ -68,4 +69,4 @@ let smoke_param = 6
 let smoke_points =
   List.map (fun mode -> point ~bench:smoke_bench ~mode ~param:smoke_param) Fig4.modes
 
-let smoke_entries ?jobs ?wall () = run_points ?jobs ?wall smoke_points
+let smoke_entries ?jobs ?wall ?engine () = run_points ?jobs ?wall ?engine smoke_points

@@ -102,13 +102,14 @@ let detected_fraction s =
 
 (* --- machine plumbing --------------------------------------------------- *)
 
-let fresh_machine mode =
+let fresh_machine ?engine mode =
   let config =
     match mode with
     | Cheri128 -> { Machine.default_config with Machine.cap_width = Machine.W128 }
     | Baseline | Cheri -> Machine.default_config
   in
   let m = Machine.create ~config () in
+  (match engine with Some e -> Machine.set_engine m e | None -> ());
   (* Campaigns measure detection, not cycles: functional mode makes a
      100-seed sweep interactive. *)
   Machine.set_timing m false;
@@ -135,8 +136,8 @@ type golden = {
   live : (int64 * int64) array; (* allocations + stack window, (addr, len) *)
 }
 
-let golden_run cfg program =
-  let m = fresh_machine cfg.mode in
+let golden_run ?engine cfg program =
+  let m = fresh_machine ?engine cfg.mode in
   let k = Os.Kernel.attach m in
   let allocs = ref [] in
   Machine.set_trace_hook m (fun _ marker size addr ->
@@ -189,8 +190,8 @@ let effective_sites cfg =
 let monitor_period = 512
 
 (* One faulted run under seed [seed]. *)
-let faulted_run cfg ~program ~(golden : golden) ~heap_len seed =
-  let m = fresh_machine cfg.mode in
+let faulted_run ?engine cfg ~program ~(golden : golden) ~heap_len seed =
+  let m = fresh_machine ?engine cfg.mode in
   let k = Os.Kernel.attach m in
   let first_fault = ref None in
   Os.Kernel.set_fault_handler k (fun _k f ->
@@ -289,9 +290,9 @@ let fingerprint cfg =
    run's.  [stop_after n] classifies at most [n] seeds this call (the
    deterministic stand-in for an interruption; used by the resume tests
    and nonsensical without [checkpoint]). *)
-let run ?bus ?checkpoint ?(checkpoint_every = 64) ?(resume = false) ?stop_after cfg =
+let run ?bus ?checkpoint ?(checkpoint_every = 64) ?(resume = false) ?stop_after ?engine cfg =
   let program = compile cfg in
-  let golden = golden_run cfg program in
+  let golden = golden_run ?engine cfg program in
   (* The invariant monitor still sweeps the whole heap the golden run
      touched (plus a page of slack for allocator state). *)
   let heap_len = Int64.add (Int64.sub golden.brk Os.Layout.heap_base) 4096L in
@@ -346,7 +347,7 @@ let run ?bus ?checkpoint ?(checkpoint_every = 64) ?(resume = false) ?stop_after 
   in
   let stop = match stop_after with Some n -> min cfg.seeds (start + n) | None -> cfg.seeds in
   for i = start to stop - 1 do
-    let r = faulted_run cfg ~program ~golden ~heap_len (Int64.add cfg.base_seed (Int64.of_int i)) in
+    let r = faulted_run ?engine cfg ~program ~golden ~heap_len (Int64.add cfg.base_seed (Int64.of_int i)) in
     (match bus with
     | Some bus ->
         Obs.Event.emit bus ~kind:"fault-campaign" ~name:(outcome_name r.outcome)

@@ -24,13 +24,19 @@ type mode =
   | Cheri (* single 256-bit machine, oracles on every retirement *)
   | Cheri128 (* single 128-bit machine (narrow bounds: every cap representable) *)
   | Lockstep (* W256 vs W128 differential, the tentpole mode *)
+  | Engines (* W256 superblock vs W256 plain engine differential *)
 
-let mode_key = function Cheri -> "cheri" | Cheri128 -> "cheri128" | Lockstep -> "lockstep"
+let mode_key = function
+  | Cheri -> "cheri"
+  | Cheri128 -> "cheri128"
+  | Lockstep -> "lockstep"
+  | Engines -> "engines"
 
 let mode_of_string = function
   | "cheri" -> Some Cheri
   | "cheri128" -> Some Cheri128
   | "lockstep" -> Some Lockstep
+  | "engines" -> Some Engines
   | _ -> None
 
 type cfg = {
@@ -100,8 +106,16 @@ let new_violation_hist () = Obs.Hist.create ~name:"fuzz-oracle-violations" ()
 
 (* Run seeds [lo, lo+len) and aggregate locally.  Fresh machines per
    chunk: machine state never crosses a shard boundary, so the chunk
-   partition is invisible in the results. *)
-let run_chunk cfg (lo, len) =
+   partition is invisible in the results.
+
+   [engine] overrides the interpreter engine of the single-width and
+   lockstep machines.  It is deliberately *not* part of [cfg] (and so
+   not part of the checkpoint fingerprint): the engines are required to
+   be architecturally indistinguishable, so a campaign result is the
+   same function of [cfg] under either — that equivalence is itself
+   pinned by the [Engines] mode, which runs both and ignores the
+   override. *)
+let run_chunk ?engine cfg (lo, len) =
   let gcfg = gen_cfg cfg in
   let tallies = Array.make (Array.length outcome_keys) 0L in
   let instret = ref 0L in
@@ -132,15 +146,15 @@ let run_chunk cfg (lo, len) =
   (match cfg.mode with
   | Cheri | Cheri128 ->
       let width = if cfg.mode = Cheri then Machine.W256 else Machine.W128 in
-      let m = Gen.create_machine width in
+      let m = Gen.create_machine ?engine width in
       for i = 0 to len - 1 do
         let seed = Int64.add cfg.base_seed (Int64.of_int (lo + i)) in
         let program = Gen.generate gcfg seed in
         note_single seed (Exec.run m gcfg ~seed ~program)
       done
   | Lockstep ->
-      let m256 = Gen.create_machine Machine.W256 in
-      let m128 = Gen.create_machine Machine.W128 in
+      let m256 = Gen.create_machine ?engine Machine.W256 in
+      let m128 = Gen.create_machine ?engine Machine.W128 in
       for i = 0 to len - 1 do
         let seed = Int64.add cfg.base_seed (Int64.of_int (lo + i)) in
         let program = Gen.generate gcfg seed in
@@ -148,6 +162,15 @@ let run_chunk cfg (lo, len) =
         | Lockstep.Joint (o, retired) -> note_single seed (o, retired)
         | Lockstep.Representability d -> note k_rep seed d.Lockstep.step None 0
         | Lockstep.Mismatch d -> note k_mismatch seed d.Lockstep.step (Some d.Lockstep.what) 0
+      done
+  | Engines ->
+      let m_sb, m_plain = Englock.create_pair () in
+      for i = 0 to len - 1 do
+        let seed = Int64.add cfg.base_seed (Int64.of_int (lo + i)) in
+        let program = Gen.generate gcfg seed in
+        match Englock.run gcfg ~seed ~program ~m_sb ~m_plain with
+        | Englock.Agree (o, retired) -> note_single seed (o, retired)
+        | Englock.Engine_mismatch { what } -> note k_mismatch seed 0 (Some what) 0
       done);
   {
     s_tallies = tallies;
@@ -174,7 +197,7 @@ let chunks_between start stop =
 exception Resume_mismatch of string
 
 let run ?(jobs = 1) ?checkpoint ?(checkpoint_every = 2048) ?(resume = false) ?stop_after
-    ?(wall = true) cfg =
+    ?(wall = true) ?engine cfg =
   let fp = fingerprint cfg in
   let n_keys = Array.length outcome_keys in
   let tallies = Array.make n_keys 0L in
@@ -243,7 +266,7 @@ let run ?(jobs = 1) ?checkpoint ?(checkpoint_every = 2048) ?(resume = false) ?st
     let rec take k xs = if k = 0 then ([], xs) else match xs with [] -> ([], []) | x :: tl -> let a, b = take (k - 1) tl in (x :: a, b) in
     let batch, rest = take (max 1 jobs) !pending in
     pending := rest;
-    let shards = Exp.Pool.map ~jobs (run_chunk cfg) batch in
+    let shards = Exp.Pool.map ~jobs (run_chunk ?engine cfg) batch in
     List.iter
       (fun s ->
         Array.iteri (fun i v -> tallies.(i) <- Int64.add tallies.(i) v) s.s_tallies;
@@ -319,7 +342,7 @@ let export_entry r =
    [Some reason] when it is a campaign failure.  This is the predicate
    the shrinker minimizes against, so a minimized program is a true
    reproducer under the original seed's machine world. *)
-let make_harness cfg ~seed =
+let make_harness ?engine cfg ~seed =
   let gcfg = gen_cfg cfg in
   let of_single = function
     | Exec.Monitor vs, _ ->
@@ -330,23 +353,29 @@ let make_harness cfg ~seed =
   match cfg.mode with
   | Cheri | Cheri128 ->
       let width = if cfg.mode = Cheri then Machine.W256 else Machine.W128 in
-      let m = Gen.create_machine width in
+      let m = Gen.create_machine ?engine width in
       fun program -> of_single (Exec.run m gcfg ~seed ~program)
   | Lockstep ->
-      let m256 = Gen.create_machine Machine.W256 in
-      let m128 = Gen.create_machine Machine.W128 in
+      let m256 = Gen.create_machine ?engine Machine.W256 in
+      let m128 = Gen.create_machine ?engine Machine.W128 in
       fun program ->
         (match Lockstep.run gcfg ~seed ~program ~m256 ~m128 with
         | Lockstep.Mismatch d -> Some d.Lockstep.what
         | Lockstep.Joint (o, n) -> of_single (o, n)
         | Lockstep.Representability _ -> None)
+  | Engines ->
+      let m_sb, m_plain = Englock.create_pair () in
+      fun program ->
+        (match Englock.run gcfg ~seed ~program ~m_sb ~m_plain with
+        | Englock.Engine_mismatch { what } -> Some what
+        | Englock.Agree (o, n) -> of_single (o, n))
 
 (* Re-derive, re-check, and minimize the failure behind [seed]; [None]
    when the seed does not actually fail (e.g. a stale corpus request).
    Returns the corpus record and the shrinker's predicate-check count. *)
-let shrink_failure cfg ~seed =
+let shrink_failure ?engine cfg ~seed =
   let program = Gen.generate (gen_cfg cfg) seed in
-  let failing = make_harness cfg ~seed in
+  let failing = make_harness ?engine cfg ~seed in
   match failing program with
   | None -> None
   | Some reason ->
@@ -366,24 +395,34 @@ let shrink_failure cfg ~seed =
 (* Deterministic single-program replay: run [program] (by default the
    seed's generated program) under the campaign discipline and describe
    the outcome.  Returns the description and whether it is a failure. *)
-let replay ?program cfg ~seed =
+let replay ?program ?engine cfg ~seed =
   let gcfg = gen_cfg cfg in
   let program = match program with Some p -> p | None -> Gen.generate gcfg seed in
   match cfg.mode with
   | Cheri | Cheri128 ->
       let width = if cfg.mode = Cheri then Machine.W256 else Machine.W128 in
-      let m = Gen.create_machine width in
+      let m = Gen.create_machine ?engine width in
       let outcome, retired = Exec.run m gcfg ~seed ~program in
       ( Fmt.str "%a (%d retired)" Exec.pp_outcome outcome retired,
         match outcome with Exec.Monitor _ | Exec.Hang -> true | _ -> false )
   | Lockstep ->
-      let m256 = Gen.create_machine Machine.W256 in
-      let m128 = Gen.create_machine Machine.W128 in
+      let m256 = Gen.create_machine ?engine Machine.W256 in
+      let m128 = Gen.create_machine ?engine Machine.W128 in
       let outcome = Lockstep.run gcfg ~seed ~program ~m256 ~m128 in
       ( Fmt.str "%a" Lockstep.pp_outcome outcome,
         match outcome with
         | Lockstep.Mismatch _ | Lockstep.Joint (Exec.Monitor _, _) | Lockstep.Joint (Exec.Hang, _)
           ->
+            true
+        | _ -> false )
+  | Engines ->
+      let m_sb, m_plain = Englock.create_pair () in
+      let outcome = Englock.run gcfg ~seed ~program ~m_sb ~m_plain in
+      ( Fmt.str "%a" Englock.pp_outcome outcome,
+        match outcome with
+        | Englock.Engine_mismatch _
+        | Englock.Agree (Exec.Monitor _, _)
+        | Englock.Agree (Exec.Hang, _) ->
             true
         | _ -> false )
 

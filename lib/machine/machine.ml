@@ -37,6 +37,21 @@ exception Exn of Cp0.exc * int64 (* exception, bad virtual address *)
    "CHERI will benefit from capability compression"). *)
 type cap_width = W256 | W128
 
+(* Interpreter engine.  [Plain] retires one instruction per [step];
+   [Superblock] additionally translates hot straight-line regions into
+   pre-decoded micro-op arrays executed by a tight loop that charges the
+   same architectural costs per element.  The two engines are
+   architecturally identical — every counter, trap, and observable store
+   matches bit for bit — so the choice is a host-speed knob only. *)
+type engine = Plain | Superblock
+
+let engine_to_string = function Plain -> "plain" | Superblock -> "superblock"
+
+let engine_of_string = function
+  | "plain" -> Some Plain
+  | "superblock" -> Some Superblock
+  | _ -> None
+
 type config = {
   mem_size : int;
   hierarchy : Mem.Hierarchy.config;
@@ -100,6 +115,23 @@ type t = {
      loader calls it). *)
   decode_pc : int array;
   decode_insn : Insn.t array;
+  (* Superblock tier above the decode cache: hot straight-line regions
+     translated into pre-decoded arrays of micro-ops ([sb_code], tagged by
+     head PC in [sb_pc], -1 = empty) and executed by a tight loop.  Blocks
+     are formed *exclusively from decode-cache-resident entries* — so a
+     translation can never observe instruction bytes the plain engine
+     would not — and are retired by [invalidate_icache] plus a store
+     snoop ([sb_snoop]): any store landing inside a translated region
+     flushes the tier, after which re-translation sees exactly the decode
+     cache the plain engine would.  Host-side only; architectural
+     behaviour is identical under both engines. *)
+  mutable engine : engine;
+  sb_pc : int array;
+  sb_code : Insn.t array array;
+  sb_snoop : Mem.Snoop.t;
+  mutable sb_translations : int; (* superblocks formed (host counter) *)
+  mutable sb_dispatches : int; (* block entries (host counter) *)
+  mutable sb_retired : int; (* instructions retired inside blocks *)
 }
 
 (* 2^14 slots x 4-byte insns = direct coverage of 64 KB of code, far more
@@ -107,6 +139,18 @@ type t = {
 let decode_slots = 1 lsl 14
 
 let decode_mask = decode_slots - 1
+
+(* Superblock table: direct-mapped on the head PC.  Heads are branch
+   targets and fall-throughs after control transfers — far fewer than
+   instructions — so 2^12 slots cover every workload's hot region set. *)
+let sb_slots = 1 lsl 12
+
+let sb_mask = sb_slots - 1
+
+(* Longest straight-line run a single block may cover.  Long enough that
+   real basic blocks never split; short enough that a block is always a
+   bounded unit of work between budget/watchdog checks. *)
+let max_sb_len = 64
 
 (* The reset kernel: a bare machine treats any syscall as "exit 0" and has
    no handler for anything else.  Unhandled exceptions stop the machine
@@ -142,9 +186,18 @@ let create ?(config = default_config) () =
     kernel_entries = 0;
     decode_pc = Array.make decode_slots (-1);
     decode_insn = Array.make decode_slots Insn.Syscall;
+    engine = Superblock;
+    sb_pc = Array.make sb_slots (-1);
+    sb_code = Array.make sb_slots [||];
+    sb_snoop = Mem.Snoop.create ();
+    sb_translations = 0;
+    sb_dispatches = 0;
+    sb_retired = 0;
   }
 
 let set_kernel t f = t.kernel <- f
+let set_engine t e = t.engine <- e
+let engine t = t.engine
 let set_trace_hook t f = t.on_trace <- f
 let set_step_hook t f = t.on_step <- f
 let set_store_hook t f = t.on_store <- f
@@ -176,6 +229,24 @@ let set_cap t i c = t.caps.(i) <- c
 let map_identity t ~vaddr ~len prot = Mem.Tlb.map t.hier.Mem.Hierarchy.tlb ~vaddr ~len prot
 
 let charge t n = if t.timing then t.cycles <- t.cycles + n
+
+(* Retire every superblock.  Called by [invalidate_icache] and by the
+   store snoop when a store lands inside a translated region (the
+   SMC-coherence contract: translations must never outlive a write to
+   the bytes they were formed from — stale *decode-cache* entries are the
+   plain engine's documented behaviour until [invalidate_icache], and
+   re-translation reproduces exactly that, but a block pinned before the
+   store could otherwise disagree with what the plain engine's
+   direct-mapped cache would serve after a conflict eviction). *)
+let flush_superblocks t =
+  Array.fill t.sb_pc 0 sb_slots (-1);
+  Mem.Snoop.clear t.sb_snoop
+
+(* Store snoop: probe the coherence filter; on intersection with any
+   translated region, retire the tier.  Two integer compares per store in
+   the common (miss) case. *)
+let snoop_store t ~addr ~size =
+  if Mem.Snoop.hit t.sb_snoop ~addr:(Int64.to_int addr) ~size then flush_superblocks t
 
 (* --- diagnostic snapshots ---------------------------------------------- *)
 
@@ -274,16 +345,30 @@ let bool64 b = if b then 1L else 0L
 
 (* --- memory access ----------------------------------------------------- *)
 
+(* Access sizes are 1/2/4/8/16/32; map them to static [Int64] constants so
+   [check_cap] doesn't allocate a fresh box per check (twice per
+   instruction: fetch + data). *)
+let size64 = function
+  | 1 -> 1L
+  | 2 -> 2L
+  | 4 -> 4L
+  | 8 -> 8L
+  | 16 -> 16L
+  | 32 -> 32L
+  | n -> Int64.of_int n
+
 let check_cap t ~reg c access ~addr ~size =
-  match Cap.Capability.check_access c access ~addr ~size:(Int64.of_int size) with
+  match Cap.Capability.check_access c access ~addr ~size:(size64 size) with
   | Ok () -> ()
   | Error cause ->
       t.cp0.Cp0.capcause <- cause;
       t.cp0.Cp0.capcause_reg <- reg;
       raise (Exn (Cp0.Cp2 cause, addr))
 
+(* Sizes are powers of two and addresses sit below 2^63, so alignment is a
+   native-int mask — no boxed [Int64.rem]. *)
 let check_alignment addr size store =
-  if size > 1 && Int64.rem addr (Int64.of_int size) <> 0L then
+  if size > 1 && Int64.to_int addr land (size - 1) <> 0 then
     raise (Exn ((if store then Cp0.Address_error_store else Cp0.Address_error_load), addr))
 
 let check_page t addr ~write ~size =
@@ -334,6 +419,7 @@ let store_scalar t ~reg c ~addr ~width v =
      | Insn.D -> Mem.Phys.write_u64 t.phys addr v
    with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
   t.stores <- t.stores + 1;
+  snoop_store t ~addr ~size;
   (* A general-purpose store clears the tag of the overlapped line(s):
      the architectural rule that makes in-memory capabilities unforgeable. *)
   Mem.Tags.clear_range t.tags addr size;
@@ -379,7 +465,15 @@ let load_cap t ~reg c ~addr =
     let tag = tag && prot.Mem.Tlb.cap_load in
     let c =
       match t.config.cap_width with
-      | W256 -> Cap.Capability.of_bytes ~tag (Mem.Phys.read_bytes t.phys addr 32)
+      | W256 ->
+          (* Word-granule image read: one bounds check, four word loads,
+             no intermediate buffer. *)
+          let i = Mem.Phys.image_index t.phys addr 32 in
+          Cap.Capability.of_words ~tag
+            ~flags:(Mem.Phys.get_u64 t.phys i)
+            ~reserved:(Mem.Phys.get_u64 t.phys (i + 8))
+            ~base:(Mem.Phys.get_u64 t.phys (i + 16))
+            ~length:(Mem.Phys.get_u64 t.phys (i + 24))
       | W128 ->
           Cap.Cap128.decompress ~tag (Cap.Cap128.of_bytes (Mem.Phys.read_bytes t.phys addr 16))
     in
@@ -400,23 +494,37 @@ let store_cap t ~reg c ~addr v =
     t.cp0.Cp0.capcause_reg <- reg;
     raise (Exn (Cp0.Cp2 Cap.Cause.Permit_store_capability_violation, addr))
   end;
-  let image =
-    match t.config.cap_width with
-    | W256 -> Cap.Capability.to_bytes v
-    | W128 -> (
-        (* The compressed machine refuses to store a capability whose
-           bounds the 128-bit format cannot represent exactly. *)
+  (match t.config.cap_width with
+  | W256 ->
+      data_penalty t ~addr ~size ~write:true;
+      (* Word-granule image write: one bounds check, four word stores,
+         no intermediate buffer.  (The 256-bit image cannot fail to
+         encode, so materialising it after the penalty charge changes
+         nothing observable.) *)
+      (try
+         let i = Mem.Phys.image_index t.phys addr 32 in
+         Mem.Phys.set_u64 t.phys i (Cap.Capability.flags_word v);
+         Mem.Phys.set_u64 t.phys (i + 8) (Cap.Capability.reserved_word v);
+         Mem.Phys.set_u64 t.phys (i + 16) (Cap.Capability.base v);
+         Mem.Phys.set_u64 t.phys (i + 24) (Cap.Capability.length v)
+       with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)))
+  | W128 ->
+      (* The compressed machine refuses to store a capability whose
+         bounds the 128-bit format cannot represent exactly — checked
+         before any penalty is charged, as with a buffered image. *)
+      let image =
         match Cap.Cap128.compress v with
         | Ok c -> Cap.Cap128.to_bytes c
         | Error cause ->
             t.cp0.Cp0.capcause <- cause;
             t.cp0.Cp0.capcause_reg <- reg;
-            raise (Exn (Cp0.Cp2 cause, addr)))
-  in
-  data_penalty t ~addr ~size ~write:true;
-  (try Mem.Phys.write_bytes t.phys addr image
-   with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a)));
+            raise (Exn (Cp0.Cp2 cause, addr))
+      in
+      data_penalty t ~addr ~size ~write:true;
+      (try Mem.Phys.write_bytes t.phys addr image
+       with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_store, a))));
   t.stores <- t.stores + 1;
+  snoop_store t ~addr ~size;
   (match t.probe with
   | Some p when Cap.Capability.tag v ->
       Obs.Probe.note_cap_bounds p ~len:(Cap.Capability.length v)
@@ -454,73 +562,72 @@ let overflow_add a b =
 let execute t insn =
   let pc = t.pc in
   let next = Int64.add pc 4L in
-  let g = gpr t and sg = set_gpr t in
   match insn with
   | Insn.Add (d, s, u) ->
-      let a = sext32 (g s) and b = sext32 (g u) in
+      let a = sext32 (gpr t s) and b = sext32 (gpr t u) in
       let sum = Int64.add a b in
       (* 32-bit signed overflow: the 64-bit sum of sign-extended operands
          falls outside the 32-bit range *)
       if not (Int64.equal (sext32 sum) sum) then raise (Exn (Cp0.Overflow, 0L));
-      sg d sum;
+      set_gpr t d sum;
       next
-  | Insn.Addu (d, s, u) -> sg d (sext32 (Int64.add (g s) (g u))); next
+  | Insn.Addu (d, s, u) -> set_gpr t d (sext32 (Int64.add (gpr t s) (gpr t u))); next
   | Insn.Dadd (d, s, u) ->
-      if overflow_add (g s) (g u) then raise (Exn (Cp0.Overflow, 0L));
-      sg d (Int64.add (g s) (g u));
+      if overflow_add (gpr t s) (gpr t u) then raise (Exn (Cp0.Overflow, 0L));
+      set_gpr t d (Int64.add (gpr t s) (gpr t u));
       next
-  | Insn.Daddu (d, s, u) -> sg d (Int64.add (g s) (g u)); next
+  | Insn.Daddu (d, s, u) -> set_gpr t d (Int64.add (gpr t s) (gpr t u)); next
   | Insn.Sub (d, s, u) ->
-      let diff = Int64.sub (sext32 (g s)) (sext32 (g u)) in
+      let diff = Int64.sub (sext32 (gpr t s)) (sext32 (gpr t u)) in
       if not (Int64.equal (sext32 diff) diff) then raise (Exn (Cp0.Overflow, 0L));
-      sg d diff;
+      set_gpr t d diff;
       next
-  | Insn.Subu (d, s, u) -> sg d (sext32 (Int64.sub (g s) (g u))); next
-  | Insn.Dsubu (d, s, u) -> sg d (Int64.sub (g s) (g u)); next
-  | Insn.And (d, s, u) -> sg d (Int64.logand (g s) (g u)); next
-  | Insn.Or (d, s, u) -> sg d (Int64.logor (g s) (g u)); next
-  | Insn.Xor (d, s, u) -> sg d (Int64.logxor (g s) (g u)); next
-  | Insn.Nor (d, s, u) -> sg d (Int64.lognot (Int64.logor (g s) (g u))); next
-  | Insn.Slt (d, s, u) -> sg d (bool64 (Int64.compare (g s) (g u) < 0)); next
-  | Insn.Sltu (d, s, u) -> sg d (bool64 (Int64.unsigned_compare (g s) (g u) < 0)); next
-  | Insn.Addiu (r, s, i) -> sg r (sext32 (Int64.add (g s) (sext16 (i land 0xFFFF)))); next
-  | Insn.Daddiu (r, s, i) -> sg r (Int64.add (g s) (sext16 (i land 0xFFFF))); next
-  | Insn.Andi (r, s, i) -> sg r (Int64.logand (g s) (Int64.of_int (i land 0xFFFF))); next
-  | Insn.Ori (r, s, i) -> sg r (Int64.logor (g s) (Int64.of_int (i land 0xFFFF))); next
-  | Insn.Xori (r, s, i) -> sg r (Int64.logxor (g s) (Int64.of_int (i land 0xFFFF))); next
-  | Insn.Slti (r, s, i) -> sg r (bool64 (Int64.compare (g s) (sext16 (i land 0xFFFF)) < 0)); next
+  | Insn.Subu (d, s, u) -> set_gpr t d (sext32 (Int64.sub (gpr t s) (gpr t u))); next
+  | Insn.Dsubu (d, s, u) -> set_gpr t d (Int64.sub (gpr t s) (gpr t u)); next
+  | Insn.And (d, s, u) -> set_gpr t d (Int64.logand (gpr t s) (gpr t u)); next
+  | Insn.Or (d, s, u) -> set_gpr t d (Int64.logor (gpr t s) (gpr t u)); next
+  | Insn.Xor (d, s, u) -> set_gpr t d (Int64.logxor (gpr t s) (gpr t u)); next
+  | Insn.Nor (d, s, u) -> set_gpr t d (Int64.lognot (Int64.logor (gpr t s) (gpr t u))); next
+  | Insn.Slt (d, s, u) -> set_gpr t d (bool64 (Int64.compare (gpr t s) (gpr t u) < 0)); next
+  | Insn.Sltu (d, s, u) -> set_gpr t d (bool64 (Int64.unsigned_compare (gpr t s) (gpr t u) < 0)); next
+  | Insn.Addiu (r, s, i) -> set_gpr t r (sext32 (Int64.add (gpr t s) (sext16 (i land 0xFFFF)))); next
+  | Insn.Daddiu (r, s, i) -> set_gpr t r (Int64.add (gpr t s) (sext16 (i land 0xFFFF))); next
+  | Insn.Andi (r, s, i) -> set_gpr t r (Int64.logand (gpr t s) (Int64.of_int (i land 0xFFFF))); next
+  | Insn.Ori (r, s, i) -> set_gpr t r (Int64.logor (gpr t s) (Int64.of_int (i land 0xFFFF))); next
+  | Insn.Xori (r, s, i) -> set_gpr t r (Int64.logxor (gpr t s) (Int64.of_int (i land 0xFFFF))); next
+  | Insn.Slti (r, s, i) -> set_gpr t r (bool64 (Int64.compare (gpr t s) (sext16 (i land 0xFFFF)) < 0)); next
   | Insn.Sltiu (r, s, i) ->
-      sg r (bool64 (Int64.unsigned_compare (g s) (sext16 (i land 0xFFFF)) < 0));
+      set_gpr t r (bool64 (Int64.unsigned_compare (gpr t s) (sext16 (i land 0xFFFF)) < 0));
       next
-  | Insn.Lui (r, i) -> sg r (sext32 (Int64.shift_left (Int64.of_int (i land 0xFFFF)) 16)); next
-  | Insn.Sll (d, s, sa) -> sg d (sext32 (Int64.shift_left (g s) sa)); next
+  | Insn.Lui (r, i) -> set_gpr t r (sext32 (Int64.shift_left (Int64.of_int (i land 0xFFFF)) 16)); next
+  | Insn.Sll (d, s, sa) -> set_gpr t d (sext32 (Int64.shift_left (gpr t s) sa)); next
   | Insn.Srl (d, s, sa) ->
-      sg d (sext32 (Int64.shift_right_logical (Int64.logand (g s) 0xFFFF_FFFFL) sa));
+      set_gpr t d (sext32 (Int64.shift_right_logical (Int64.logand (gpr t s) 0xFFFF_FFFFL) sa));
       next
-  | Insn.Sra (d, s, sa) -> sg d (sext32 (Int64.shift_right (sext32 (g s)) sa)); next
-  | Insn.Dsll (d, s, sa) -> sg d (Int64.shift_left (g s) sa); next
-  | Insn.Dsrl (d, s, sa) -> sg d (Int64.shift_right_logical (g s) sa); next
-  | Insn.Dsra (d, s, sa) -> sg d (Int64.shift_right (g s) sa); next
-  | Insn.Dsll32 (d, s, sa) -> sg d (Int64.shift_left (g s) (sa + 32)); next
-  | Insn.Dsrl32 (d, s, sa) -> sg d (Int64.shift_right_logical (g s) (sa + 32)); next
-  | Insn.Sllv (d, u, s) -> sg d (sext32 (Int64.shift_left (g u) (Int64.to_int (g s) land 31))); next
+  | Insn.Sra (d, s, sa) -> set_gpr t d (sext32 (Int64.shift_right (sext32 (gpr t s)) sa)); next
+  | Insn.Dsll (d, s, sa) -> set_gpr t d (Int64.shift_left (gpr t s) sa); next
+  | Insn.Dsrl (d, s, sa) -> set_gpr t d (Int64.shift_right_logical (gpr t s) sa); next
+  | Insn.Dsra (d, s, sa) -> set_gpr t d (Int64.shift_right (gpr t s) sa); next
+  | Insn.Dsll32 (d, s, sa) -> set_gpr t d (Int64.shift_left (gpr t s) (sa + 32)); next
+  | Insn.Dsrl32 (d, s, sa) -> set_gpr t d (Int64.shift_right_logical (gpr t s) (sa + 32)); next
+  | Insn.Sllv (d, u, s) -> set_gpr t d (sext32 (Int64.shift_left (gpr t u) (Int64.to_int (gpr t s) land 31))); next
   | Insn.Srlv (d, u, s) ->
-      sg d (sext32 (Int64.shift_right_logical (Int64.logand (g u) 0xFFFF_FFFFL)
-                      (Int64.to_int (g s) land 31)));
+      set_gpr t d (sext32 (Int64.shift_right_logical (Int64.logand (gpr t u) 0xFFFF_FFFFL)
+                      (Int64.to_int (gpr t s) land 31)));
       next
-  | Insn.Srav (d, u, s) -> sg d (sext32 (Int64.shift_right (sext32 (g u)) (Int64.to_int (g s) land 31))); next
-  | Insn.Dsllv (d, u, s) -> sg d (Int64.shift_left (g u) (Int64.to_int (g s) land 63)); next
-  | Insn.Dsrlv (d, u, s) -> sg d (Int64.shift_right_logical (g u) (Int64.to_int (g s) land 63)); next
-  | Insn.Dsrav (d, u, s) -> sg d (Int64.shift_right (g u) (Int64.to_int (g s) land 63)); next
+  | Insn.Srav (d, u, s) -> set_gpr t d (sext32 (Int64.shift_right (sext32 (gpr t u)) (Int64.to_int (gpr t s) land 31))); next
+  | Insn.Dsllv (d, u, s) -> set_gpr t d (Int64.shift_left (gpr t u) (Int64.to_int (gpr t s) land 63)); next
+  | Insn.Dsrlv (d, u, s) -> set_gpr t d (Int64.shift_right_logical (gpr t u) (Int64.to_int (gpr t s) land 63)); next
+  | Insn.Dsrav (d, u, s) -> set_gpr t d (Int64.shift_right (gpr t u) (Int64.to_int (gpr t s) land 63)); next
   | Insn.Mult (s, u) ->
       charge t t.config.mult_cycles;
-      let p = Int64.mul (sext32 (g s)) (sext32 (g u)) in
+      let p = Int64.mul (sext32 (gpr t s)) (sext32 (gpr t u)) in
       t.regs.Regs.lo <- sext32 p;
       t.regs.Regs.hi <- sext32 (Int64.shift_right p 32);
       next
   | Insn.Multu (s, u) ->
       charge t t.config.mult_cycles;
-      let a = Int64.logand (g s) 0xFFFF_FFFFL and b = Int64.logand (g u) 0xFFFF_FFFFL in
+      let a = Int64.logand (gpr t s) 0xFFFF_FFFFL and b = Int64.logand (gpr t u) 0xFFFF_FFFFL in
       let p = Int64.mul a b in
       t.regs.Regs.lo <- sext32 p;
       t.regs.Regs.hi <- sext32 (Int64.shift_right_logical p 32);
@@ -529,12 +636,12 @@ let execute t insn =
       charge t t.config.mult_cycles;
       (* 128-bit product truncated to LO; HI receives the (approximate) high
          word — full 128-bit multiply is not needed by any workload. *)
-      t.regs.Regs.lo <- Int64.mul (g s) (g u);
+      t.regs.Regs.lo <- Int64.mul (gpr t s) (gpr t u);
       t.regs.Regs.hi <- 0L;
       next
   | Insn.Div (s, u) ->
       charge t t.config.div_cycles;
-      let a = sext32 (g s) and b = sext32 (g u) in
+      let a = sext32 (gpr t s) and b = sext32 (gpr t u) in
       if Int64.equal b 0L then begin
         t.regs.Regs.lo <- 0L;
         t.regs.Regs.hi <- 0L
@@ -546,7 +653,7 @@ let execute t insn =
       next
   | Insn.Divu (s, u) ->
       charge t t.config.div_cycles;
-      let a = Int64.logand (g s) 0xFFFF_FFFFL and b = Int64.logand (g u) 0xFFFF_FFFFL in
+      let a = Int64.logand (gpr t s) 0xFFFF_FFFFL and b = Int64.logand (gpr t u) 0xFFFF_FFFFL in
       if Int64.equal b 0L then begin
         t.regs.Regs.lo <- 0L;
         t.regs.Regs.hi <- 0L
@@ -558,70 +665,70 @@ let execute t insn =
       next
   | Insn.Ddiv (s, u) ->
       charge t t.config.div_cycles;
-      if Int64.equal (g u) 0L then begin
+      if Int64.equal (gpr t u) 0L then begin
         t.regs.Regs.lo <- 0L;
         t.regs.Regs.hi <- 0L
       end
       else begin
-        t.regs.Regs.lo <- Int64.div (g s) (g u);
-        t.regs.Regs.hi <- Int64.rem (g s) (g u)
+        t.regs.Regs.lo <- Int64.div (gpr t s) (gpr t u);
+        t.regs.Regs.hi <- Int64.rem (gpr t s) (gpr t u)
       end;
       next
   | Insn.Ddivu (s, u) ->
       charge t t.config.div_cycles;
-      if Int64.equal (g u) 0L then begin
+      if Int64.equal (gpr t u) 0L then begin
         t.regs.Regs.lo <- 0L;
         t.regs.Regs.hi <- 0L
       end
       else begin
-        t.regs.Regs.lo <- Int64.unsigned_div (g s) (g u);
-        t.regs.Regs.hi <- Int64.unsigned_rem (g s) (g u)
+        t.regs.Regs.lo <- Int64.unsigned_div (gpr t s) (gpr t u);
+        t.regs.Regs.hi <- Int64.unsigned_rem (gpr t s) (gpr t u)
       end;
       next
-  | Insn.Mfhi d -> sg d t.regs.Regs.hi; next
-  | Insn.Mflo d -> sg d t.regs.Regs.lo; next
-  | Insn.Mthi s -> t.regs.Regs.hi <- g s; next
-  | Insn.Mtlo s -> t.regs.Regs.lo <- g s; next
+  | Insn.Mfhi d -> set_gpr t d t.regs.Regs.hi; next
+  | Insn.Mflo d -> set_gpr t d t.regs.Regs.lo; next
+  | Insn.Mthi s -> t.regs.Regs.hi <- gpr t s; next
+  | Insn.Mtlo s -> t.regs.Regs.lo <- gpr t s; next
   | Insn.Load (w, u, r, b, o) ->
       let addr = legacy_ea t b o in
-      sg r (load_scalar t ~reg:0 t.caps.(0) ~addr ~width:w ~unsigned:u);
+      set_gpr t r (load_scalar t ~reg:0 t.caps.(0) ~addr ~width:w ~unsigned:u);
       next
   | Insn.Store (w, r, b, o) ->
       let addr = legacy_ea t b o in
-      store_scalar t ~reg:0 t.caps.(0) ~addr ~width:w (g r);
+      store_scalar t ~reg:0 t.caps.(0) ~addr ~width:w (gpr t r);
       next
   | Insn.Lld (r, b, o) ->
       let addr = legacy_ea t b o in
       let v = load_scalar t ~reg:0 t.caps.(0) ~addr ~width:Insn.D ~unsigned:false in
       t.ll_bit <- true;
       t.ll_addr <- addr;
-      sg r v;
+      set_gpr t r v;
       next
   | Insn.Scd (r, b, o) ->
       let addr = legacy_ea t b o in
       if t.ll_bit && Int64.equal addr t.ll_addr then begin
-        store_scalar t ~reg:0 t.caps.(0) ~addr ~width:Insn.D (g r);
+        store_scalar t ~reg:0 t.caps.(0) ~addr ~width:Insn.D (gpr t r);
         t.ll_bit <- false;
-        sg r 1L
+        set_gpr t r 1L
       end
-      else sg r 0L;
+      else set_gpr t r 0L;
       next
   | Insn.J target ->
       Int64.logor (Int64.logand next 0xFFFF_FFFF_F000_0000L) (Int64.of_int (target * 4))
   | Insn.Jal target ->
-      sg Regs.ra next;
+      set_gpr t Regs.ra next;
       Int64.logor (Int64.logand next 0xFFFF_FFFF_F000_0000L) (Int64.of_int (target * 4))
-  | Insn.Jr s -> g s
+  | Insn.Jr s -> gpr t s
   | Insn.Jalr (d, s) ->
-      let dest = g s in
-      sg d next;
+      let dest = gpr t s in
+      set_gpr t d next;
       dest
-  | Insn.Beq (s, u, o) -> if Int64.equal (g s) (g u) then branch_target pc o else next
-  | Insn.Bne (s, u, o) -> if not (Int64.equal (g s) (g u)) then branch_target pc o else next
-  | Insn.Blez (s, o) -> if Int64.compare (g s) 0L <= 0 then branch_target pc o else next
-  | Insn.Bgtz (s, o) -> if Int64.compare (g s) 0L > 0 then branch_target pc o else next
-  | Insn.Bltz (s, o) -> if Int64.compare (g s) 0L < 0 then branch_target pc o else next
-  | Insn.Bgez (s, o) -> if Int64.compare (g s) 0L >= 0 then branch_target pc o else next
+  | Insn.Beq (s, u, o) -> if Int64.equal (gpr t s) (gpr t u) then branch_target pc o else next
+  | Insn.Bne (s, u, o) -> if not (Int64.equal (gpr t s) (gpr t u)) then branch_target pc o else next
+  | Insn.Blez (s, o) -> if Int64.compare (gpr t s) 0L <= 0 then branch_target pc o else next
+  | Insn.Bgtz (s, o) -> if Int64.compare (gpr t s) 0L > 0 then branch_target pc o else next
+  | Insn.Bltz (s, o) -> if Int64.compare (gpr t s) 0L < 0 then branch_target pc o else next
+  | Insn.Bgez (s, o) -> if Int64.compare (gpr t s) 0L >= 0 then branch_target pc o else next
   | Insn.Syscall -> raise (Exn (Cp0.Syscall, 0L))
   | Insn.Break -> raise (Exn (Cp0.Breakpoint, 0L))
   | Insn.Eret ->
@@ -630,36 +737,36 @@ let execute t insn =
       t.cp0.Cp0.epc
   | Insn.Mfc0 (r, d) ->
       if not (Cp0.in_kernel_mode t.cp0) then raise (Exn (Cp0.Coprocessor_unusable, 0L));
-      sg r (Cp0.read t.cp0 d);
+      set_gpr t r (Cp0.read t.cp0 d);
       next
   | Insn.Mtc0 (r, d) ->
       if not (Cp0.in_kernel_mode t.cp0) then raise (Exn (Cp0.Coprocessor_unusable, 0L));
-      Cp0.write t.cp0 d (g r);
+      Cp0.write t.cp0 d (gpr t r);
       next
   | Insn.Trace (m, a, b) ->
-      t.on_trace t m (g a) (g b);
+      t.on_trace t m (gpr t a) (gpr t b);
       next
   (* --- CP2 ----------------------------------------------------------- *)
-  | Insn.CGetBase (d, cb) -> sg d (Cap.Capability.base t.caps.(cb)); next
-  | Insn.CGetLen (d, cb) -> sg d (Cap.Capability.length t.caps.(cb)); next
-  | Insn.CGetTag (d, cb) -> sg d (bool64 (Cap.Capability.tag t.caps.(cb))); next
+  | Insn.CGetBase (d, cb) -> set_gpr t d (Cap.Capability.base t.caps.(cb)); next
+  | Insn.CGetLen (d, cb) -> set_gpr t d (Cap.Capability.length t.caps.(cb)); next
+  | Insn.CGetTag (d, cb) -> set_gpr t d (bool64 (Cap.Capability.tag t.caps.(cb))); next
   | Insn.CGetPerm (d, cb) ->
-      sg d (Int64.of_int (Cap.Perms.to_int (Cap.Capability.perms t.caps.(cb))));
+      set_gpr t d (Int64.of_int (Cap.Perms.to_int (Cap.Capability.perms t.caps.(cb))));
       next
   | Insn.CGetPCC (d, cd) ->
       t.caps.(cd) <- t.pcc;
-      sg d pc;
+      set_gpr t d pc;
       next
   | Insn.CGetCause d ->
-      sg d
+      set_gpr t d
         (Int64.of_int
            ((Cap.Cause.code t.cp0.Cp0.capcause lsl 8) lor t.cp0.Cp0.capcause_reg));
       next
   | Insn.CIncBase (cd, cb, rt) ->
-      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.inc_base t.caps.(cb) (g rt));
+      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.inc_base t.caps.(cb) (gpr t rt));
       next
   | Insn.CSetLen (cd, cb, rt) ->
-      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.set_len t.caps.(cb) (g rt));
+      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.set_len t.caps.(cb) (gpr t rt));
       next
   | Insn.CClearTag (cd, cb) ->
       t.caps.(cd) <- Cap.Capability.clear_tag t.caps.(cb);
@@ -668,16 +775,16 @@ let execute t insn =
       t.caps.(cd) <-
         cap_op t ~reg:cb
           (Cap.Capability.and_perm t.caps.(cb)
-             (Cap.Perms.of_int (Int64.to_int (Int64.logand (g rt) 0x7FFF_FFFFL))));
+             (Cap.Perms.of_int (Int64.to_int (Int64.logand (gpr t rt) 0x7FFF_FFFFL))));
       next
   | Insn.CMove (cd, cb) ->
       t.caps.(cd) <- t.caps.(cb);
       next
   | Insn.CToPtr (rd, cb, ct) ->
-      sg rd (Cap.Capability.to_ptr t.caps.(cb) ~relative_to:t.caps.(ct));
+      set_gpr t rd (Cap.Capability.to_ptr t.caps.(cb) ~relative_to:t.caps.(ct));
       next
   | Insn.CFromPtr (cd, cb, rt) ->
-      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.from_ptr t.caps.(cb) (g rt));
+      t.caps.(cd) <- cap_op t ~reg:cb (Cap.Capability.from_ptr t.caps.(cb) (gpr t rt));
       next
   | Insn.CBTU (cb, o) ->
       if not (Cap.Capability.tag t.caps.(cb)) then branch_target pc o else next
@@ -685,19 +792,19 @@ let execute t insn =
       if Cap.Capability.tag t.caps.(cb) then branch_target pc o else next
   | Insn.CLC (cd, cb, rt, i) ->
       let c = t.caps.(cb) in
-      t.caps.(cd) <- load_cap t ~reg:cb c ~addr:(cap_ea c (g rt) i);
+      t.caps.(cd) <- load_cap t ~reg:cb c ~addr:(cap_ea c (gpr t rt) i);
       next
   | Insn.CSC (cs, cb, rt, i) ->
       let c = t.caps.(cb) in
-      store_cap t ~reg:cb c ~addr:(cap_ea c (g rt) i) t.caps.(cs);
+      store_cap t ~reg:cb c ~addr:(cap_ea c (gpr t rt) i) t.caps.(cs);
       next
   | Insn.CLoad (w, u, rd, cb, rt, i) ->
       let c = t.caps.(cb) in
-      sg rd (load_scalar t ~reg:cb c ~addr:(cap_ea c (g rt) i) ~width:w ~unsigned:u);
+      set_gpr t rd (load_scalar t ~reg:cb c ~addr:(cap_ea c (gpr t rt) i) ~width:w ~unsigned:u);
       next
   | Insn.CStore (w, rs, cb, rt, i) ->
       let c = t.caps.(cb) in
-      store_scalar t ~reg:cb c ~addr:(cap_ea c (g rt) i) ~width:w (g rs);
+      store_scalar t ~reg:cb c ~addr:(cap_ea c (gpr t rt) i) ~width:w (gpr t rs);
       next
   | Insn.CLLD (rd, cb) ->
       let c = t.caps.(cb) in
@@ -705,17 +812,17 @@ let execute t insn =
       let v = load_scalar t ~reg:cb c ~addr ~width:Insn.D ~unsigned:false in
       t.ll_bit <- true;
       t.ll_addr <- addr;
-      sg rd v;
+      set_gpr t rd v;
       next
   | Insn.CSCD (rd, rs, cb) ->
       let c = t.caps.(cb) in
       let addr = Cap.Capability.base c in
       if t.ll_bit && Int64.equal addr t.ll_addr then begin
-        store_scalar t ~reg:cb c ~addr ~width:Insn.D (g rs);
+        store_scalar t ~reg:cb c ~addr ~width:Insn.D (gpr t rs);
         t.ll_bit <- false;
-        sg rd 1L
+        set_gpr t rd 1L
       end
-      else sg rd 0L;
+      else set_gpr t rd 0L;
       next
   | Insn.CJR cb ->
       let c = t.caps.(cb) in
@@ -761,15 +868,42 @@ let fetch t =
   with Mem.Phys.Bus_error a -> raise (Exn (Cp0.Address_error_load, a))
 
 (* Execute a single instruction, routing exceptions to the kernel model. *)
-let invalidate_icache t = Array.fill t.decode_pc 0 decode_slots (-1)
+let invalidate_icache t =
+  Array.fill t.decode_pc 0 decode_slots (-1);
+  flush_superblocks t
+
+(* Route an in-flight exception to the kernel model: the shared tail of
+   [step] and the superblock executor, so both engines dispatch traps
+   through byte-identical CP0 state updates. *)
+let dispatch_exn t exc badv =
+  t.cp0.Cp0.epc <- t.pc;
+  t.cp0.Cp0.badvaddr <- badv;
+  t.cp0.Cp0.last_exc <- Some exc;
+  t.cp0.Cp0.exl <- true;
+  t.ll_bit <- false;
+  t.kernel_entries <- t.kernel_entries + 1;
+  let ctx = { exc; victim_pc = t.pc } in
+  match t.kernel t ctx with
+  | Resume_at pc ->
+      t.cp0.Cp0.exl <- false;
+      t.pc <- pc
+  | Halt code -> raise (Halted code)
+  | Fatal -> raise (Unhandled ctx)
 
 let step t =
   (match t.on_step with Some f -> f t | None -> ());
   try
     let ipc = Int64.to_int t.pc in
+    (* The int tag must represent the 64-bit PC faithfully: [Int64.to_int]
+       alone wraps modulo 2^63, so e.g. 0x8000_0000_0000_1000 and 0x1000
+       would share a tag and the cache could serve one PC's decode for the
+       other.  A PC the native int cannot hold bypasses the cache (full
+       fetch path, architecturally identical); such PCs trap on fetch in
+       every real workload anyway. *)
+    let representable = Int64.equal (Int64.of_int ipc) t.pc in
     let slot = (ipc lsr 2) land decode_mask in
     let insn =
-      if Array.unsafe_get t.decode_pc slot = ipc then begin
+      if representable && Array.unsafe_get t.decode_pc slot = ipc then begin
         (* Decode-cache hit.  Architectural fetch costs still apply. *)
         check_cap t ~reg:0xFF t.pcc Cap.Capability.Execute ~addr:t.pc ~size:4;
         if t.timing then charge t (Mem.Hierarchy.access_insn t.hier ~addr:t.pc);
@@ -781,8 +915,10 @@ let step t =
           try Code.decode word
           with Code.Decode_error _ -> raise (Exn (Cp0.Reserved_instruction, 0L))
         in
-        Array.unsafe_set t.decode_pc slot ipc;
-        Array.unsafe_set t.decode_insn slot insn;
+        if representable then begin
+          Array.unsafe_set t.decode_pc slot ipc;
+          Array.unsafe_set t.decode_insn slot insn
+        end;
         insn
       end
     in
@@ -806,20 +942,141 @@ let step t =
         | Insn.Jal _ | Insn.Jalr _ | Insn.CJALR _ -> Obs.Probe.enter_frame p ~callee:t.pc
         | Insn.Jr s when s = Regs.ra -> Obs.Probe.exit_frame p
         | _ -> ())
-  with Exn (exc, badv) -> (
-    t.cp0.Cp0.epc <- t.pc;
-    t.cp0.Cp0.badvaddr <- badv;
-    t.cp0.Cp0.last_exc <- Some exc;
-    t.cp0.Cp0.exl <- true;
-    t.ll_bit <- false;
-    t.kernel_entries <- t.kernel_entries + 1;
-    let ctx = { exc; victim_pc = t.pc } in
-    match t.kernel t ctx with
-    | Resume_at pc ->
-        t.cp0.Cp0.exl <- false;
-        t.pc <- pc
-    | Halt code -> raise (Halted code)
-    | Fatal -> raise (Unhandled ctx))
+  with Exn (exc, badv) -> dispatch_exn t exc badv
+
+(* --- the superblock tier ------------------------------------------------ *)
+
+(* An instruction that ends a straight-line region: anything whose next PC
+   may differ from pc+4 (control transfers and always-trapping
+   instructions) plus trace markers, which have their own retirement
+   convention.  Everything else returns [next] from [execute]. *)
+let block_terminator = function
+  | Insn.J _ | Insn.Jal _ | Insn.Jr _ | Insn.Jalr _
+  | Insn.Beq _ | Insn.Bne _ | Insn.Blez _ | Insn.Bgtz _ | Insn.Bltz _ | Insn.Bgez _
+  | Insn.Syscall | Insn.Break | Insn.Eret | Insn.Trace _
+  | Insn.CBTU _ | Insn.CBTS _ | Insn.CJR _ | Insn.CJALR _
+  | Insn.CCall _ | Insn.CReturn -> true
+  | _ -> false
+
+(* Try to form a superblock headed at [ipc] (a faithful int PC) and pin it
+   in table slot [slot].  Formation reads *only decode-cache-resident*
+   entries — it stops at the first cold slot — so translation can never
+   observe instruction bytes the plain engine would not have decoded, and
+   a cold head doubles as the hotness gate: code translates on its second
+   visit, once the first pass has warmed the decode cache.  Returns the
+   pinned code array ([||] when the head is cold or a terminator). *)
+let translate t ipc slot =
+  let buf = Array.make max_sb_len Insn.Syscall in
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < max_sb_len do
+    let a = ipc + (!n * 4) in
+    let dslot = (a lsr 2) land decode_mask in
+    if Array.unsafe_get t.decode_pc dslot = a then begin
+      let insn = Array.unsafe_get t.decode_insn dslot in
+      if block_terminator insn then continue_ := false
+      else begin
+        Array.unsafe_set buf !n insn;
+        incr n
+      end
+    end
+    else continue_ := false
+  done;
+  if !n = 0 then begin
+    (* Pin an empty block for a *warm* terminator head so re-dispatch is a
+       single compare; a cold head stays unpinned and will be retried once
+       the decode cache has warmed. *)
+    let dslot = (ipc lsr 2) land decode_mask in
+    if Array.unsafe_get t.decode_pc dslot = ipc then begin
+      Array.unsafe_set t.sb_pc slot ipc;
+      Array.unsafe_set t.sb_code slot [||]
+    end;
+    [||]
+  end
+  else begin
+    let code = Array.sub buf 0 !n in
+    Array.unsafe_set t.sb_pc slot ipc;
+    Array.unsafe_set t.sb_code slot code;
+    t.sb_translations <- t.sb_translations + 1;
+    Mem.Snoop.cover t.sb_snoop ~lo:ipc ~hi:(ipc + (!n * 4));
+    code
+  end
+
+(* Execute up to [n] elements of a pinned block whose head is the current
+   PC.  Per element this is exactly [step]'s decode-hit path — step hook,
+   PCC execute check, I-side hierarchy access when [timing], instret,
+   [charge t 1], probe note, execute — minus the per-step dispatch,
+   tagging, and exception-frame overhead, which is where the speed comes
+   from.  Elements are straight-line, so [execute] always returns pc+4
+   and no shadow-call-stack events can occur inside a block.  A trap
+   dispatches through [dispatch_exn] and ends the block. *)
+let exec_block t code n =
+  t.sb_dispatches <- t.sb_dispatches + 1;
+  let i = ref 0 in
+  let unhooked = match (t.on_step, t.probe) with None, None -> true | _ -> false in
+  (* PCC cannot change inside a block (every PCC-writing instruction is a
+     terminator), and [check_access] is pure, so when the whole [n]-element
+     range passes the execute check once, the per-element checks are
+     no-ops and can be hoisted.  If the hoisted check fails, the
+     per-element checks run so the trap surfaces at exactly the PC — and
+     with exactly the cause — the plain engine would report. *)
+  let pcc_ok =
+    match
+      Cap.Capability.check_access t.pcc Cap.Capability.Execute ~addr:t.pc
+        ~size:(Int64.of_int (n * 4))
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  (try
+     if unhooked then
+       (* Unhooked fast path: the common case for full-size runs. *)
+       while !i < n do
+         let insn = Array.unsafe_get code !i in
+         if not pcc_ok then
+           check_cap t ~reg:0xFF t.pcc Cap.Capability.Execute ~addr:t.pc ~size:4;
+         if t.timing then charge t (Mem.Hierarchy.access_insn t.hier ~addr:t.pc);
+         t.instret <- t.instret + 1;
+         charge t 1;
+         t.pc <- execute t insn;
+         incr i
+       done
+     else
+       (* Hook-aware variant: same architectural sequence, hooks invoked
+          at exactly the points [step] would invoke them. *)
+       while !i < n do
+         (match t.on_step with Some f -> f t | None -> ());
+         let insn = Array.unsafe_get code !i in
+         if not pcc_ok then
+           check_cap t ~reg:0xFF t.pcc Cap.Capability.Execute ~addr:t.pc ~size:4;
+         if t.timing then charge t (Mem.Hierarchy.access_insn t.hier ~addr:t.pc);
+         t.instret <- t.instret + 1;
+         charge t 1;
+         (match t.probe with Some p -> Obs.Probe.note p insn ~pc:t.pc | None -> ());
+         t.pc <- execute t insn;
+         incr i
+       done
+   with Exn (exc, badv) -> dispatch_exn t exc badv);
+  t.sb_retired <- t.sb_retired + !i
+
+(* One unit of work under the superblock engine: retire up to [fuel]
+   instructions through a block pinned at the current PC, or fall back to
+   a single generic [step] (which also warms the decode cache that
+   formation feeds on).  [fuel] lets the run loop align block boundaries
+   with its budget and watchdog sampling points, keeping both engines'
+   outcomes identical instruction for instruction. *)
+let sb_step t ~fuel =
+  let ipc = Int64.to_int t.pc in
+  if fuel <= 0 || not (Int64.equal (Int64.of_int ipc) t.pc) then step t
+  else begin
+    let slot = (ipc lsr 2) land sb_mask in
+    let code =
+      if Array.unsafe_get t.sb_pc slot = ipc then Array.unsafe_get t.sb_code slot
+      else translate t ipc slot
+    in
+    let n = Array.length code in
+    if n = 0 then step t else exec_block t code (if fuel < n then fuel else n)
+  end
 
 (* --- the hardened run loop --------------------------------------------- *)
 
@@ -886,7 +1143,17 @@ let run_result ?(max_insns = Int64.max_int) ?(watchdog = 0) t =
          outcome :=
            Some (Budget_exhausted (snapshot ~cause:"instruction budget exhausted" t))
        else begin
-         step t;
+         (match t.engine with
+         | Plain -> step t
+         | Superblock ->
+             (* Clip the block so it can never run past the instruction
+                budget or through a watchdog sampling point: with the clip
+                in place the loop observes the same (instret, pc, digest)
+                sequence at every check under both engines. *)
+             let progress = t.instret - start in
+             let fuel = budget - progress in
+             let fuel = if wd > 0 then min fuel (wd - (progress mod wd)) else fuel in
+             sb_step t ~fuel);
          if wd > 0 && (t.instret - start) mod wd = 0 then begin
            let d = state_digest t in
            let repeat = ref false in
@@ -952,6 +1219,9 @@ let read_counters t =
   Obs.Counters.set_int c Obs.Counters.cycles t.cycles;
   Obs.Counters.set_int c Obs.Counters.retired_stores t.stores;
   Obs.Counters.set_int c Obs.Counters.kernel_entries t.kernel_entries;
+  Obs.Counters.set_int c Obs.Counters.sb_translations t.sb_translations;
+  Obs.Counters.set_int c Obs.Counters.sb_dispatches t.sb_dispatches;
+  Obs.Counters.set_int c Obs.Counters.sb_retired t.sb_retired;
   Mem.Hierarchy.fill_counters t.hier c;
   (match t.probe with Some p -> Obs.Probe.fill p c | None -> ());
   c

@@ -25,6 +25,15 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable writebacks : int;
+  (* One-line MRU front: the line index touched by the previous access
+     and the way holding it.  Sequential fetch and streaming data runs
+     hit the same line many times in a row; the front turns those
+     repeats into one compare + the same counter/LRU updates the full
+     way search would make, bit-exactly.  [mru_way] always backs
+     [mru_line] because every access (including the eviction of that
+     way) re-points the front at its own line.  -1 = empty. *)
+  mutable mru_line : int;
+  mutable mru_way : line;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -65,6 +74,8 @@ let create ~name ~size_bytes ~line_bytes ~assoc =
     hits = 0;
     misses = 0;
     writebacks = 0;
+    mru_line = -1;
+    mru_way = { tag = 0; valid = false; dirty = false; lru = 0 };
   }
 
 let size_bytes t = t.sets * t.assoc * t.line_bytes
@@ -85,7 +96,7 @@ let miss_writeback = Miss { writeback = true }
    line_bytes).  On a miss the first invalid way — or, with the set full,
    the least-recently-used way — is evicted (recording a writeback if it
    was dirty) and the new line installed. *)
-let access_line t ~line ~write =
+let access_line_slow t ~line ~write =
   t.tick <- t.tick + 1;
   let set = t.data.(line land (t.sets - 1)) in
   let tag = line lsr t.set_bits in
@@ -102,6 +113,8 @@ let access_line t ~line ~write =
     t.hits <- t.hits + 1;
     l.lru <- t.tick;
     if write then l.dirty <- true;
+    t.mru_line <- line;
+    t.mru_way <- l;
     Hit
   end
   else begin
@@ -123,8 +136,27 @@ let access_line t ~line ~write =
     v.dirty <- write;
     v.tag <- tag;
     v.lru <- t.tick;
+    (* Installing may have evicted the way behind the front; re-pointing
+       the front at the line just installed restores the invariant. *)
+    t.mru_line <- line;
+    t.mru_way <- v;
     if writeback then miss_writeback else miss_clean
   end
+
+let access_line t ~line ~write =
+  if line = t.mru_line then begin
+    (* MRU-front hit: same line as the previous access, still resident by
+       the front invariant (every access, including the eviction of the
+       fronted way, re-points the front at its own line).  Counter and
+       LRU updates are exactly the full hit path's. *)
+    t.tick <- t.tick + 1;
+    let l = t.mru_way in
+    t.hits <- t.hits + 1;
+    l.lru <- t.tick;
+    if write then l.dirty <- true;
+    Hit
+  end
+  else access_line_slow t ~line ~write
 
 (* [access t ~addr ~write] touches the line containing [addr]. *)
 let access t ~addr ~write = access_line t ~line:(line_index t addr) ~write
@@ -146,7 +178,8 @@ let reset_stats t =
   t.writebacks <- 0
 
 let flush t =
-  Array.iter (Array.iter (fun l -> l.valid <- false; l.dirty <- false)) t.data
+  Array.iter (Array.iter (fun l -> l.valid <- false; l.dirty <- false)) t.data;
+  t.mru_line <- -1
 
 let pp_stats ppf t =
   let total = t.hits + t.misses in

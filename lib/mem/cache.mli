@@ -20,6 +20,11 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable writebacks : int;
+  mutable mru_line : int;
+      (** one-line MRU front: line index of the previous access (-1 =
+          empty); repeats skip the way search with bit-identical counter
+          and LRU updates *)
+  mutable mru_way : line;  (** the way holding [mru_line] *)
 }
 
 and line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }

@@ -180,6 +180,55 @@ let line_access t ~l1 ~l1_ev ~line ~write =
           cost := !cost + tag_lookup t ~line ~write);
       !cost
 
+(* Hand-inlined TLB and L1 hit fast paths.  [access_insn]/[access_data]
+   run once or twice per simulated instruction, so the call overhead of
+   the layered dispatch (touch -> line_access -> access_line) is itself
+   measurable.  Each helper replicates the corresponding fast branch of
+   lib/mem/tlb.ml / lib/mem/cache.ml with byte-identical state updates;
+   on [false] it has touched nothing and the caller runs the full layered
+   path, so every access takes exactly the transitions the layers would
+   make.  TLB hits fire no events, so [tlb_fast_hit] is safe with an
+   observer attached; per-access Load/Store events make [access_data]
+   skip its cache fast path when a probe is installed. *)
+
+(* [Tlb.touch]'s first two branches: same page as the previous
+   translation, or a verified residency-memo hit. *)
+let tlb_fast_hit tlb p =
+  if p = tlb.Tlb.last_vpn then begin
+    tlb.Tlb.tick <- tlb.Tlb.tick + 1;
+    tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+    Array.unsafe_set tlb.Tlb.slot_tick tlb.Tlb.last_slot tlb.Tlb.tick;
+    true
+  end
+  else begin
+    let mi = p land (Array.length tlb.Tlb.slot_memo_vpn - 1) in
+    let mslot = Array.unsafe_get tlb.Tlb.slot_memo_slot mi in
+    if
+      Array.unsafe_get tlb.Tlb.slot_memo_vpn mi = p
+      && Array.unsafe_get tlb.Tlb.slot_vpn mslot = p
+    then begin
+      tlb.Tlb.tick <- tlb.Tlb.tick + 1;
+      tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+      Array.unsafe_set tlb.Tlb.slot_tick mslot tlb.Tlb.tick;
+      tlb.Tlb.last_vpn <- p;
+      tlb.Tlb.last_slot <- mslot;
+      true
+    end
+    else false
+  end
+
+(* [Cache.access_line]'s MRU-front branch. *)
+let l1_fast_hit l1 line write =
+  if line = l1.Cache.mru_line then begin
+    l1.Cache.tick <- l1.Cache.tick + 1;
+    l1.Cache.hits <- l1.Cache.hits + 1;
+    let w = l1.Cache.mru_way in
+    w.Cache.lru <- l1.Cache.tick;
+    if write then w.Cache.dirty <- true;
+    true
+  end
+  else false
+
 (* A data access of [size] bytes at [addr]; returns the cycle penalty beyond
    the single-cycle pipeline occupancy. *)
 let access_data t ~addr ~size ~write =
@@ -194,34 +243,43 @@ let access_data t ~addr ~size ~write =
   (match t.on_event with
   | None -> ()
   | Some f -> f (if write then Obs.Attrib.Store size else Obs.Attrib.Load size) ~addr);
-  let tlb_cost =
-    if Tlb.touch t.tlb addr then 0
-    else begin
-      fire t Obs.Attrib.Tlb_miss ~addr;
-      t.config.tlb_refill_cycles
-    end
-  in
   let iaddr = Int64.to_int addr in
   let first = iaddr lsr t.line_bits in
   let last = (iaddr + max 1 size - 1) lsr t.line_bits in
-  let cost = ref tlb_cost in
-  for line = first to last do
-    cost := !cost + line_access t ~l1:t.l1d ~l1_ev:Obs.Attrib.L1d_miss ~line ~write
-  done;
-  !cost
-
-let access_insn t ~addr =
   let tlb_cost =
-    if Tlb.touch t.tlb addr then 0
+    if tlb_fast_hit t.tlb (iaddr lsr Tlb.page_bits) then 0
+    else if Tlb.touch t.tlb addr then 0
     else begin
       fire t Obs.Attrib.Tlb_miss ~addr;
       t.config.tlb_refill_cycles
     end
   in
-  tlb_cost
-  + line_access t ~l1:t.l1i ~l1_ev:Obs.Attrib.L1i_miss
-      ~line:(Int64.to_int addr lsr t.line_bits)
-      ~write:false
+  if
+    first = last
+    && (match t.on_event with None -> true | Some _ -> false)
+    && l1_fast_hit t.l1d first write
+  then tlb_cost
+  else begin
+    let cost = ref tlb_cost in
+    for line = first to last do
+      cost := !cost + line_access t ~l1:t.l1d ~l1_ev:Obs.Attrib.L1d_miss ~line ~write
+    done;
+    !cost
+  end
+
+let access_insn t ~addr =
+  let iaddr = Int64.to_int addr in
+  let line = iaddr lsr t.line_bits in
+  let tlb_cost =
+    if tlb_fast_hit t.tlb (iaddr lsr Tlb.page_bits) then 0
+    else if Tlb.touch t.tlb addr then 0
+    else begin
+      fire t Obs.Attrib.Tlb_miss ~addr;
+      t.config.tlb_refill_cycles
+    end
+  in
+  if l1_fast_hit t.l1i line false then tlb_cost
+  else tlb_cost + line_access t ~l1:t.l1i ~l1_ev:Obs.Attrib.L1i_miss ~line ~write:false
 
 (* Deposit the hierarchy's internal statistics into an observability
    counter file (lib/obs).  This is the lib/mem half of the counter

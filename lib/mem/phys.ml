@@ -32,6 +32,13 @@ let write_u32 t addr v = Bytes.set_int32_le t.data (index t addr 4) (Int32.of_in
 let read_u64 t addr = Bytes.get_int64_le t.data (index t addr 8)
 let write_u64 t addr v = Bytes.set_int64_le t.data (index t addr 8) v
 
+(* Multi-word image access (capability loads/stores): one bounds check
+   for the whole [len]-byte image, then per-word reads/writes at byte
+   indices — no intermediate buffer. *)
+let image_index t addr len = index t addr len
+let get_u64 t i = Bytes.get_int64_le t.data i
+let set_u64 t i v = Bytes.set_int64_le t.data i v
+
 let read_bytes t addr len =
   let i = index t addr len in
   Bytes.sub t.data i len

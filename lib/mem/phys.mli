@@ -17,5 +17,15 @@ val read_u32 : t -> int64 -> int
 val write_u32 : t -> int64 -> int -> unit
 val read_u64 : t -> int64 -> int64
 val write_u64 : t -> int64 -> int64 -> unit
+
+(** One bounds check for a [len]-byte image at [addr]; the returned byte
+    index feeds {!get_u64}/{!set_u64} at word offsets within the image.
+    @raise Bus_error when the image overruns the populated range. *)
+val image_index : t -> int64 -> int -> int
+
+val get_u64 : t -> int -> int64
+
+val set_u64 : t -> int -> int64 -> unit
+
 val read_bytes : t -> int64 -> int -> bytes
 val write_bytes : t -> int64 -> bytes -> unit

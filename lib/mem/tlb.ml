@@ -43,6 +43,16 @@ let prot_rwx = { valid = true; writable = true; executable = true; cap_load = tr
 (* Direct-mapped [protection] memo size; indexed by the low VPN bits. *)
 let prot_memo_slots = 64
 
+(* Direct-mapped VPN -> residency-slot memo size.  The one-entry
+   last-translation cache in [touch] dies under I/D ping-pong (every
+   instruction translates the code page, then its data access translates
+   a data page), sending every fetch through the hashtable; a small
+   direct-mapped memo keeps both pages' slots one compare away.  Entries
+   are verified against [slot_vpn] before use, so stale ones (slot since
+   evicted or reused) fall through to the hashtable — hit/miss decisions
+   and LRU updates stay bit-exact. *)
+let slot_memo_slots = 64
+
 type t = {
   entries : int; (* TLB capacity in page entries *)
   table : (int, prot) Hashtbl.t; (* the page table: VPN -> protections *)
@@ -54,6 +64,8 @@ type t = {
   mutable last_slot : int;
   prot_vpn : int array; (* protection memo: VPN per memo slot (-1 empty) *)
   prot_val : prot array;
+  slot_memo_vpn : int array; (* residency memo: VPN per memo slot (-1 empty) *)
+  slot_memo_slot : int array; (* ... and the TLB slot it mapped to *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -71,6 +83,8 @@ let create ?(entries = 256) () =
     last_slot = -1;
     prot_vpn = Array.make prot_memo_slots (-1);
     prot_val = Array.make prot_memo_slots prot_none;
+    slot_memo_vpn = Array.make slot_memo_slots (-1);
+    slot_memo_slot = Array.make slot_memo_slots 0;
     tick = 0;
     hits = 0;
     misses = 0;
@@ -112,15 +126,30 @@ let touch t vaddr =
     Array.unsafe_set t.slot_tick t.last_slot t.tick;
     true
   end
-  else
-    match Hashtbl.find t.slot_of p with
-    | slot ->
-        t.hits <- t.hits + 1;
-        t.slot_tick.(slot) <- t.tick;
-        t.last_vpn <- p;
-        t.last_slot <- slot;
-        true
-    | exception Not_found ->
+  else begin
+    let mi = p land (slot_memo_slots - 1) in
+    let mslot = Array.unsafe_get t.slot_memo_slot mi in
+    if Array.unsafe_get t.slot_memo_vpn mi = p && Array.unsafe_get t.slot_vpn mslot = p
+    then begin
+      (* Memoised residency, verified still live: same updates as the
+         hashtable hit below. *)
+      t.hits <- t.hits + 1;
+      Array.unsafe_set t.slot_tick mslot t.tick;
+      t.last_vpn <- p;
+      t.last_slot <- mslot;
+      true
+    end
+    else
+      match Hashtbl.find t.slot_of p with
+      | slot ->
+          t.hits <- t.hits + 1;
+          t.slot_tick.(slot) <- t.tick;
+          t.last_vpn <- p;
+          t.last_slot <- slot;
+          t.slot_memo_vpn.(mi) <- p;
+          t.slot_memo_slot.(mi) <- slot;
+          true
+      | exception Not_found ->
         t.misses <- t.misses + 1;
         let slot =
           if t.used >= t.entries then begin
@@ -143,7 +172,10 @@ let touch t vaddr =
         Hashtbl.replace t.slot_of p slot;
         t.last_vpn <- p;
         t.last_slot <- slot;
+        t.slot_memo_vpn.(mi) <- p;
+        t.slot_memo_slot.(mi) <- slot;
         false
+  end
 
 let flush t =
   Hashtbl.reset t.slot_of;

@@ -41,6 +41,8 @@ type t = {
   mutable last_slot : int;
   prot_vpn : int array;
   prot_val : prot array;
+  slot_memo_vpn : int array;
+  slot_memo_slot : int array;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;

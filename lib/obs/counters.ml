@@ -42,6 +42,14 @@ let cap_stores = 25
 let branches = 26
 let samples = 27
 
+(* Superblock-engine telemetry (host-side, not architectural): regions
+   translated, block dispatches, and instructions retired inside blocks.
+   Zero under the plain engine; the diff harness must treat them like
+   [samples] — engine configuration, not simulated behaviour. *)
+let sb_translations = 28
+let sb_dispatches = 29
+let sb_retired = 30
+
 let names =
   [|
     "instret";
@@ -72,6 +80,9 @@ let names =
     "cap_stores";
     "branches";
     "samples";
+    "sb_translations";
+    "sb_dispatches";
+    "sb_retired";
   |]
 
 let count = Array.length names

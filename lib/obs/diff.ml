@@ -42,8 +42,17 @@ type policy = {
 }
 
 (* `samples` is profiler configuration, not workload behaviour (and
-   schema /1 vs /2 files disagree on whether it exists at all). *)
-let default_policy = { ignore_counters = [ "samples" ]; wall_tol_pct = 50.0; fail_on_wall = false }
+   schema /1 vs /2 files disagree on whether it exists at all).  The
+   `sb_*` counters are interpreter-engine telemetry: they differ between
+   `--engine plain` and `--engine superblock` runs of the *same*
+   architectural behaviour, so comparing them exactly would turn an
+   engine choice into a spurious regression. *)
+let default_policy =
+  {
+    ignore_counters = [ "samples"; "sb_translations"; "sb_dispatches"; "sb_retired" ];
+    wall_tol_pct = 50.0;
+    fail_on_wall = false;
+  }
 
 type report = {
   policy : policy;

@@ -6,7 +6,7 @@
 
    Schema (documented in docs/OBSERVABILITY.md):
 
-     { "schema": "cheri-obs-bench/3",
+     { "schema": "cheri-obs-bench/4",
        "interp_instr_per_s": <host-side interpreter throughput>,
        "benchmarks": [
          { "bench": ..., "mode": ..., "param": ...,
@@ -23,8 +23,15 @@
 
    cheri-obs-bench/2 dropped the `samples` counter from the per-run
    counter object: bench runs attach a classification probe but no
-   sampling profiler, so the field was always zero.  The baseline
-   loader (Obs.Baseline) still accepts /1 and /2 files. *)
+   sampling profiler, so the field was always zero.
+
+   cheri-obs-bench/4 adds the superblock-engine telemetry counters
+   (`sb_translations`, `sb_dispatches`, `sb_retired`) to the per-run
+   counter object.  Like the host-timing fields they describe the
+   interpreter, not the simulated machine — the diff harness ignores
+   them (Diff.default_policy), so baselines recorded under either
+   `--engine` compare clean against runs under the other.  The baseline
+   loader (Obs.Baseline) accepts /1 through /4 files. *)
 
 type entry = {
   bench : string;
@@ -35,9 +42,10 @@ type entry = {
   spans : (string * Counters.t) list;
 }
 
-let schema_version = "cheri-obs-bench/3"
+let schema_version = "cheri-obs-bench/4"
 let schema_v1 = "cheri-obs-bench/1"
 let schema_v2 = "cheri-obs-bench/2"
+let schema_v3 = "cheri-obs-bench/3"
 
 (* Simulated MIPS of one run: how many millions of simulated instructions
    the interpreter retired per host second.  0.0 when the wall clock was

@@ -10,6 +10,7 @@
 
      dune exec bin/cheri_fuzz.exe -- --programs 400 --no-wall
      dune exec bin/cheri_fuzz.exe -- --programs 256 --mode cheri --no-wall
+     dune exec bin/cheri_fuzz.exe -- --programs 256 --mode engines --no-wall
 
    and update the constants below. *)
 
@@ -30,8 +31,8 @@ let () =
   check "lockstep/400"
     (Fuzz.Campaign.run ~wall:false
        { Fuzz.Campaign.default with Fuzz.Campaign.programs = 400 })
-    [ 30L; 330L; 0L; 0L; 0L; 40L; 0L ]
-    3247L;
+    [ 213L; 90L; 0L; 0L; 0L; 97L; 0L ]
+    7153L;
   check "cheri/256"
     (Fuzz.Campaign.run ~wall:false
        {
@@ -40,5 +41,17 @@ let () =
          programs = 256;
          wide = false;
        })
-    [ 16L; 240L; 0L; 0L; 0L; 0L; 0L ]
-    2213L
+    [ 171L; 85L; 0L; 0L; 0L; 0L; 0L ]
+    5356L;
+  (* Engine differential: superblock vs plain on identical W256 machines
+     with timing on — any tally here other than agreement-by-class would
+     be an engine bug, and [check] already rejects unclean campaigns. *)
+  check "engines/256"
+    (Fuzz.Campaign.run ~wall:false
+       {
+         Fuzz.Campaign.default with
+         Fuzz.Campaign.mode = Fuzz.Campaign.Engines;
+         programs = 256;
+       })
+    [ 186L; 70L; 0L; 0L; 0L; 0L; 0L ]
+    5460L

@@ -630,6 +630,100 @@ let test_smc_decode_coherence () =
   run_at target;
   Alcotest.(check int64) "new insn after invalidate_icache" 2L (Machine.gpr m 3)
 
+(* The superblock tier above the decode cache adds a second place stale
+   code could hide: a pinned block carries its own pre-decoded copy of
+   the instructions.  Unlike the decode cache, translated regions ARE
+   store-snooped — a store into a covered range retires the whole tier —
+   so a pinned block can never serve a decode the plain engine's
+   direct-mapped cache would already have replaced.  The architectural
+   contract stays exactly the plain engine's: stale until
+   [invalidate_icache], fresh after.  This pins the snoop (through the
+   host-side translation counter) and the contract. *)
+let test_smc_superblock_coherence () =
+  let m = Machine.create () in
+  Machine.set_timing m false;
+  Machine.set_kernel m (fun _ ctx ->
+      match ctx.Machine.exc with
+      | Cp0.Breakpoint -> Machine.Halt 0
+      | e -> Alcotest.failf "unexpected exception: %s" (Cp0.exc_to_string e));
+  Machine.map_identity m ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+  let target = 0x10000L in
+  Mem.Phys.write_u32 m.Machine.phys target (Code.encode (Insn.Daddiu (3, 0, 1)));
+  Mem.Phys.write_u32 m.Machine.phys (Int64.add target 4L) (Code.encode (Insn.Daddiu (4, 0, 7)));
+  Mem.Phys.write_u32 m.Machine.phys (Int64.add target 8L) (Code.encode Insn.Break);
+  let patcher = 0x10100L in
+  Mem.Phys.write_u32 m.Machine.phys patcher (Code.encode (Insn.Store (Insn.W, 9, 8, 0)));
+  Mem.Phys.write_u32 m.Machine.phys (Int64.add patcher 4L) (Code.encode Insn.Break);
+  let run_at pc =
+    m.Machine.pc <- pc;
+    ignore (Machine.run ~max_insns:100L m)
+  in
+  (* first pass warms the decode cache; the second pins a superblock *)
+  run_at target;
+  run_at target;
+  Alcotest.(check bool) "superblock pinned" true (m.Machine.sb_translations > 0);
+  let formed = m.Machine.sb_translations in
+  (* patch the block's second instruction through the machine's own data
+     path: the store intersects a translated region, retiring the tier *)
+  Machine.set_gpr m 8 (Int64.add target 4L);
+  Machine.set_gpr m 9 (Int64.of_int (Code.encode (Insn.Daddiu (4, 0, 9))));
+  run_at patcher;
+  Machine.set_gpr m 4 0L;
+  run_at target;
+  Alcotest.(check bool) "block re-translated after store snoop" true
+    (m.Machine.sb_translations > formed);
+  (* re-translation reads the still-stale decode cache: same observable
+     staleness as the plain engine until the explicit synchronization *)
+  Alcotest.(check int64) "stale decode without invalidate" 7L (Machine.gpr m 4);
+  Machine.invalidate_icache m;
+  Machine.set_gpr m 4 0L;
+  run_at target;
+  Alcotest.(check int64) "new insn after invalidate_icache" 9L (Machine.gpr m 4)
+
+(* Trap-heavy engine differential: a hot straight-line block whose load
+   walks off the end of its capability must produce identical
+   architectural results under the plain and superblock engines — same
+   trap, same EPC, same retired/cycle counts (the superblock tier
+   charges its own I-side costs), same data flow. *)
+let test_engine_trap_differential () =
+  let source =
+    {|
+main:
+  la $t0, buf
+  cincbase $c1, $c0, $t0
+  li $t1, 64
+  csetlen $c1, $c1, $t1
+  li $t2, 0
+  li $t3, 0
+loop:
+  cld $v1, $t3, 0($c1)    # traps once $t3 walks past the 64-byte bound
+  daddu $t2, $t2, $v1
+  daddiu $t3, $t3, 8
+  b loop
+|}
+    ^ "\n.data\n.align 5\nbuf: .space 64\n"
+  in
+  let run engine =
+    let m = Machine.create () in
+    Machine.set_engine m engine;
+    let k = Os.Kernel.attach m in
+    Os.Kernel.set_fault_handler k (fun _ (fault : Os.Kernel.fault) ->
+        Machine.Halt (100 + Cap.Cause.code fault.Os.Kernel.capcause));
+    Os.Kernel.exec k (Asm.Assembler.assemble source);
+    let code = Machine.run ~max_insns:100_000L m in
+    (code, m)
+  in
+  let code_p, mp = run Machine.Plain in
+  let code_s, ms = run Machine.Superblock in
+  Alcotest.(check int) "exit codes agree" code_p code_s;
+  Alcotest.(check int) "length violation"
+    (100 + Cap.Cause.code Cap.Cause.Length_violation)
+    code_s;
+  Alcotest.(check int) "instret agrees" mp.Machine.instret ms.Machine.instret;
+  Alcotest.(check int) "cycles agree" mp.Machine.cycles ms.Machine.cycles;
+  Alcotest.(check int64) "accumulator agrees" (Machine.gpr mp 10) (Machine.gpr ms 10);
+  Alcotest.(check int64) "epc agrees" mp.Machine.cp0.Cp0.epc ms.Machine.cp0.Cp0.epc
+
 let test_tag_controller_traffic () =
   (* Touching lots of distinct lines drives tag-table fills through the tag
      cache; its miss count must stay tiny relative to data misses (the
@@ -701,6 +795,8 @@ let suites =
         Alcotest.test_case "TLB reach" `Quick test_tlb_model;
         Alcotest.test_case "cycle accounting" `Quick test_timing_counts;
         Alcotest.test_case "SMC decode coherence" `Quick test_smc_decode_coherence;
+        Alcotest.test_case "SMC superblock coherence" `Quick test_smc_superblock_coherence;
+        Alcotest.test_case "engine trap differential" `Quick test_engine_trap_differential;
         Alcotest.test_case "tag controller traffic" `Quick test_tag_controller_traffic;
       ] );
   ]
