@@ -512,6 +512,31 @@ let fuzz ~jobs ~wall ~json () =
   end;
   if not (Fuzz.Campaign.clean r) then exit 3
 
+(* `serve`: the multi-compartment request-serving sweep (sealed-cap CCall
+   router vs monolithic baseline, docs/COMPARTMENTS.md), exported through
+   the obs schema so `cheri_diff` pins the request/trap tallies and
+   crossing costs.  Honors --jobs and --no-wall like `fuzz`; use
+   bin/cheri_serve for bigger request counts and the full JSON report.
+   Not in the default `all` set. *)
+let serve ?engine ~jobs ~wall ~json () =
+  section "serve: multi-compartment request serving (docs/COMPARTMENTS.md)";
+  let cfg =
+    {
+      Serve.Sweep.default_cfg with
+      Serve.Sweep.requests = 2000;
+      engine = Option.value engine ~default:Machine.Superblock;
+      jobs;
+      no_wall = not wall;
+    }
+  in
+  let r = Serve.Sweep.run cfg in
+  Fmt.pr "%a@." Serve.Sweep.pp_result r;
+  if json then begin
+    Obs.Export.write_file "SERVE_obs.json" (Serve.Sweep.obs_entries r);
+    Printf.printf "wrote SERVE_obs.json\n"
+  end;
+  if not r.Serve.Sweep.digests_match then exit 3
+
 (* --- machine-readable export ---------------------------------------------------------------- *)
 
 (* `--json`: run the Figure 4 benchmark set (all three pointer modes, at
@@ -650,13 +675,14 @@ let () =
       | "ablation" -> ablation ~jobs ()
       | "fault" -> fault ()
       | "fuzz" -> fuzz ~jobs ~wall ~json ()
+      | "serve" -> serve ?engine ~jobs ~wall ~json ()
       | "micro" -> micro ~quick ()
       | "obs" -> obs_export ?engine ~jobs ~wall ()
       | "regress" -> obs_regress ?engine ~baseline_dir ~jobs ~wall ()
       | other ->
           Printf.eprintf
             "unknown target %S (expected \
-             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|fuzz|micro|obs|regress|all)\n"
+             table1|table2|fig3|fig4|fig5|fig6|seg-compare|ablation|fault|fuzz|serve|micro|obs|regress|all)\n"
             other;
           exit 2)
     targets

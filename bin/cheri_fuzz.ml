@@ -45,8 +45,33 @@ let shrink_one ~engine cfg corpus seed =
       | Some dir -> Fmt.pr "  filed %s@." (Fuzz.Corpus.save ~dir f)
       | None -> ())
 
+(* `--mode kernel` drives the protected-call surface fuzzer (Fuzz.Kfuzz):
+   host-minted capability pairs through the kernel handlers against a
+   pure model of the CCall/CReturn contract.  It shares --programs,
+   --insns (scenario ops), --base-seed, --jobs, --json, and --replay;
+   the instruction-campaign machinery (corpus, checkpoints, shrinking)
+   does not apply to scenario fuzzing. *)
+let kernel_campaign programs insns base_seed jobs json no_wall replay =
+  let cfg = { Fuzz.Kfuzz.programs; ops = insns; base_seed } in
+  match replay with
+  | Some seed ->
+      let desc, failed = Fuzz.Kfuzz.replay cfg ~seed in
+      Fmt.pr "seed %Ld [kernel]:@.%s@." seed desc;
+      if failed then exit failure_exit
+  | None ->
+      let r = Fuzz.Kfuzz.run ~jobs ~wall:(not no_wall) cfg in
+      Fmt.pr "%a" Fuzz.Kfuzz.pp r;
+      (match json with
+      | Some path ->
+          Obs.Export.write_file path [ Fuzz.Kfuzz.export_entry r ];
+          Fmt.pr "wrote %s@." path
+      | None -> ());
+      if not (Fuzz.Kfuzz.clean r) then exit failure_exit
+
 let campaign mode programs insns base_seed wide narrow jobs checkpoint every resume corpus json
     no_wall replay replay_file engine =
+  if mode = "kernel" then kernel_campaign programs insns base_seed jobs json no_wall replay
+  else
   match (replay, replay_file) with
   | Some seed, _ ->
       let cfg = make_cfg mode programs insns base_seed wide narrow in
@@ -97,7 +122,8 @@ let mode =
   Arg.(
     value
     & opt string "lockstep"
-    & info [ "mode" ] ~docv:"MODE" ~doc:"cheri|cheri128|lockstep|engines (default: lockstep).")
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"cheri|cheri128|lockstep|engines|kernel (default: lockstep).")
 
 let programs =
   Arg.(value & opt int 1000 & info [ "programs" ] ~docv:"N" ~doc:"Programs per campaign.")
@@ -118,8 +144,6 @@ let narrow =
   Arg.(
     value & flag
     & info [ "narrow" ] ~doc:"Keep every capability 128-bit-representable, even in lockstep mode.")
-
-let jobs = Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains.")
 
 let checkpoint =
   Arg.(
@@ -149,12 +173,6 @@ let json =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Export the campaign through the lib/obs bench schema.")
 
-let no_wall =
-  Arg.(
-    value & flag
-    & info [ "no-wall" ]
-        ~doc:"Zero the wall-clock fields so exports are byte-comparable across runs.")
-
 let replay =
   Arg.(
     value
@@ -171,7 +189,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cheri_fuzz" ~doc:"Differential observational-correctness fuzzing of the CHERI model")
     Term.(
-      const campaign $ mode $ programs $ insns $ base_seed $ wide $ narrow $ jobs $ checkpoint
-      $ every $ resume $ corpus $ json $ no_wall $ replay $ replay_file $ Cli.engine)
+      const campaign $ mode $ programs $ insns $ base_seed $ wide $ narrow $ Cli.jobs $ checkpoint
+      $ every $ resume $ corpus $ json $ Cli.no_wall $ replay $ replay_file $ Cli.engine)
 
 let () = exit (Cmd.eval cmd)

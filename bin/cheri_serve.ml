@@ -1,0 +1,152 @@
+(* cheri_serve: the multi-compartment request-serving experiment.
+
+     dune exec bin/cheri_serve.exe -- --requests 100000
+     dune exec bin/cheri_serve.exe -- --requests 1000000 --jobs 8 --no-wall
+     dune exec bin/cheri_serve.exe -- --ns 1,4 --json serve.json
+
+   A router compartment dispatches a seeded synthetic request stream
+   through sealed-capability CCalls into N worker compartments and the
+   same stream through a monolithic jalr baseline at identical addresses;
+   the paired per-request cycle difference is the cost of the protection
+   boundary (docs/COMPARTMENTS.md).  Malformed requests must be rejected
+   without terminating the server loop — out-of-range kinds by the
+   router, lying length headers by the worker's bounded payload
+   capability trapping.  The chunk grid is fixed, so output is
+   byte-identical for any --jobs and either engine (with --no-wall). *)
+
+open Cmdliner
+
+(* Replay the stream through one compartmentalised server with the
+   miss-attribution layer attached and the scenario's region labels
+   installed, so the per-region table attributes cache misses to named
+   compartments (router, parser#0, alloc#1/data, ...).  Diagnostic only:
+   one sequential pass, separate from the timed sweep. *)
+let attribution (cfg : Serve.Sweep.cfg) ~n ~top =
+  let a = Obs.Attrib.create () in
+  let s =
+    Serve.Server.create ~engine:cfg.Serve.Sweep.engine ~attrib:a ~isolation:Serve.Scenario.Compart
+      ~n ()
+  in
+  Serve.Server.boot s;
+  let chunk = Serve.Sweep.chunk_size in
+  let chunks = (cfg.Serve.Sweep.requests + chunk - 1) / chunk in
+  for c = 0 to chunks - 1 do
+    let count = min chunk (cfg.Serve.Sweep.requests - (c * chunk)) in
+    let reqs =
+      Serve.Workload.gen_chunk ~mix:cfg.Serve.Sweep.mix ~base_seed:cfg.Serve.Sweep.base_seed
+        ~index:c ~count
+    in
+    Array.iter (fun req -> ignore (Serve.Server.serve_one s req)) reqs
+  done;
+  Fmt.pr "@.miss attribution by compartment (compart, N=%d, %d requests)@.%a@." n
+    cfg.Serve.Sweep.requests
+    (Obs.Attrib.pp_regions ~by:Obs.Attrib.c_l1d_miss ~n:top)
+    a
+
+let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wall json obs_json
+    attrib =
+  let ns =
+    match ns with
+    | [] ->
+        Fmt.epr "--ns needs at least one compartment count@.";
+        exit 2
+    | ns -> ns
+  in
+  List.iter
+    (fun n ->
+      if n < 1 || n > Serve.Scenario.max_workers || n land (n - 1) <> 0 then begin
+        Fmt.epr "--ns values must be powers of two in [1, %d], got %d@." Serve.Scenario.max_workers
+          n;
+        exit 2
+      end)
+    ns;
+  let cfg =
+    {
+      Serve.Sweep.requests;
+      base_seed = seed;
+      mix = { Serve.Workload.max_words; malformed_denom; burst_denom };
+      ns;
+      engine;
+      jobs;
+      no_wall;
+    }
+  in
+  let r = Serve.Sweep.run cfg in
+  Fmt.pr "%a@." Serve.Sweep.pp_result r;
+  (match json with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Serve.Sweep.to_json r));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+  | None -> ());
+  (match obs_json with
+  | Some path ->
+      Obs.Export.write_file path (Serve.Sweep.obs_entries r);
+      Fmt.pr "wrote %s@." path
+  | None -> ());
+  if attrib then attribution cfg ~n:(List.fold_left max 1 ns) ~top:16;
+  if r.Serve.Sweep.digests_match then ()
+  else begin
+    Fmt.epr "FAIL: response digests differ between isolation modes@.";
+    exit 3
+  end
+
+let requests =
+  Arg.(value & opt int 100_000 & info [ "requests" ] ~docv:"N" ~doc:"Requests per sweep point.")
+
+let seed =
+  Arg.(value & opt int64 0xC0FFEEL & info [ "seed" ] ~docv:"S" ~doc:"Workload stream seed.")
+
+let ns =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4; 8 ]
+    & info [ "ns" ] ~docv:"N,..." ~doc:"Compartment counts to sweep (powers of two up to 8).")
+
+let max_words =
+  Arg.(
+    value & opt int 256
+    & info [ "max-words" ] ~docv:"W" ~doc:"Largest well-formed payload, in words.")
+
+let malformed_denom =
+  Arg.(
+    value & opt int 32
+    & info [ "malformed" ] ~docv:"D" ~doc:"1 in $(docv) requests is malformed (0 = none).")
+
+let burst_denom =
+  Arg.(
+    value & opt int 16
+    & info [ "burst" ] ~docv:"D" ~doc:"1 in $(docv) requests starts a burst (0 = none).")
+
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the full sweep report (cheri-serve/1) to $(docv).")
+
+let obs_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-json" ] ~docv:"FILE"
+        ~doc:"Export the sweep through the lib/obs bench schema to $(docv).")
+
+let attrib =
+  Arg.(
+    value & flag
+    & info [ "attrib" ]
+        ~doc:
+          "After the sweep, replay the stream once through the largest compartment point with \
+           the miss-attribution layer attached and print the per-compartment region table.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cheri_serve"
+       ~doc:"Sealed-capability multi-compartment request serving vs a monolithic baseline")
+    Term.(
+      const run $ requests $ seed $ ns $ max_words $ malformed_denom $ burst_denom $ Cli.engine
+      $ Cli.jobs $ Cli.no_wall $ json $ obs_json $ attrib)
+
+let () = exit (Cmd.eval cmd)

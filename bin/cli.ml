@@ -42,6 +42,16 @@ let baseline =
     & info [ "baseline" ] ~docv:"DIR"
         ~doc:"Directory holding the committed baseline exports (BENCH_obs.json).")
 
+(* Parallelism for the sweep-shaped tools (cheri_fuzz, cheri_serve): the
+   shard/chunk grids are fixed, so output is byte-identical for any N. *)
+let jobs = Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+
+let no_wall =
+  Arg.(
+    value & flag
+    & info [ "no-wall" ]
+        ~doc:"Zero the wall-clock fields so exports are byte-comparable across runs.")
+
 (* Interpreter engine selector.  Superblock (the default everywhere) and
    plain are architecturally identical — the flag exists so any tool can
    pin the reference engine for cross-checking or host-perf triage. *)

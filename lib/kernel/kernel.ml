@@ -47,6 +47,9 @@ type t = {
   mutable fault_handler : (t -> fault -> Machine.kernel_action) option;
   mutable trusted_stack : frame list;
   mutable ccalls : int;
+  mutable creturns : int;
+  mutable ctx_saves : int; (* trusted-stack frames pushed (CCall entry) *)
+  mutable ctx_restores : int; (* frames popped (CReturn or unwind) *)
   mutable obs_span : Obs.Span.t option;
       (* when set, CCall/CReturn domain transitions open/close a
          "ccall" span — sandbox time shows up as a phase. *)
@@ -134,6 +137,7 @@ let handle_ccall t =
     with
     | Ok ucode, Ok udata ->
         (match t.obs_span with Some s -> Obs.Span.enter s "ccall" | None -> ());
+        t.ctx_saves <- t.ctx_saves + 1;
         t.trusted_stack <-
           {
             saved_pcc = m.Machine.pcc;
@@ -150,14 +154,42 @@ let handle_ccall t =
 
 let handle_creturn t =
   let m = t.machine in
+  t.creturns <- t.creturns + 1;
   match t.trusted_stack with
-  | [] -> Machine.Halt 97
+  | [] ->
+      (* CReturn with no matching CCall is an architectural error, not a
+         generic failure: report it with the precise capability cause. *)
+      m.Machine.cp0.Cp0.capcause <- Cap.Cause.Return_trap;
+      Machine.Halt 97
   | frame :: rest ->
       t.trusted_stack <- rest;
+      t.ctx_restores <- t.ctx_restores + 1;
       (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
       m.Machine.pcc <- frame.saved_pcc;
       Machine.set_cap m 0 frame.saved_c0;
       Machine.Resume_at frame.return_pc
+
+(* Pop every trusted-stack frame, restoring the outermost caller's
+   PCC/C0.  Used by server loops to recover the router's domain after a
+   fault inside a worker compartment aborted the protected call chain. *)
+let unwind_trusted_stack t =
+  let m = t.machine in
+  let rec pop = function
+    | [] -> ()
+    | [ frame ] ->
+        t.ctx_restores <- t.ctx_restores + 1;
+        (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
+        m.Machine.pcc <- frame.saved_pcc;
+        Machine.set_cap m 0 frame.saved_c0
+    | _ :: rest ->
+        t.ctx_restores <- t.ctx_restores + 1;
+        (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
+        pop rest
+  in
+  pop t.trusted_stack;
+  t.trusted_stack <- []
+
+let trusted_stack_depth t = List.length t.trusted_stack
 
 (* The faulting instruction's disassembly, recovered from the memory image
    at the victim PC (best-effort: the PC itself may be corrupt). *)
@@ -227,6 +259,9 @@ let attach machine =
       fault_handler = None;
       trusted_stack = [];
       ccalls = 0;
+      creturns = 0;
+      ctx_saves = 0;
+      ctx_restores = 0;
       obs_span = None;
       obs_bus = None;
     }
@@ -249,6 +284,9 @@ let read_counters t =
   let c = Machine.read_counters t.machine in
   Obs.Counters.set_int c Obs.Counters.syscalls t.syscall_count;
   Obs.Counters.set_int c Obs.Counters.ccalls t.ccalls;
+  Obs.Counters.set_int c Obs.Counters.creturns t.creturns;
+  Obs.Counters.set_int c Obs.Counters.ctx_saves t.ctx_saves;
+  Obs.Counters.set_int c Obs.Counters.ctx_restores t.ctx_restores;
   c
 
 (* Boot a user program (Section 4.3): load the image, delegate the whole

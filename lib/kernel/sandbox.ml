@@ -45,6 +45,37 @@ let enter (m : Machine.t) ~base ~length ~entry =
 
 let leave (m : Machine.t) t = Context.restore m t.saved
 
+(* Mint a sealed code/data capability pair for a compartment (Sections 5.2
+   and 11): the trusted loader derives a code capability over the
+   compartment's text and a data capability over its private region, then
+   seals both with the compartment's object type so only a CCall through
+   the kernel can unseal them.  The data capability carries capability
+   load/store rights — capability-aware compartments spill capabilities
+   C0-relative — but, unlike [enter]'s legacy sandboxes, never execute. *)
+let seal_pair ~otype ~code_base ~code_length ~data_base ~data_length =
+  let authority =
+    Cap.Capability.make ~perms:Cap.Perms.all ~base:0L ~length:Cap.U64.max_value
+  in
+  let union = List.fold_left Cap.Perms.union Cap.Perms.global in
+  let code =
+    Cap.Capability.make
+      ~perms:(union [ Cap.Perms.execute; Cap.Perms.load ])
+      ~base:code_base ~length:code_length
+  and data =
+    Cap.Capability.make
+      ~perms:
+        (union
+           [ Cap.Perms.load; Cap.Perms.store; Cap.Perms.load_cap; Cap.Perms.store_cap ])
+      ~base:data_base ~length:data_length
+  in
+  match
+    ( Cap.Capability.seal code ~authority ~otype,
+      Cap.Capability.seal data ~authority ~otype )
+  with
+  | Ok c, Ok d -> (c, d)
+  | Error e, _ | _, Error e ->
+      invalid_arg ("Sandbox.seal_pair: " ^ Cap.Cause.to_string e)
+
 (* Trap reporting: render a kernel fault raised inside the sandbox, with
    the sandbox-relative PC, the faulting instruction's disassembly, and
    the retirement counters that make the trap reproducible. *)

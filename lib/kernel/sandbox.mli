@@ -14,6 +14,22 @@ val enter : Machine.t -> base:int64 -> length:int64 -> entry:int64 -> t
 (** Restore the host context saved at {!enter}. *)
 val leave : Machine.t -> t -> unit
 
+(** [seal_pair ~otype ~code_base ~code_length ~data_base ~data_length]
+    mints a compartment's sealed code/data capability pair (§5.2, §11):
+    the code capability spans the compartment text (execute, no store),
+    the data capability spans its private region (data and capability
+    load/store, no execute); both are sealed with [otype] under the
+    kernel's omnipotent sealing authority.  Install the pair in C1/C2 and
+    CCall to enter the compartment.
+    @raise Invalid_argument when [otype] is unrepresentable. *)
+val seal_pair :
+  otype:int ->
+  code_base:int64 ->
+  code_length:int64 ->
+  data_base:int64 ->
+  data_length:int64 ->
+  Cap.Capability.t * Cap.Capability.t
+
 (** [fault_report sandbox fault] renders a kernel fault raised inside the
     sandbox for trap reporting: the sandbox-relative PC, the faulting
     instruction's disassembly, the capability cause, and the [instret] /

@@ -79,6 +79,10 @@ type t = {
   cap_len : Hist.t; (* bounds length of capabilities moved to/from memory *)
   last_miss : (int64, int) Hashtbl.t; (* D-line -> ordinal of its last miss *)
   mutable miss_seq : int;
+  mutable labels : (int64 * int64 * string) list;
+      (* (base, length, label) address-range annotations: compartment
+         and section names for the region table.  Empty = unlabeled
+         output, byte-identical to the pre-label rendering. *)
 }
 
 let default_granule_bits = 12 (* 4 KB pages *)
@@ -96,7 +100,25 @@ let create ?(granule_bits = default_granule_bits) () =
     cap_len = Hist.create ~name:"capability bounds length [B]" ();
     last_miss = Hashtbl.create 1024;
     miss_seq = 0;
+    labels = [];
   }
+
+(* Label address ranges — compartment regions, mailboxes, loaded
+   sections — so the per-region report attributes misses to names, not
+   just hex bases.  Ranges are matched first-wins in the given order. *)
+let set_labels t labels = t.labels <- labels
+
+let label_of t addr =
+  let rec go = function
+    | [] -> ""
+    | (base, length, label) :: rest ->
+        if
+          Int64.unsigned_compare addr base >= 0
+          && Int64.unsigned_compare addr (Int64.add base length) < 0
+        then label
+        else go rest
+  in
+  go t.labels
 
 let granule_bytes t = 1 lsl t.granule_bits
 
@@ -196,9 +218,13 @@ let to_json ?(resolve = fun pc -> Printf.sprintf "0x%Lx" pc) ?n t =
         Json.List
           (List.map
              (fun (region, c) ->
-               row_to_json "base"
-                 (Printf.sprintf "0x%Lx" (Int64.shift_left region t.granule_bits))
-                 c)
+               let base = Int64.shift_left region t.granule_bits in
+               let row = row_to_json "base" (Printf.sprintf "0x%Lx" base) c in
+               match (t.labels, row) with
+               | [], _ -> row
+               | _, Json.Obj fields ->
+                   Json.Obj (fields @ [ ("label", Json.String (label_of t base)) ])
+               | _, j -> j)
              (top_regions t ~by:c_l1d_miss ?n ())) );
       ("hists", Json.List (List.map Hist.to_json (hists t)));
     ]
@@ -217,12 +243,16 @@ let pp_pcs ?(resolve = fun pc -> Printf.sprintf "0x%Lx" pc) ~by ~n ppf t =
   Fmt.pf ppf "(%d attributed PCs; sorted by %s)@]" (Hashtbl.length t.by_pc) class_names.(by)
 
 let pp_regions ?(by = c_l1d_miss) ~n ppf t =
+  let labeled = t.labels <> [] in
   Fmt.pf ppf "@[<v>%-14s" (Printf.sprintf "region[%dB]" (granule_bytes t));
+  if labeled then Fmt.pf ppf " %-18s" "label";
   Array.iter (fun name -> Fmt.pf ppf " %11s" name) class_names;
   Fmt.pf ppf "@,";
   List.iter
     (fun (region, c) ->
-      Fmt.pf ppf "0x%-12Lx" (Int64.shift_left region t.granule_bits);
+      let base = Int64.shift_left region t.granule_bits in
+      Fmt.pf ppf "0x%-12Lx" base;
+      if labeled then Fmt.pf ppf " %-18s" (label_of t base);
       Array.iteri (fun i _ -> Fmt.pf ppf " %11d" c.(i)) class_names;
       Fmt.pf ppf "@,")
     (top_regions t ~by ~n ());

@@ -4,10 +4,11 @@
    wall time, counter file, and span aggregates; [Diff] compares two of
    them.  Accepts cheri-obs-bench/1 (with the `samples` counter), /2
    (without), /3 (with per-run `sim_mips`; absent in older files and
-   defaulted to 0.0 = unmeasured), and /4 (with the superblock-engine
-   telemetry counters, which the diff policy ignores); the simulator is
-   deterministic, so a loaded baseline is an exact architectural
-   oracle, not just a dashboard. *)
+   defaulted to 0.0 = unmeasured), /4 (with the superblock-engine
+   telemetry counters, which the diff policy ignores), and /5 (with the
+   kernel domain-crossing detail counters, also diff-ignored); the
+   simulator is deterministic, so a loaded baseline is an exact
+   architectural oracle, not just a dashboard. *)
 
 type entry = {
   bench : string;
@@ -26,7 +27,13 @@ type t = {
 }
 
 let supported_schemas =
-  [ Export.schema_v1; Export.schema_v2; Export.schema_v3; Export.schema_version ]
+  [
+    Export.schema_v1;
+    Export.schema_v2;
+    Export.schema_v3;
+    Export.schema_v4;
+    Export.schema_version;
+  ]
 
 (* "bench/mode/param": the identity of a run across baseline files. *)
 let key e = Printf.sprintf "%s/%s/%d" e.bench e.mode e.param

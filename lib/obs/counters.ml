@@ -50,6 +50,15 @@ let sb_translations = 28
 let sb_dispatches = 29
 let sb_retired = 30
 
+(* Kernel domain-crossing detail (schema /5): protected procedure
+   returns and trusted-stack context save/restore counts, complementing
+   the aggregate [ccalls].  Architectural workload behaviour — but new
+   counters are one-sided against older baselines, so the diff harness
+   ignores them like the sb telemetry until baselines are regenerated. *)
+let creturns = 31
+let ctx_saves = 32
+let ctx_restores = 33
+
 let names =
   [|
     "instret";
@@ -83,6 +92,9 @@ let names =
     "sb_translations";
     "sb_dispatches";
     "sb_retired";
+    "creturns";
+    "ctx_saves";
+    "ctx_restores";
   |]
 
 let count = Array.length names

@@ -6,7 +6,7 @@
 
    Schema (documented in docs/OBSERVABILITY.md):
 
-     { "schema": "cheri-obs-bench/4",
+     { "schema": "cheri-obs-bench/5",
        "interp_instr_per_s": <host-side interpreter throughput>,
        "benchmarks": [
          { "bench": ..., "mode": ..., "param": ...,
@@ -30,8 +30,14 @@
    counter object.  Like the host-timing fields they describe the
    interpreter, not the simulated machine — the diff harness ignores
    them (Diff.default_policy), so baselines recorded under either
-   `--engine` compare clean against runs under the other.  The baseline
-   loader (Obs.Baseline) accepts /1 through /4 files. *)
+   `--engine` compare clean against runs under the other.
+
+   cheri-obs-bench/5 adds the kernel domain-crossing detail counters
+   (`creturns`, `ctx_saves`, `ctx_restores`) alongside the aggregate
+   `ccalls`.  They are architectural, but one-sided against /1–/4
+   baselines, so the diff harness ignores them like the sb telemetry;
+   the serve smoke tallies pin them instead.  The baseline loader
+   (Obs.Baseline) accepts /1 through /5 files. *)
 
 type entry = {
   bench : string;
@@ -42,10 +48,11 @@ type entry = {
   spans : (string * Counters.t) list;
 }
 
-let schema_version = "cheri-obs-bench/4"
+let schema_version = "cheri-obs-bench/5"
 let schema_v1 = "cheri-obs-bench/1"
 let schema_v2 = "cheri-obs-bench/2"
 let schema_v3 = "cheri-obs-bench/3"
+let schema_v4 = "cheri-obs-bench/4"
 
 (* Simulated MIPS of one run: how many millions of simulated instructions
    the interpreter retired per host second.  0.0 when the wall clock was

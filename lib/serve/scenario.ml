@@ -1,0 +1,315 @@
+(* The multi-compartment request-serving scenario: memory layout, worker
+   programs, and the generated router.
+
+   One simulated machine hosts:
+
+     - a *router* program (handwritten assembly, generated here with the
+       layout constants baked in) whose boot section plays the trusted
+       loader — it derives each worker's code/data capabilities from the
+       delegated address space, restricts their permissions, seals both
+       with the worker's object type (CSeal, Section 11), and stores the
+       sealed pairs in a table — and whose [serve] section validates one
+       request from the mailbox, derives a payload capability bounded to
+       the bytes actually received, and enters the routed worker;
+
+     - N *worker* units (parser / allocator / checksum mini-C programs
+       compiled by the minic driver in cheri mode), each with a private
+       code and data region.
+
+   Two isolation modes build from the same sources and the same region
+   layout, so their cycle counts differ only by the protection mechanism:
+
+     - [Compart]: each worker entered through a sealed-cap CCall; its C0
+       is its private data region, its PCC its private text; a malformed
+       request's capability violation traps *inside the compartment* and
+       the kernel unwinds the trusted stack.
+     - [Mono]: the monolithic baseline — same workers at the same
+       addresses, entered by a direct jalr with the router's full-space
+       C0/PCC; only the payload capability still bounds the request. *)
+
+(* --- memory layout (16 MiB machine) ------------------------------------- *)
+
+let mem_size = 0x100_0000
+
+(* Router text/data sit at the assembler defaults (0x1_0000 / 0x10_0000). *)
+let mailbox = 0x18_0000L
+let payload_addr = Int64.add mailbox 32L
+
+(* Mailbox header: kind(+0), declared_len(+8), actual_len(+16), route(+24),
+   payload words from +32. *)
+let max_workers = 8
+let n_kinds = 8
+let code_base i = 0x30_0000 + (i * 0x2_0000)
+let code_len = 0x2_0000
+let data_base i = 0x40_0000 + (i * 0x8_0000)
+let data_len = 0x8_0000
+let heap_off = 0x1_0000 (* per-request bump-allocator arena ... *)
+let heap_end_off = 0x7_0000 (* ... up to here; stack above it *)
+let stack_off = data_len - 64 (* 32-aligned: frames hold capability spills *)
+let otype i = 0x40 + i
+
+type isolation = Mono | Compart
+
+let isolation_name = function Mono -> "mono" | Compart -> "compart"
+
+(* --- worker programs (mini-C) ------------------------------------------- *)
+
+(* Every worker exports [handle(req, kind, len)]: in cheri mode the
+   payload pointer arrives as a capability in $c3 and the two ints in
+   $a0/$a1.  [len] is the *declared* length from the request header — the
+   worker trusts it, and the router-bounded capability is what catches a
+   lying header.  Returns a small non-negative response code.  [main] is
+   required by the minic driver but never runs under the veneer. *)
+
+let parser_src =
+  {|
+int handle(int *req, int kind, int len) {
+  int i = 0;
+  int tokens = 0;
+  int acc = 0;
+  while (i < len) {
+    int v = req[i];
+    if (v % 7 == kind % 7) tokens = tokens + 1;
+    acc = acc + v;
+    i = i + 1;
+  }
+  return (tokens * 256 + acc % 251) % 65536;
+}
+
+int main(void) { return 0; }
+|}
+
+let alloc_src =
+  {|
+struct node {
+  struct node *next;
+  int value;
+};
+
+int handle(int *req, int kind, int len) {
+  struct node *head = NULL;
+  int i = 0;
+  while (i < len) {
+    struct node *n = (struct node*) malloc(sizeof(struct node));
+    n->value = req[i];
+    n->next = head;
+    head = n;
+    i = i + 1;
+  }
+  int sum = 0;
+  while (head != NULL) {
+    sum = sum + head->value;
+    head = head->next;
+  }
+  return (sum + kind) % 65536;
+}
+
+int main(void) { return 0; }
+|}
+
+let checksum_src =
+  {|
+int handle(int *req, int kind, int len) {
+  int h = 40503 + kind;
+  int i = 0;
+  while (i < len) {
+    h = h ^ req[i];
+    h = h * 16777619;
+    h = h ^ (h >> 13);
+    h = h & 1073741823;
+    i = i + 1;
+  }
+  return h % 65536;
+}
+
+int main(void) { return 0; }
+|}
+
+let worker_kinds = [| ("parser", parser_src); ("alloc", alloc_src); ("checksum", checksum_src) |]
+let worker_name w = fst worker_kinds.(w mod Array.length worker_kinds)
+let worker_src w = snd worker_kinds.(w mod Array.length worker_kinds)
+
+(* Address-range labels for the attribution layer (Obs.Attrib): the
+   router's own text and data, the mailbox, and every worker
+   compartment's code and data regions.  With these installed, the
+   per-region miss table reads as compartment names instead of bare hex
+   bases — cache misses become attributable to the compartment that
+   caused them. *)
+let region_labels ~n =
+  let worker w =
+    let name = Printf.sprintf "%s#%d" (worker_name w) w in
+    [
+      (Int64.of_int (code_base w), Int64.of_int code_len, name);
+      (Int64.of_int (data_base w), Int64.of_int data_len, name ^ "/data");
+    ]
+  in
+  [
+    (0x1_0000L, 0x1_0000L, "router");
+    (0x10_0000L, 0x1_0000L, "router/data");
+    (mailbox, 0x1_0000L, "mailbox");
+  ]
+  @ List.concat (List.init n worker)
+
+(* --- worker unit builds -------------------------------------------------- *)
+
+(* A worker unit ready to install: the assembled image, where to place its
+   segments, and the heap-arena seeds the host writes before each request
+   (so the bump allocator never reaches the sbrk path — each request gets
+   a fresh deterministic arena). *)
+type unit_img = {
+  name : string;
+  segments : (int64 * string) list; (* final physical placement *)
+  heap_cur_addr : int64;
+  heap_end_addr : int64;
+  heap_cur_val : int64;
+  heap_end_val : int64;
+}
+
+let find_symbol program name =
+  match Asm.Assembler.symbol program name with
+  | Some a -> a
+  | None -> invalid_arg ("Scenario: unit lacks symbol " ^ name)
+
+(* The veneer is the first code in the unit, so it sits at the unit's
+   text base — exactly where a CCall lands (PC := base of the unsealed
+   code capability).  The compartment veneer rebases SP to the top of the
+   private data region (legacy loads/stores are C0-relative); the mono
+   veneer is a plain call thunk preserving $ra in $s4, which the minic
+   register allocator never touches. *)
+let compart_veneer =
+  Printf.sprintf "  .text\nserve_entry:\n  dli $sp, %d\n  jal handle\n  creturn\n" stack_off
+
+let mono_veneer = "  .text\nserve_entry:\n  move $s4, $ra\n  jal handle\n  move $ra, $s4\n  jr $ra\n"
+
+let build_unit ~isolation w =
+  let asm = Minic.Driver.compile ~mode:Minic.Layout.Cheri (worker_src w) in
+  let cbase = Int64.of_int (code_base w) and dbase = Int64.of_int (data_base w) in
+  match isolation with
+  | Compart ->
+      (* Data assembled at offset 0: the compartment addresses its region
+         C0-relative, so symbols are region offsets and the host relocates
+         the data segment to the region base at install time. *)
+      let program =
+        Asm.Assembler.assemble ~text_base:cbase ~data_base:0L (compart_veneer ^ asm)
+      in
+      let relocate (addr, bytes) =
+        if Int64.unsigned_compare addr cbase >= 0 then (addr, bytes)
+        else (Int64.add dbase addr, bytes)
+      in
+      {
+        name = worker_name w;
+        segments = List.map relocate program.Asm.Assembler.segments;
+        heap_cur_addr = Int64.add dbase (find_symbol program "__heap_cur");
+        heap_end_addr = Int64.add dbase (find_symbol program "__heap_end");
+        heap_cur_val = Int64.of_int heap_off;
+        heap_end_val = Int64.of_int heap_end_off;
+      }
+  | Mono ->
+      (* Same region, absolute addressing: C0 is the router's full space,
+         so symbols and heap values are physical addresses. *)
+      let program =
+        Asm.Assembler.assemble ~text_base:cbase ~data_base:dbase (mono_veneer ^ asm)
+      in
+      {
+        name = worker_name w;
+        segments = program.Asm.Assembler.segments;
+        heap_cur_addr = find_symbol program "__heap_cur";
+        heap_end_addr = find_symbol program "__heap_end";
+        heap_cur_val = Int64.add dbase (Int64.of_int heap_off);
+        heap_end_val = Int64.add dbase (Int64.of_int heap_end_off);
+      }
+
+(* --- the router ---------------------------------------------------------- *)
+
+(* Permission masks for the sealed pair (Cap.Perms bit values): the code
+   capability executes and loads, the data capability moves data and
+   capabilities (minic spills caps C0-relative) — neither can do both. *)
+let code_perm_mask = 0b0000111 (* global|execute|load *)
+let data_perm_mask = 0b0111101 (* global|load|store|load_cap|store_cap *)
+
+let router_source ~isolation ~n =
+  if n < 1 || n > max_workers then invalid_arg "Scenario.router_source: n";
+  if n land (n - 1) <> 0 then invalid_arg "Scenario.router_source: n not a power of 2";
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "  .text";
+  line "_start:";
+  (match isolation with
+  | Mono -> ()
+  | Compart ->
+      (* Trusted loader: mint and stash each worker's sealed pair. *)
+      for i = 0 to n - 1 do
+        line "  # worker %d: derive, restrict, seal, stash" i;
+        line "  dli $t0, %d" (code_base i);
+        line "  cincbase $c4, $c0, $t0";
+        line "  dli $t1, %d" code_len;
+        line "  csetlen $c4, $c4, $t1";
+        line "  li $t2, %d" code_perm_mask;
+        line "  candperm $c4, $c4, $t2";
+        line "  dli $t0, %d" (data_base i);
+        line "  cincbase $c5, $c0, $t0";
+        line "  dli $t1, %d" data_len;
+        line "  csetlen $c5, $c5, $t1";
+        line "  li $t2, %d" data_perm_mask;
+        line "  candperm $c5, $c5, $t2";
+        line "  li $t3, %d" (otype i);
+        line "  cincbase $c6, $c0, $t3";
+        line "  li $t8, 1";
+        line "  csetlen $c6, $c6, $t8";
+        line "  cseal $c4, $c4, $c6";
+        line "  cseal $c5, $c5, $c6";
+        line "  dli $t9, table+%d" (i * 64);
+        line "  csc $c4, $t9, 0($c0)";
+        line "  csc $c5, $t9, 32($c0)"
+      done;
+      (* Drop the loader's working capabilities: nothing unsealed about
+         the workers survives in the register file. *)
+      line "  ccleartag $c4";
+      line "  ccleartag $c5";
+      line "  ccleartag $c6");
+  line "  li $a0, 0";
+  line "  li $v0, 1";
+  line "  syscall";
+  line "";
+  line "serve:";
+  line "  dli $t0, %Ld" mailbox;
+  line "  ld $t1, 0($t0)           # kind";
+  line "  sltiu $t2, $t1, %d" n_kinds;
+  line "  beqz $t2, serve_reject";
+  line "  ld $t2, 16($t0)          # actual_len (words)";
+  line "  ld $t3, 24($t0)          # route";
+  line "  andi $t3, $t3, %d" (n - 1);
+  line "  # payload capability, bounded to the words actually received";
+  line "  dli $t8, %Ld" payload_addr;
+  line "  cincbase $c3, $c0, $t8";
+  line "  dsll $t9, $t2, 3";
+  line "  csetlen $c3, $c3, $t9";
+  line "  move $a0, $t1            # kind";
+  line "  ld $a1, 8($t0)           # declared_len (the header's claim)";
+  (match isolation with
+  | Compart ->
+      line "  # sealed pair for the routed worker";
+      line "  dsll $t9, $t3, 6";
+      line "  dli $t8, table";
+      line "  daddu $t8, $t8, $t9";
+      line "  clc $c1, $t8, 0($c0)";
+      line "  clc $c2, $t8, 32($c0)";
+      line "  ccall $c1, $c2"
+  | Mono ->
+      line "  # direct call into the routed worker's veneer";
+      line "  dsll $t9, $t3, 17";
+      line "  dli $t8, %d" (code_base 0);
+      line "  daddu $t8, $t8, $t9";
+      line "  jalr $t8");
+  line "  move $a0, $v0";
+  line "  li $v0, 1";
+  line "  syscall";
+  line "serve_reject:";
+  line "  li $a0, -1";
+  line "  li $v0, 1";
+  line "  syscall";
+  line "";
+  line "  .data";
+  line "table:";
+  line "  .space %d" (max_workers * 64);
+  Buffer.contents b

@@ -1,0 +1,160 @@
+(* One request-serving machine instance: boot the router and its worker
+   units on a fresh simulated machine, then replay requests one at a time
+   through the mailbox.
+
+   The host plays the network front-end: it writes each request's header
+   and payload into the mailbox region (DMA-like physical writes — no
+   cycles charged, no architectural state touched), points the machine at
+   the router's [serve] entry, and runs until the router exits with the
+   response code.  Malformed requests must be rejected without
+   terminating the server loop: an out-of-range kind is bounced by the
+   router itself, and a lying declared_len trips the worker's bounded
+   payload capability — the kernel fault handler converts the trap into a
+   rejection, and the host unwinds the trusted stack to recover the
+   router's domain. *)
+
+open Beri
+
+type response =
+  | Served of int (* response code from the worker *)
+  | Rejected_kind (* router bounced it before any domain crossing *)
+  | Rejected_trap of Cp0.exc * Cap.Cause.t (* capability trap inside the worker *)
+  | Abnormal of string (* should never happen; the smoke tallies pin it at 0 *)
+
+type t = {
+  machine : Machine.t;
+  kernel : Os.Kernel.t;
+  isolation : Scenario.isolation;
+  n_workers : int;
+  mutable serve_pc : int64;
+  stack_ptr : int64;
+  units : Scenario.unit_img array;
+  span : Obs.Span.t; (* kernel "ccall" span: in-compartment time *)
+  crossing : Obs.Hist.t; (* per-crossing duration histogram (cycles) *)
+  mutable last_trap : (Cp0.exc * Cap.Cause.t) option;
+}
+
+let request_budget = 2_000_000L
+let boot_budget = 1_000_000L
+
+let config = { Machine.default_config with Machine.mem_size = Scenario.mem_size }
+
+let create ?(engine = Machine.Superblock) ?attrib ~isolation ~n () =
+  if n < 1 || n > Scenario.max_workers then invalid_arg "Server.create: n";
+  let machine = Machine.create ~config () in
+  Machine.set_engine machine engine;
+  (* An attribution table labels the scenario's regions so misses come
+     back per compartment; sweeps never pass one (the probe perturbs
+     nothing architectural, but there is no reason to pay for it). *)
+  (match attrib with
+  | Some a ->
+      Obs.Attrib.set_labels a (Scenario.region_labels ~n);
+      Machine.set_probe machine (Some (Obs.Probe.create ~attrib:a ()))
+  | None -> ());
+  let kernel = Os.Kernel.attach machine in
+  let crossing = Obs.Hist.create ~name:"domain crossing [cycles]" () in
+  let span =
+    Obs.Span.create ~durations:crossing ~read:(fun () -> Os.Kernel.read_counters kernel) ()
+  in
+  Os.Kernel.set_obs ~span kernel;
+  let t =
+    {
+      machine;
+      kernel;
+      isolation;
+      n_workers = n;
+      serve_pc = 0L;
+      stack_ptr = Int64.sub kernel.Os.Kernel.stack_top 64L;
+      units = Array.init n (Scenario.build_unit ~isolation);
+      span;
+      crossing;
+      last_trap = None;
+    }
+  in
+  Os.Kernel.set_fault_handler kernel (fun _k fault ->
+      t.last_trap <- Some (fault.Os.Kernel.exc, fault.Os.Kernel.capcause);
+      Machine.Halt (-2));
+  t
+
+(* Write a unit's heap-arena seeds: a fresh deterministic bump-allocator
+   arena per request, so [malloc] never reaches the sbrk path. *)
+let seed_heap t (u : Scenario.unit_img) =
+  Mem.Phys.write_u64 t.machine.Machine.phys u.Scenario.heap_cur_addr u.Scenario.heap_cur_val;
+  Mem.Phys.write_u64 t.machine.Machine.phys u.Scenario.heap_end_addr u.Scenario.heap_end_val
+
+(* Boot: load the router via the kernel (full-space delegation), install
+   the worker units, and run the router's [_start] — in compartment mode
+   the trusted loader that seals the worker capability pairs. *)
+let boot t =
+  let m = t.machine in
+  let router =
+    Asm.Assembler.assemble (Scenario.router_source ~isolation:t.isolation ~n:t.n_workers)
+  in
+  Os.Kernel.exec t.kernel router;
+  Machine.map_identity m ~vaddr:Scenario.mailbox ~len:0x1_0000 Mem.Tlb.prot_rwx;
+  Array.iteri
+    (fun i u ->
+      Machine.map_identity m
+        ~vaddr:(Int64.of_int (Scenario.code_base i))
+        ~len:Scenario.code_len Mem.Tlb.prot_rwx;
+      Machine.map_identity m
+        ~vaddr:(Int64.of_int (Scenario.data_base i))
+        ~len:Scenario.data_len Mem.Tlb.prot_rwx;
+      List.iter
+        (fun (addr, bytes) -> Mem.Phys.write_bytes m.Machine.phys addr (Bytes.of_string bytes))
+        u.Scenario.segments;
+      seed_heap t u)
+    t.units;
+  Machine.invalidate_icache m;
+  (match Machine.run_result ~max_insns:boot_budget m with
+  | Machine.Exited 0 -> ()
+  | r -> Fmt.failwith "Server.boot: router boot failed: %a" Machine.pp_run_result r);
+  match Asm.Assembler.symbol router "serve" with
+  | Some pc -> t.serve_pc <- pc
+  | None -> invalid_arg "Server.boot: router lacks a serve symbol"
+
+(* --- the request path ----------------------------------------------------- *)
+
+let write_request t (req : Workload.request) =
+  let phys = t.machine.Machine.phys in
+  Mem.Phys.write_u64 phys Scenario.mailbox (Int64.of_int req.Workload.kind);
+  Mem.Phys.write_u64 phys (Int64.add Scenario.mailbox 8L) (Int64.of_int req.Workload.declared_len);
+  Mem.Phys.write_u64 phys (Int64.add Scenario.mailbox 16L) (Int64.of_int req.Workload.actual_len);
+  Mem.Phys.write_u64 phys (Int64.add Scenario.mailbox 24L) (Int64.of_int req.Workload.route);
+  for i = 0 to req.Workload.actual_len - 1 do
+    Mem.Phys.write_u64 phys
+      (Int64.add Scenario.payload_addr (Int64.of_int (i * 8)))
+      (Workload.payload_word req.Workload.payload_seed i)
+  done
+
+(* Serve one request; returns the response and its latency in simulated
+   cycles.  The server loop survives every malformed request: traps
+   unwind the trusted stack and restore the router's domain. *)
+let serve_one t (req : Workload.request) =
+  let m = t.machine in
+  write_request t req;
+  let w = req.Workload.route land (t.n_workers - 1) in
+  seed_heap t t.units.(w);
+  m.Machine.pc <- t.serve_pc;
+  Machine.set_gpr m Regs.sp t.stack_ptr;
+  m.Machine.cp0.Cp0.exl <- false;
+  t.last_trap <- None;
+  let c0 = m.Machine.cycles in
+  let result = Machine.run_result ~max_insns:request_budget m in
+  if Os.Kernel.trusted_stack_depth t.kernel > 0 then Os.Kernel.unwind_trusted_stack t.kernel;
+  let latency = m.Machine.cycles - c0 in
+  let response =
+    match result with
+    | Machine.Exited code when code >= 0 -> Served code
+    | Machine.Exited (-1) -> Rejected_kind
+    | Machine.Exited (-2) -> (
+        match t.last_trap with
+        | Some (exc, cause) -> Rejected_trap (exc, cause)
+        | None -> Abnormal "halt -2 without a recorded fault")
+    | Machine.Exited code -> Abnormal (Printf.sprintf "unexpected exit %d" code)
+    | r -> Abnormal (Fmt.str "%a" Machine.pp_run_result r)
+  in
+  (response, latency)
+
+let counters t = Os.Kernel.read_counters t.kernel
+let kernel t = t.kernel

@@ -1,0 +1,395 @@
+(* The compartment-count sweep: replay the same request stream through
+   the monolithic and compartmentalized servers for each N and measure
+   what the sealed-cap domain crossings cost.
+
+   Determinism contract (same as the fault/fuzz campaigns): work is cut
+   into fixed-size chunks at absolute indices, each chunk runs on a fresh
+   machine seeded only by (base_seed, chunk_index), and [Exp.Pool.map]
+   returns chunk results in input order — so the merged result is
+   byte-identical for any --jobs and for either interpreter engine (the
+   engines are proven bit-exact; only wall clocks differ, and --no-wall
+   zeroes those).
+
+   The crossing-cost numbers are honest paired differences: point
+   (compart, N) and point (mono, N) replay the *identical* request
+   sequence, so cost[i] = latency_compart[i] - latency_mono[i] isolates
+   the protection mechanism — trap entry, trusted-stack push/pop, the
+   sealed-pair loads, and the cache perturbation of the domain switch —
+   from the workload itself.  As a cross-isolation oracle, the response
+   digests of the two modes must be identical: same workers, same
+   payloads, same bounds, so every request must produce the same response
+   code whether or not a compartment boundary was in the way. *)
+
+module Prng = Fault.Prng
+
+type cfg = {
+  requests : int;
+  base_seed : int64;
+  mix : Workload.mix;
+  ns : int list; (* compartment counts to sweep (powers of two) *)
+  engine : Machine.engine;
+  jobs : int;
+  no_wall : bool; (* zero wall clocks: fully deterministic output *)
+}
+
+let default_cfg =
+  {
+    requests = 100_000;
+    base_seed = 0xC0FFEEL;
+    mix = Workload.default_mix;
+    ns = [ 1; 2; 4; 8 ];
+    engine = Machine.Superblock;
+    jobs = 1;
+    no_wall = false;
+  }
+
+let chunk_size = 4096
+
+type point = { isolation : Scenario.isolation; n : int }
+
+let point_name p = Printf.sprintf "%s/N=%d" (Scenario.isolation_name p.isolation) p.n
+
+type point_result = {
+  point : point;
+  requests : int;
+  served : int;
+  rejected_kind : int;
+  rejected_trap : int;
+  abnormal : int;
+  digest : int64; (* response-stream digest: the cross-isolation oracle *)
+  latencies : int array; (* per-request simulated cycles, stream order *)
+  counters : Obs.Counters.t; (* architectural counters over all requests *)
+  ccall_span : Obs.Counters.t; (* in-compartment aggregate (kernel span) *)
+  crossing : Obs.Hist.t; (* per-crossing duration histogram *)
+  wall_s : float;
+}
+
+(* Crossing cost for one N: percentiles of the paired per-request latency
+   difference (compart - mono) over the identical stream. *)
+type crossing_cost = { cost_n : int; p50 : int; p90 : int; p99 : int; mean : float }
+
+type result = {
+  cfg : cfg;
+  points : point_result list;
+  costs : crossing_cost list;
+  digests_match : bool;
+}
+
+(* --- chunk execution ------------------------------------------------------ *)
+
+let mix64 x =
+  let p = Prng.create x in
+  Prng.next p
+
+let fold_digest d code = mix64 (Int64.logxor d (Int64.of_int (code + 0x1000)))
+
+let response_code = function
+  | Server.Served c -> c + 10
+  | Server.Rejected_kind -> 1
+  | Server.Rejected_trap _ -> 2
+  | Server.Abnormal _ -> 3
+
+type chunk_out = {
+  ch_latencies : int array;
+  ch_served : int;
+  ch_rejected_kind : int;
+  ch_rejected_trap : int;
+  ch_abnormal : int;
+  ch_digest : int64;
+  ch_counters : Obs.Counters.t;
+  ch_ccall : Obs.Counters.t;
+  ch_crossing : Obs.Hist.t;
+  ch_wall : float;
+}
+
+let run_chunk cfg point ~index ~count =
+  let t0 = Unix.gettimeofday () in
+  let server =
+    Server.create ~engine:cfg.engine ~isolation:point.isolation ~n:point.n ()
+  in
+  Server.boot server;
+  let reqs = Workload.gen_chunk ~mix:cfg.mix ~base_seed:cfg.base_seed ~index ~count in
+  let before = Server.counters server in
+  let served = ref 0
+  and rejected_kind = ref 0
+  and rejected_trap = ref 0
+  and abnormal = ref 0
+  and digest = ref 0L in
+  let latencies =
+    Array.map
+      (fun req ->
+        let response, latency = Server.serve_one server req in
+        (match response with
+        | Server.Served _ -> incr served
+        | Server.Rejected_kind -> incr rejected_kind
+        | Server.Rejected_trap _ -> incr rejected_trap
+        | Server.Abnormal _ -> incr abnormal);
+        digest := fold_digest !digest (response_code response);
+        latency)
+      reqs
+  in
+  let ch_counters = Obs.Counters.diff (Server.counters server) before in
+  let ch_ccall =
+    match Obs.Span.find server.Server.span "ccall" with
+    | Some c -> Obs.Counters.copy c
+    | None -> Obs.Counters.create ()
+  in
+  {
+    ch_latencies = latencies;
+    ch_served = !served;
+    ch_rejected_kind = !rejected_kind;
+    ch_rejected_trap = !rejected_trap;
+    ch_abnormal = !abnormal;
+    ch_digest = !digest;
+    ch_counters;
+    ch_ccall;
+    ch_crossing = server.Server.crossing;
+    ch_wall = Unix.gettimeofday () -. t0;
+  }
+
+(* --- the sweep ------------------------------------------------------------ *)
+
+let chunks_of (cfg : cfg) =
+  let n = (cfg.requests + chunk_size - 1) / chunk_size in
+  List.init n (fun i ->
+      (i, if i = n - 1 then cfg.requests - (i * chunk_size) else chunk_size))
+
+let merge_chunks (cfg : cfg) point outs =
+  let crossing = Obs.Hist.create ~name:"domain crossing [cycles]" () in
+  let counters = Obs.Counters.create () and ccall = Obs.Counters.create () in
+  let served = ref 0
+  and rejected_kind = ref 0
+  and rejected_trap = ref 0
+  and abnormal = ref 0
+  and digest = ref 0L
+  and wall = ref 0.0 in
+  List.iter
+    (fun ch ->
+      served := !served + ch.ch_served;
+      rejected_kind := !rejected_kind + ch.ch_rejected_kind;
+      rejected_trap := !rejected_trap + ch.ch_rejected_trap;
+      abnormal := !abnormal + ch.ch_abnormal;
+      digest := mix64 (Int64.logxor !digest ch.ch_digest);
+      Obs.Counters.accumulate counters ch.ch_counters;
+      Obs.Counters.accumulate ccall ch.ch_ccall;
+      Obs.Hist.merge crossing ch.ch_crossing;
+      wall := !wall +. ch.ch_wall)
+    outs;
+  {
+    point;
+    requests = cfg.requests;
+    served = !served;
+    rejected_kind = !rejected_kind;
+    rejected_trap = !rejected_trap;
+    abnormal = !abnormal;
+    digest = !digest;
+    latencies = Array.concat (List.map (fun ch -> ch.ch_latencies) outs);
+    counters;
+    ccall_span = ccall;
+    crossing;
+    wall_s = (if cfg.no_wall then 0.0 else !wall);
+  }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let crossing_cost mono compart =
+  let n = min (Array.length mono.latencies) (Array.length compart.latencies) in
+  let deltas = Array.init n (fun i -> compart.latencies.(i) - mono.latencies.(i)) in
+  let sum = Array.fold_left ( + ) 0 deltas in
+  Array.sort compare deltas;
+  {
+    cost_n = compart.point.n;
+    p50 = percentile deltas 0.50;
+    p90 = percentile deltas 0.90;
+    p99 = percentile deltas 0.99;
+    mean = (if n = 0 then 0.0 else float_of_int sum /. float_of_int n);
+  }
+
+let run cfg =
+  List.iter
+    (fun n ->
+      if n < 1 || n > Scenario.max_workers || n land (n - 1) <> 0 then
+        invalid_arg "Sweep.run: ns must be powers of two in [1, 8]")
+    cfg.ns;
+  let points =
+    List.concat_map
+      (fun n -> [ { isolation = Scenario.Mono; n }; { isolation = Scenario.Compart; n } ])
+      cfg.ns
+  in
+  let chunks = chunks_of cfg in
+  let units =
+    List.concat_map (fun point -> List.map (fun (i, c) -> (point, i, c)) chunks) points
+  in
+  let outs =
+    Exp.Pool.map ~jobs:cfg.jobs
+      (fun (point, index, count) -> (point, run_chunk cfg point ~index ~count))
+      units
+  in
+  let results =
+    List.map
+      (fun point ->
+        let mine = List.filter_map (fun (p, o) -> if p = point then Some o else None) outs in
+        merge_chunks cfg point mine)
+      points
+  in
+  let find iso n =
+    List.find (fun r -> r.point.isolation = iso && r.point.n = n) results
+  in
+  let costs =
+    List.map (fun n -> crossing_cost (find Scenario.Mono n) (find Scenario.Compart n)) cfg.ns
+  in
+  let digests_match =
+    List.for_all
+      (fun n ->
+        Int64.equal (find Scenario.Mono n).digest (find Scenario.Compart n).digest)
+      cfg.ns
+  in
+  { cfg; points = results; costs; digests_match }
+
+(* --- reporting ------------------------------------------------------------ *)
+
+let sorted_latencies pr =
+  let a = Array.copy pr.latencies in
+  Array.sort compare a;
+  a
+
+let requests_per_s pr =
+  if pr.wall_s <= 0.0 then 0.0 else float_of_int pr.requests /. pr.wall_s
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "%d requests, seed 0x%Lx, engine %s, %d jobs@,@," r.cfg.requests
+    r.cfg.base_seed
+    (Machine.engine_to_string r.cfg.engine)
+    r.cfg.jobs;
+  Fmt.pf ppf "%-14s %9s %8s %8s %6s %10s %9s %9s %10s %10s@," "point" "served"
+    "rej-kind" "rej-trap" "abn" "req/s" "lat-p50" "lat-p99" "ccalls" "ctx-saves";
+  List.iter
+    (fun pr ->
+      let s = sorted_latencies pr in
+      Fmt.pf ppf "%-14s %9d %8d %8d %6d %10.0f %9d %9d %10Ld %10Ld@," (point_name pr.point)
+        pr.served pr.rejected_kind pr.rejected_trap pr.abnormal (requests_per_s pr)
+        (percentile s 0.50) (percentile s 0.99)
+        (Obs.Counters.get pr.counters Obs.Counters.ccalls)
+        (Obs.Counters.get pr.counters Obs.Counters.ctx_saves))
+    r.points;
+  Fmt.pf ppf "@,crossing cost (compart - mono, paired per-request cycles):@,";
+  Fmt.pf ppf "%-6s %9s %9s %9s %10s@," "N" "p50" "p90" "p99" "mean";
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%-6d %9d %9d %9d %10.1f@," c.cost_n c.p50 c.p90 c.p99 c.mean)
+    r.costs;
+  Fmt.pf ppf "@,response digests %s across isolation modes@]"
+    (if r.digests_match then "match" else "MISMATCH")
+
+(* --- JSON export (cheri-serve/1) ------------------------------------------ *)
+
+(* The serve JSON must be byte-identical across interpreter engines, so
+   zero the superblock host-side counters (the obs-schema export keeps
+   them; the diff policy ignores them there). *)
+let architectural_counters c =
+  let c = Obs.Counters.copy c in
+  Obs.Counters.set_int c Obs.Counters.samples 0;
+  Obs.Counters.set_int c Obs.Counters.sb_translations 0;
+  Obs.Counters.set_int c Obs.Counters.sb_dispatches 0;
+  Obs.Counters.set_int c Obs.Counters.sb_retired 0;
+  c
+
+let point_to_json pr =
+  let s = sorted_latencies pr in
+  Obs.Json.Obj
+    [
+      ("isolation", Obs.Json.String (Scenario.isolation_name pr.point.isolation));
+      ("n", Obs.Json.Int (Int64.of_int pr.point.n));
+      ("requests", Obs.Json.Int (Int64.of_int pr.requests));
+      ("served", Obs.Json.Int (Int64.of_int pr.served));
+      ("rejected_kind", Obs.Json.Int (Int64.of_int pr.rejected_kind));
+      ("rejected_trap", Obs.Json.Int (Int64.of_int pr.rejected_trap));
+      ("abnormal", Obs.Json.Int (Int64.of_int pr.abnormal));
+      ("digest", Obs.Json.String (Printf.sprintf "0x%Lx" pr.digest));
+      ("wall_s", Obs.Json.Float pr.wall_s);
+      ("requests_per_s", Obs.Json.Float (requests_per_s pr));
+      ( "latency_cycles",
+        Obs.Json.Obj
+          [
+            ("p50", Obs.Json.Int (Int64.of_int (percentile s 0.50)));
+            ("p90", Obs.Json.Int (Int64.of_int (percentile s 0.90)));
+            ("p99", Obs.Json.Int (Int64.of_int (percentile s 0.99)));
+          ] );
+      ("counters", Obs.Counters.to_json (architectural_counters pr.counters));
+      ( "ccall_span",
+        Obs.Json.Obj
+          [
+            ("instret", Obs.Json.Int (Obs.Counters.get pr.ccall_span Obs.Counters.instret));
+            ("cycles", Obs.Json.Int (Obs.Counters.get pr.ccall_span Obs.Counters.cycles));
+          ] );
+      ("crossing_hist", Obs.Hist.to_json pr.crossing);
+    ]
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "cheri-serve/1");
+      ("requests", Obs.Json.Int (Int64.of_int r.cfg.requests));
+      ("seed", Obs.Json.String (Printf.sprintf "0x%Lx" r.cfg.base_seed));
+      ("digests_match", Obs.Json.Bool r.digests_match);
+      ("points", Obs.Json.List (List.map point_to_json r.points));
+      ( "crossing_cost",
+        Obs.Json.List
+          (List.map
+             (fun c ->
+               Obs.Json.Obj
+                 [
+                   ("n", Obs.Json.Int (Int64.of_int c.cost_n));
+                   ("p50", Obs.Json.Int (Int64.of_int c.p50));
+                   ("p90", Obs.Json.Int (Int64.of_int c.p90));
+                   ("p99", Obs.Json.Int (Int64.of_int c.p99));
+                   ("mean", Obs.Json.Float c.mean);
+                 ])
+             r.costs) );
+    ]
+
+(* --- obs-schema export (bench serve / cheri_diff) ------------------------- *)
+
+(* The latency percentiles and crossing costs ride in pseudo-spans (the
+   span schema carries instret/cycles pairs): deterministic architectural
+   numbers, so the diff harness pins them exactly. *)
+let obs_entries r =
+  let pseudo_span name cycles =
+    let c = Obs.Counters.create () in
+    Obs.Counters.set_int c Obs.Counters.cycles cycles;
+    (name, c)
+  in
+  List.map
+    (fun pr ->
+      let s = sorted_latencies pr in
+      let spans =
+        (if Int64.equal (Obs.Counters.get pr.ccall_span Obs.Counters.instret) 0L then []
+         else [ ("ccall", pr.ccall_span) ])
+        @ [
+            pseudo_span "lat_p50" (percentile s 0.50);
+            pseudo_span "lat_p99" (percentile s 0.99);
+          ]
+        @
+        match
+          ( pr.point.isolation,
+            List.find_opt (fun c -> c.cost_n = pr.point.n) r.costs )
+        with
+        | Scenario.Compart, Some c ->
+            [ pseudo_span "xcost_p50" c.p50; pseudo_span "xcost_p99" c.p99 ]
+        | _ -> []
+      in
+      {
+        Obs.Export.bench = "serve";
+        mode = Scenario.isolation_name pr.point.isolation;
+        param = pr.point.n;
+        wall_s = pr.wall_s;
+        counters = pr.counters;
+        spans;
+      })
+    r.points

@@ -1,0 +1,91 @@
+(* The request-serving workload generator: a deterministic, seeded stream
+   of synthetic requests for the multi-compartment server scenario
+   (ROADMAP item 2, "heavy traffic from millions of users").
+
+   Requests are generated per fixed-size chunk from a splitmix64 stream
+   ([Fault.Prng]) keyed on (base_seed, chunk_index), so any chunk of the
+   stream is computable independently of the others — the same discipline
+   the fault and fuzz campaigns use to make domain-parallel sweeps
+   byte-identical for any --jobs.  The stream does not depend on the
+   server configuration (compartment count, isolation mode): the router
+   masks the raw routing key, so every sweep point replays the *same*
+   requests and per-request latencies pair up across configurations.
+
+   The mix models production traffic shape:
+     - sizes: mostly small (1-16 words), some medium (17-64), a tail of
+       large requests (65..max_words);
+     - burstiness: occasional bursts of 8-32 consecutive large requests
+       pinned to one routing key (a hot client hammering one backend);
+     - malformed fraction: 1 in [malformed_denom] requests is broken,
+       half with an out-of-range kind (the router must reject it without
+       a domain crossing), half with a lying declared_len > actual_len
+       (the worker's bounded payload capability must trap). *)
+
+module Prng = Fault.Prng
+
+type request = {
+  kind : int; (* operation selector; >= n_kinds marks it malformed *)
+  declared_len : int; (* header-claimed payload length, words *)
+  actual_len : int; (* payload words actually transmitted *)
+  route : int; (* raw routing key; the router masks it to a worker *)
+  payload_seed : int64; (* seeds the per-request payload word stream *)
+}
+
+type mix = {
+  max_words : int; (* largest well-formed payload, words *)
+  malformed_denom : int; (* 1 in this many requests malformed; 0 = none *)
+  burst_denom : int; (* 1 in this many requests starts a burst; 0 = none *)
+}
+
+let default_mix = { max_words = 256; malformed_denom = 32; burst_denom = 16 }
+
+(* How the server must handle a request — the generator-side oracle the
+   smoke tallies pin. *)
+type expected = Expect_served | Expect_reject_kind | Expect_reject_trap
+
+let expected req =
+  if req.kind >= 8 then Expect_reject_kind
+  else if req.declared_len > req.actual_len then Expect_reject_trap
+  else Expect_served
+
+(* Payload word [i] of a request: non-negative 20-bit values, so worker
+   arithmetic (sums, token counts) stays positive and small. *)
+let payload_word seed i =
+  let p = Prng.create (Int64.add seed (Int64.of_int i)) in
+  Int64.logand (Prng.next p) 0xF_FFFFL
+
+(* Distinct odd multiplier per chunk index keeps neighbouring chunks'
+   streams uncorrelated (same trick as the fuzz campaign's program
+   seeds). *)
+let chunk_seed base_seed index =
+  Int64.add base_seed (Int64.mul 0x5851_F42D_4C95_7F2DL (Int64.of_int (index + 1)))
+
+let gen_chunk ~mix ~base_seed ~index ~count =
+  if mix.max_words < 2 then invalid_arg "Workload.gen_chunk: max_words < 2";
+  let rng = Prng.create (chunk_seed base_seed index) in
+  let burst = ref 0 and burst_route = ref 0 in
+  Array.init count (fun _ ->
+      if !burst = 0 && mix.burst_denom > 0 && Prng.int rng mix.burst_denom = 0 then begin
+        burst := 8 + Prng.int rng 25;
+        burst_route := Prng.int rng 1024
+      end;
+      let in_burst = !burst > 0 in
+      if in_burst then decr burst;
+      let route = if in_burst then !burst_route else Prng.int rng 1024 in
+      let large_floor = min 65 (mix.max_words - 1) in
+      let actual_len =
+        if in_burst then large_floor + Prng.int rng (mix.max_words - large_floor)
+        else
+          let roll = Prng.int rng 100 in
+          if roll < 70 then 1 + Prng.int rng 16
+          else if roll < 95 then 17 + Prng.int rng 48
+          else large_floor + Prng.int rng (mix.max_words - large_floor)
+      in
+      let kind = Prng.int rng 8 in
+      let kind, declared_len =
+        if mix.malformed_denom > 0 && Prng.int rng mix.malformed_denom = 0 then
+          if Prng.bool rng then (8 + Prng.int rng 8, actual_len) (* bad kind *)
+          else (kind, actual_len + 1 + Prng.int rng 64) (* lying header *)
+        else (kind, actual_len)
+      in
+      { kind; declared_len; actual_len; route; payload_seed = Prng.next rng })

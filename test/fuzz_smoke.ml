@@ -11,6 +11,7 @@
      dune exec bin/cheri_fuzz.exe -- --programs 400 --no-wall
      dune exec bin/cheri_fuzz.exe -- --programs 256 --mode cheri --no-wall
      dune exec bin/cheri_fuzz.exe -- --programs 256 --mode engines --no-wall
+     dune exec bin/cheri_fuzz.exe -- --programs 256 --mode kernel --no-wall
 
    and update the constants below. *)
 
@@ -54,4 +55,16 @@ let () =
          programs = 256;
        })
     [ 186L; 70L; 0L; 0L; 0L; 0L; 0L ]
-    5460L
+    5460L;
+  (* Kernel protected-call surface (Fuzz.Kfuzz): scenario ops against the
+     pure CCall/CReturn contract model.  outcome_keys order: entered
+     refused-tag refused-seal refused-type returned empty-return
+     mismatch. *)
+  let kr =
+    Fuzz.Kfuzz.run ~wall:false { Fuzz.Kfuzz.default with Fuzz.Kfuzz.programs = 256 }
+  in
+  if not (Fuzz.Kfuzz.clean kr) then fail "kernel/256: campaign not clean:@.%a" Fuzz.Kfuzz.pp kr;
+  let ktallies = Array.to_list kr.Fuzz.Kfuzz.tallies in
+  if ktallies <> [ 2099L; 663L; 694L; 701L; 1713L; 274L; 0L ] then
+    fail "kernel/256: tallies drifted:@.%a" Fuzz.Kfuzz.pp kr;
+  Fmt.pr "fuzz-smoke: kernel/256 ok (%d scenarios)@." kr.Fuzz.Kfuzz.programs_done

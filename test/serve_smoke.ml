@@ -1,0 +1,72 @@
+(* serve-smoke: the multi-compartment request-serving sweep as a
+   standing test (`dune build @serve-smoke`, pulled into `dune
+   runtest`).
+
+   One 2000-request sweep over N in {1,2,4,8}, both isolation modes,
+   wall clocks off.  Four oracles:
+
+     - pinned request tallies: the workload generator is a pure function
+       of the seed, so the served / rejected-kind / rejected-trap split
+       is exact — drift means the generator, the workers, or the
+       router's rejection paths changed behaviour;
+     - the cross-isolation digest: the same stream through the sealed
+       CCall router and the monolithic baseline must produce identical
+       response streams;
+     - parallel determinism: the full cheri-serve/1 JSON built with a
+       3-domain pool must be byte-identical to the sequential one;
+     - the committed baseline: the obs-schema export must diff clean
+       against bench/baselines/SERVE_obs.json (exact architectural
+       counters, latency and crossing-cost pseudo-spans included).
+
+   After an intentional behaviour change, regenerate the baseline with
+
+     dune exec test/serve_smoke.exe -- --write bench/baselines/SERVE_obs.json
+*)
+
+let fail fmt = Fmt.kstr (fun s -> prerr_endline ("serve-smoke: " ^ s); exit 1) fmt
+
+let cfg jobs =
+  {
+    Serve.Sweep.default_cfg with
+    Serve.Sweep.requests = 2000;
+    jobs;
+    no_wall = true;
+  }
+
+let () =
+  match Sys.argv with
+  | [| _; "--write"; path |] ->
+      let r = Serve.Sweep.run (cfg 1) in
+      if not r.Serve.Sweep.digests_match then fail "digest mismatch across isolation modes";
+      Obs.Export.write_file path (Serve.Sweep.obs_entries r);
+      Printf.printf "serve-smoke: wrote baseline %s\n" path
+  | [| _; baseline_path |] -> (
+      let r = Serve.Sweep.run (cfg 1) in
+      if not r.Serve.Sweep.digests_match then fail "digest mismatch across isolation modes";
+      List.iter
+        (fun (p : Serve.Sweep.point_result) ->
+          let name = Serve.Sweep.point_name p.Serve.Sweep.point in
+          if
+            (p.Serve.Sweep.served, p.Serve.Sweep.rejected_kind, p.Serve.Sweep.rejected_trap,
+             p.Serve.Sweep.abnormal)
+            <> (1948, 24, 28, 0)
+          then
+            fail "%s: tallies drifted (%d served, %d rej-kind, %d rej-trap, %d abnormal)" name
+              p.Serve.Sweep.served p.Serve.Sweep.rejected_kind p.Serve.Sweep.rejected_trap
+              p.Serve.Sweep.abnormal)
+        r.Serve.Sweep.points;
+      let sequential = Obs.Json.to_string (Serve.Sweep.to_json r) in
+      let pooled = Obs.Json.to_string (Serve.Sweep.to_json (Serve.Sweep.run (cfg 3))) in
+      if not (String.equal sequential pooled) then
+        fail "3-domain sweep JSON differs from sequential";
+      match Obs.Baseline.load baseline_path with
+      | Error msg -> fail "%s" msg
+      | Ok committed ->
+          let live = Obs.Baseline.of_entries (Serve.Sweep.obs_entries r) in
+          let report = Obs.Diff.run committed live in
+          Fmt.pr "serve-smoke: %s vs live {serve x mono,compart, N in 1,2,4,8}@.%a@."
+            baseline_path Obs.Diff.pp report;
+          exit (Obs.Diff.exit_code report))
+  | _ ->
+      Printf.eprintf "usage: serve_smoke (BASELINE.json | --write BASELINE.json)\n";
+      exit 2

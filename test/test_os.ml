@@ -106,9 +106,34 @@ loop:
 
 (* --- protected call failure paths -------------------------------------------- *)
 
+(* Every refusal must also report the precise architectural cause in the
+   capability-cause register, not just a generic failure code. *)
+let check_cause what expected (m : Machine.t) =
+  Alcotest.(check string) what
+    (Cap.Cause.to_string expected)
+    (Cap.Cause.to_string m.Machine.cp0.Cp0.capcause)
+
+let test_ccall_untagged_rejected () =
+  (* CCall with an untagged operand: Tag_violation before anything else. *)
+  let code, _, m, _ =
+    run
+      {|
+main:
+  cmove $c1, $c0
+  ccleartag $c1
+  cmove $c2, $c0
+  ccall $c1, $c2
+  li $v0, 1
+  li $a0, 0
+  syscall
+|}
+  in
+  Alcotest.(check int) "refused" 96 code;
+  check_cause "tag violation" Cap.Cause.Tag_violation m
+
 let test_ccall_unsealed_rejected () =
   (* CCall with unsealed operands must be refused by the kernel handler. *)
-  let code, _, _, _ =
+  let code, _, m, _ =
     run
       {|
 main:
@@ -120,10 +145,11 @@ main:
   syscall
 |}
   in
-  Alcotest.(check int) "refused" 96 code
+  Alcotest.(check int) "refused" 96 code;
+  check_cause "seal violation" Cap.Cause.Seal_violation m
 
 let test_ccall_otype_mismatch_rejected () =
-  let code, _, _, _ =
+  let code, _, m, _ =
     run
       {|
 main:
@@ -146,11 +172,13 @@ main:
   syscall
 |}
   in
-  Alcotest.(check int) "type mismatch refused" 96 code
+  Alcotest.(check int) "type mismatch refused" 96 code;
+  check_cause "type violation" Cap.Cause.Type_violation m
 
 let test_creturn_without_call () =
-  let code, _, _, _ = run "main:\n  creturn\n" in
-  Alcotest.(check int) "empty trusted stack" 97 code
+  let code, _, m, _ = run "main:\n  creturn\n" in
+  Alcotest.(check int) "empty trusted stack" 97 code;
+  check_cause "return trap" Cap.Cause.Return_trap m
 
 let test_nested_ccall () =
   (* Two levels of protected calls push and pop the trusted stack in
@@ -200,7 +228,41 @@ buf: .space 32
   in
   Alcotest.(check int) "nested result" 42 code;
   Alcotest.(check int) "two protected calls" 2 k.Os.Kernel.ccalls;
+  Alcotest.(check int) "two context saves" 2 k.Os.Kernel.ctx_saves;
+  Alcotest.(check int) "two context restores" 2 k.Os.Kernel.ctx_restores;
   Alcotest.(check int) "trusted stack drained" 0 (List.length k.Os.Kernel.trusted_stack)
+
+let test_unwind_trusted_stack () =
+  (* A fault inside a nested compartment leaves frames on the trusted
+     stack; unwinding pops them all, counts the restores, and recovers
+     the *outermost* caller's PCC and C0. *)
+  let m, k = fresh () in
+  let outer_pcc = Cap.Capability.make ~perms:Cap.Perms.all ~base:0x1000L ~length:0x1000L in
+  let outer_c0 = Cap.Capability.make ~perms:Cap.Perms.all ~base:0x8000L ~length:0x1000L in
+  m.Machine.pcc <- outer_pcc;
+  Machine.set_cap m 0 outer_c0;
+  let code, data =
+    Os.Sandbox.seal_pair ~otype:7 ~code_base:0x2000L ~code_length:0x100L ~data_base:0x9000L
+      ~data_length:0x100L
+  in
+  Machine.set_cap m 1 code;
+  Machine.set_cap m 2 data;
+  let enter () =
+    m.Machine.cp0.Cp0.epc <- 0x1000L;
+    match Os.Kernel.handle_ccall k with
+    | Machine.Resume_at _ -> ()
+    | _ -> Alcotest.fail "ccall refused"
+  in
+  enter ();
+  enter ();
+  Alcotest.(check int) "two frames" 2 (Os.Kernel.trusted_stack_depth k);
+  Os.Kernel.unwind_trusted_stack k;
+  Alcotest.(check int) "drained" 0 (Os.Kernel.trusted_stack_depth k);
+  Alcotest.(check int) "restores counted" 2 k.Os.Kernel.ctx_restores;
+  Alcotest.(check bool) "outermost pcc recovered" true
+    (Cap.Capability.base m.Machine.pcc = Cap.Capability.base outer_pcc);
+  Alcotest.(check bool) "outermost c0 recovered" true
+    (Cap.Capability.base (Machine.cap m 0) = Cap.Capability.base outer_c0)
 
 (* --- revocation (Section 11) --------------------------------------------------- *)
 
@@ -297,10 +359,12 @@ let suites =
       ] );
     ( "protected-calls",
       [
+        Alcotest.test_case "untagged rejected" `Quick test_ccall_untagged_rejected;
         Alcotest.test_case "unsealed rejected" `Quick test_ccall_unsealed_rejected;
         Alcotest.test_case "otype mismatch rejected" `Quick test_ccall_otype_mismatch_rejected;
         Alcotest.test_case "creturn without call" `Quick test_creturn_without_call;
         Alcotest.test_case "nested calls" `Quick test_nested_ccall;
+        Alcotest.test_case "unwind trusted stack" `Quick test_unwind_trusted_stack;
       ] );
     ( "revocation",
       [

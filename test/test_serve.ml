@@ -1,0 +1,173 @@
+(* Tests for the multi-compartment request-serving subsystem (lib/serve):
+   workload generator determinism and classification, scenario unit
+   builds, and the server request paths — served, router-rejected, and
+   capability-trap-rejected — in both isolation modes. *)
+
+let default_mix = Serve.Workload.default_mix
+
+(* --- workload ------------------------------------------------------------- *)
+
+let test_workload_deterministic () =
+  let gen () =
+    Serve.Workload.gen_chunk ~mix:default_mix ~base_seed:7L ~index:3 ~count:512
+  in
+  Alcotest.(check bool) "same seed, same chunk" true (gen () = gen ());
+  let other = Serve.Workload.gen_chunk ~mix:default_mix ~base_seed:7L ~index:4 ~count:512 in
+  Alcotest.(check bool) "different index, different chunk" true (gen () <> other)
+
+let test_workload_classification () =
+  let reqs = Serve.Workload.gen_chunk ~mix:default_mix ~base_seed:7L ~index:0 ~count:2048 in
+  let count e =
+    Array.fold_left (fun n r -> if Serve.Workload.expected r = e then n + 1 else n) 0 reqs
+  in
+  let served = count Serve.Workload.Expect_served in
+  let kind = count Serve.Workload.Expect_reject_kind in
+  let trap = count Serve.Workload.Expect_reject_trap in
+  Alcotest.(check int) "partition" 2048 (served + kind + trap);
+  (* ~1/32 malformed, split between the two classes. *)
+  Alcotest.(check bool) "some bad kinds" true (kind > 0);
+  Alcotest.(check bool) "some lying headers" true (trap > 0);
+  Alcotest.(check bool) "mostly well-formed" true (served > 1850);
+  Array.iter
+    (fun (r : Serve.Workload.request) ->
+      Alcotest.(check bool) "actual_len positive" true (r.Serve.Workload.actual_len >= 1);
+      Alcotest.(check bool) "actual_len bounded" true
+        (r.Serve.Workload.actual_len <= default_mix.Serve.Workload.max_words))
+    reqs
+
+let test_workload_no_malformed () =
+  let mix = { default_mix with Serve.Workload.malformed_denom = 0 } in
+  let reqs = Serve.Workload.gen_chunk ~mix ~base_seed:7L ~index:0 ~count:1024 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "all well-formed" true
+        (Serve.Workload.expected r = Serve.Workload.Expect_served))
+    reqs
+
+(* --- scenario unit builds -------------------------------------------------- *)
+
+let test_build_unit_layout () =
+  List.iter
+    (fun isolation ->
+      for w = 0 to 2 do
+        let u = Serve.Scenario.build_unit ~isolation w in
+        let cbase = Int64.of_int (Serve.Scenario.code_base w) in
+        (* The veneer must sit exactly at the unit's text base — that is
+           where CCall lands (base of the unsealed code capability). *)
+        Alcotest.(check bool)
+          (u.Serve.Scenario.name ^ ": text at code base")
+          true
+          (List.exists (fun (a, _) -> a = cbase) u.Serve.Scenario.segments);
+        List.iter
+          (fun (addr, bytes) ->
+            let ok_text =
+              Int64.unsigned_compare addr cbase >= 0
+              && Int64.unsigned_compare
+                   (Int64.add addr (Int64.of_int (String.length bytes)))
+                   (Int64.add cbase (Int64.of_int Serve.Scenario.code_len))
+                 <= 0
+            in
+            let dbase = Int64.of_int (Serve.Scenario.data_base w) in
+            let ok_data =
+              Int64.unsigned_compare addr dbase >= 0
+              && Int64.unsigned_compare
+                   (Int64.add addr (Int64.of_int (String.length bytes)))
+                   (Int64.add dbase (Int64.of_int Serve.Scenario.data_len))
+                 <= 0
+            in
+            Alcotest.(check bool) "segment within the unit's regions" true (ok_text || ok_data))
+          u.Serve.Scenario.segments
+      done)
+    [ Serve.Scenario.Mono; Serve.Scenario.Compart ]
+
+(* --- the server ------------------------------------------------------------ *)
+
+let request ?(kind = 0) ?(declared = 4) ?(actual = 4) ?(route = 0) ?(seed = 99L) () =
+  {
+    Serve.Workload.kind;
+    declared_len = declared;
+    actual_len = actual;
+    route;
+    payload_seed = seed;
+  }
+
+let boot isolation n =
+  let s = Serve.Server.create ~isolation ~n () in
+  Serve.Server.boot s;
+  s
+
+let test_serve_and_isolation_equivalence () =
+  (* The same requests through both isolation modes must produce the
+     same responses: the compartment boundary is invisible to a correct
+     client. *)
+  let compart = boot Serve.Scenario.Compart 2 and mono = boot Serve.Scenario.Mono 2 in
+  for route = 0 to 3 do
+    let req = request ~kind:route ~route ~seed:(Int64.of_int (route * 17)) () in
+    let rc, _ = Serve.Server.serve_one compart req in
+    let rm, _ = Serve.Server.serve_one mono req in
+    (match rc with
+    | Serve.Server.Served _ -> ()
+    | _ -> Alcotest.fail "compartment request not served");
+    Alcotest.(check bool) "responses agree across isolation" true (rc = rm)
+  done;
+  let k = Serve.Server.kernel compart in
+  Alcotest.(check int) "one crossing per request" 4 k.Os.Kernel.ccalls;
+  Alcotest.(check int) "every crossing returned" 4 k.Os.Kernel.creturns;
+  Alcotest.(check int) "stack drained" 0 (Os.Kernel.trusted_stack_depth k)
+
+let test_reject_bad_kind () =
+  let s = boot Serve.Scenario.Compart 2 in
+  let r, _ = Serve.Server.serve_one s (request ~kind:9 ()) in
+  Alcotest.(check bool) "router bounces it" true (r = Serve.Server.Rejected_kind);
+  let k = Serve.Server.kernel s in
+  Alcotest.(check int) "no domain crossing" 0 k.Os.Kernel.ccalls
+
+let test_reject_lying_header () =
+  (* declared_len > actual_len: the router bounds the payload capability
+     to the received words, so the worker's over-read traps inside the
+     compartment with a length violation — and the server loop
+     survives. *)
+  let s = boot Serve.Scenario.Compart 2 in
+  let r, _ = Serve.Server.serve_one s (request ~declared:12 ~actual:4 ()) in
+  (match r with
+  | Serve.Server.Rejected_trap (_, cause) ->
+      Alcotest.(check string) "length violation"
+        (Cap.Cause.to_string Cap.Cause.Length_violation)
+        (Cap.Cause.to_string cause)
+  | _ -> Alcotest.fail "lying header not trapped");
+  let k = Serve.Server.kernel s in
+  Alcotest.(check int) "trap unwound the trusted stack" 0 (Os.Kernel.trusted_stack_depth k);
+  (* The server keeps serving after the trap. *)
+  match Serve.Server.serve_one s (request ()) with
+  | Serve.Server.Served _, _ -> ()
+  | _ -> Alcotest.fail "server loop did not survive the trap"
+
+let test_counters_flow () =
+  let s = boot Serve.Scenario.Compart 1 in
+  let before = Serve.Server.counters s in
+  (match Serve.Server.serve_one s (request ()) with
+  | Serve.Server.Served _, _ -> ()
+  | _ -> Alcotest.fail "request not served");
+  let d = Obs.Counters.diff (Serve.Server.counters s) before in
+  Alcotest.(check int64) "one ccall" 1L (Obs.Counters.get d Obs.Counters.ccalls);
+  Alcotest.(check int64) "one creturn" 1L (Obs.Counters.get d Obs.Counters.creturns);
+  Alcotest.(check int64) "one context save" 1L (Obs.Counters.get d Obs.Counters.ctx_saves);
+  Alcotest.(check int64) "one context restore" 1L (Obs.Counters.get d Obs.Counters.ctx_restores)
+
+let suites =
+  [
+    ( "serve-workload",
+      [
+        Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+        Alcotest.test_case "classification" `Quick test_workload_classification;
+        Alcotest.test_case "malformed off" `Quick test_workload_no_malformed;
+      ] );
+    ( "serve-server",
+      [
+        Alcotest.test_case "unit layout" `Quick test_build_unit_layout;
+        Alcotest.test_case "isolation equivalence" `Quick test_serve_and_isolation_equivalence;
+        Alcotest.test_case "reject bad kind" `Quick test_reject_bad_kind;
+        Alcotest.test_case "reject lying header" `Quick test_reject_lying_header;
+        Alcotest.test_case "counters flow" `Quick test_counters_flow;
+      ] );
+  ]
