@@ -527,13 +527,23 @@ let serve ?engine ~jobs ~wall ~json () =
       engine = Option.value engine ~default:Machine.Superblock;
       jobs;
       no_wall = not wall;
+      (* With --json, also collect the causal trace (1-in-16 requests)
+         and a counter series, and write the Perfetto-loadable timeline
+         alongside the obs export.  Zero architectural perturbation, so
+         SERVE_obs.json is unchanged by the attachment. *)
+      trace =
+        (if json then
+           Some { Serve.Sweep.default_trace with Serve.Sweep.stride = 16; series = Some 5_000 }
+         else None);
     }
   in
   let r = Serve.Sweep.run cfg in
   Fmt.pr "%a@." Serve.Sweep.pp_result r;
   if json then begin
     Obs.Export.write_file "SERVE_obs.json" (Serve.Sweep.obs_entries r);
-    Printf.printf "wrote SERVE_obs.json\n"
+    Printf.printf "wrote SERVE_obs.json\n";
+    Obs.Json.to_file "SERVE_trace.json" (Serve.Sweep.chrome_json r);
+    Printf.printf "wrote SERVE_trace.json\n"
   end;
   if not r.Serve.Sweep.digests_match then exit 3
 

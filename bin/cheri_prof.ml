@@ -74,7 +74,7 @@ let json_report (report : Exp.Profiled.report) bench mode param ~attrib ~hist ~t
     @ extra)
 
 let prof bench mode param iters period top granule attrib hist max_insns json collapsed_file
-    events_file engine =
+    events_file trace_file series engine =
   Cli.check_bench bench;
   let bus, close_events =
     match events_file with
@@ -85,12 +85,30 @@ let prof bench mode param iters period top granule attrib hist max_insns json co
         (Some bus, fun () -> close_out oc)
     | None -> (None, fun () -> ())
   in
+  (* A profiled run has no request stream: the collector stays armed
+     from creation, so every phase span, domain crossing, and trap lands
+     on the timeline. *)
+  let trace = match trace_file with Some _ -> Some (Obs.Trace.create ()) | None -> None in
+  let series_interval = if series > 0 then Some series else None in
   let report =
-    Exp.Profiled.run ~max_insns ~iters ~period ~top ~granule_bits:granule ?bus ~engine ~bench
-      ~mode ~param ()
+    Exp.Profiled.run ~max_insns ~iters ~period ~top ~granule_bits:granule ?bus ~engine ?trace
+      ?series_interval ~bench ~mode ~param ()
   in
   close_events ();
   let result = report.Exp.Profiled.result in
+  (match (trace_file, trace) with
+  | Some path, Some tr ->
+      let process = Printf.sprintf "%s/%s" bench (Minic.Layout.mode_name mode) in
+      let parts =
+        Obs.Trace.to_chrome_events ~pid:1 ~process tr
+        @
+        match result.Exp.Bench_run.series with
+        | Some s -> Obs.Series.to_chrome_events ~pid:1 s
+        | None -> []
+      in
+      Obs.Trace.write_chrome path parts;
+      Fmt.epr "wrote %s@." path
+  | _ -> ());
   (match collapsed_file with
   | Some path ->
       let oc = open_out path in
@@ -181,6 +199,6 @@ let cmd =
       const prof $ Cli.bench $ Cli.layout_mode $ Cli.param ~default:12 $ iters $ period $ top
       $ granule $ attrib $ hist
       $ Cli.max_insns ~default:20_000_000_000L
-      $ json $ collapsed_file $ events_file $ Cli.engine)
+      $ json $ collapsed_file $ events_file $ Cli.trace_file $ Cli.series $ Cli.engine)
 
 let () = exit (Cmd.eval cmd)

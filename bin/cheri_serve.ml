@@ -44,7 +44,7 @@ let attribution (cfg : Serve.Sweep.cfg) ~n ~top =
     a
 
 let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wall json obs_json
-    attrib =
+    trace_file trace_obs trace_stride series attrib =
   let ns =
     match ns with
     | [] ->
@@ -60,6 +60,19 @@ let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wa
         exit 2
       end)
     ns;
+  (* Any trace-family flag attaches the collector; the stride and
+     capacity default from Sweep.default_trace. *)
+  let trace =
+    match (trace_file, trace_obs, series) with
+    | None, None, 0 -> None
+    | _ ->
+        Some
+          {
+            Serve.Sweep.default_trace with
+            Serve.Sweep.stride = trace_stride;
+            series = (if series > 0 then Some series else None);
+          }
+  in
   let cfg =
     {
       Serve.Sweep.requests;
@@ -69,6 +82,7 @@ let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wa
       engine;
       jobs;
       no_wall;
+      trace;
     }
   in
   let r = Serve.Sweep.run cfg in
@@ -84,6 +98,16 @@ let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wa
   (match obs_json with
   | Some path ->
       Obs.Export.write_file path (Serve.Sweep.obs_entries r);
+      Fmt.pr "wrote %s@." path
+  | None -> ());
+  (match trace_file with
+  | Some path ->
+      Obs.Json.to_file path (Serve.Sweep.chrome_json r);
+      Fmt.pr "wrote %s@." path
+  | None -> ());
+  (match trace_obs with
+  | Some path ->
+      Obs.Json.to_file path (Serve.Sweep.trace_obs_json r);
       Fmt.pr "wrote %s@." path
   | None -> ());
   if attrib then attribution cfg ~n:(List.fold_left max 1 ns) ~top:16;
@@ -124,7 +148,7 @@ let json =
   Arg.(
     value
     & opt (some string) None
-    & info [ "json" ] ~docv:"FILE" ~doc:"Write the full sweep report (cheri-serve/1) to $(docv).")
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the full sweep report (cheri-serve/2) to $(docv).")
 
 let obs_json =
   Arg.(
@@ -132,6 +156,22 @@ let obs_json =
     & opt (some string) None
     & info [ "obs-json" ] ~docv:"FILE"
         ~doc:"Export the sweep through the lib/obs bench schema to $(docv).")
+
+let trace_obs =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-obs" ] ~docv:"FILE"
+        ~doc:
+          "Write the diffable trace digest (cheri-obs-trace/1: per-request-class and \
+           per-compartment latency histograms) to $(docv).")
+
+let trace_stride =
+  Arg.(
+    value
+    & opt int Serve.Sweep.default_trace.Serve.Sweep.stride
+    & info [ "trace-stride" ] ~docv:"K"
+        ~doc:"Trace 1 in $(docv) requests (deterministic, seed-phased; <= 1 traces all).")
 
 let attrib =
   Arg.(
@@ -147,6 +187,7 @@ let cmd =
        ~doc:"Sealed-capability multi-compartment request serving vs a monolithic baseline")
     Term.(
       const run $ requests $ seed $ ns $ max_words $ malformed_denom $ burst_denom $ Cli.engine
-      $ Cli.jobs $ Cli.no_wall $ json $ obs_json $ attrib)
+      $ Cli.jobs $ Cli.no_wall $ json $ obs_json $ Cli.trace_file $ trace_obs $ trace_stride
+      $ Cli.series $ attrib)
 
 let () = exit (Cmd.eval cmd)

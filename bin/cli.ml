@@ -52,6 +52,24 @@ let no_wall =
     & info [ "no-wall" ]
         ~doc:"Zero the wall-clock fields so exports are byte-comparable across runs.")
 
+(* Causal-trace export: tools that can attach an Obs.Trace collector
+   share the spelling for the Chrome trace-event output (load the file
+   in Perfetto or about://tracing) and the counter-series interval. *)
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a cycle-timestamped Chrome/Perfetto trace-event JSON to $(docv).")
+
+let series =
+  Arg.(
+    value & opt int 0
+    & info [ "series" ] ~docv:"N"
+        ~doc:
+          "Sample the counter file every $(docv) retired instructions into Chrome counter \
+           tracks (0 = off).")
+
 (* Interpreter engine selector.  Superblock (the default everywhere) and
    plain are architecturally identical — the flag exists so any tool can
    pin the reference engine for cross-checking or host-perf triage. *)

@@ -21,6 +21,7 @@ type result = {
   tlb_misses : int;
   counters : Obs.Counters.t; (* the full counter file at exit *)
   spans : (string * Obs.Counters.t) list; (* per-phase counter deltas *)
+  series : Obs.Series.t option; (* counter time-series, when sampled *)
 }
 
 (* Phase ids the minic runtime passes to trace.phase_begin. *)
@@ -52,7 +53,7 @@ let machine_for ?(big_mem = false) (mode : Minic.Layout.mode) =
    program exits, before it is dropped — profilers use it to resolve
    sampled PCs against the loaded image. *)
 let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?engine ?probe ?bus
-    ?span_durations ?inspect ~bench ~mode ~param source =
+    ?trace ?series_interval ?span_durations ?inspect ~bench ~mode ~param source =
   let source = Olden.Minic_src.instantiate ~iters source ~param in
   let asm = Minic.Driver.compile ~mode source in
   let m = machine_for ~big_mem mode in
@@ -63,9 +64,19 @@ let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?engine ?
   let k = Os.Kernel.attach m in
   Machine.set_probe m probe;
   let span =
-    Obs.Span.create ?bus ?durations:span_durations ~read:(fun () -> Os.Kernel.read_counters k) ()
+    Obs.Span.create ?bus ?durations:span_durations ?trace
+      ~read:(fun () -> Os.Kernel.read_counters k)
+      ()
   in
-  Os.Kernel.set_obs ?bus ~span k;
+  Os.Kernel.set_obs ?bus ~span ?trace k;
+  let series =
+    match series_interval with
+    | Some interval ->
+        let s = Obs.Series.create ~interval ~read:(fun () -> Os.Kernel.read_counters k) () in
+        Machine.set_step_hook m (Some (fun m -> Obs.Series.tick s ~instret:m.Machine.instret));
+        Some s
+    | None -> None
+  in
   let allocated_bytes = ref 0L in
   Machine.set_trace_hook m (fun _m marker a _b ->
       match marker with
@@ -104,6 +115,7 @@ let run ?(max_insns = 20_000_000_000L) ?(iters = 1) ?(big_mem = false) ?engine ?
     tlb_misses = Int64.to_int (get Obs.Counters.tlb_misses);
     counters;
     spans;
+    series;
   }
 
 let pct_overhead ~baseline v =

@@ -60,8 +60,8 @@ let validate_bench bench =
    is the sampling interval in retired instructions; [top] bounds the
    hot-PC table; [granule_bits] sets the attribution region size
    (default 4 KB pages). *)
-let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?granule_bits ?bus ?engine ~bench
-    ~mode ~param () =
+let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?granule_bits ?bus ?engine ?trace
+    ?series_interval ~bench ~mode ~param () =
   validate_bench bench;
   let source = List.assoc bench Olden.Minic_src.all in
   (* Re-derive the program image the harness will run, for its symbol
@@ -90,8 +90,8 @@ let run ?max_insns ?(iters = 1) ?(period = 97) ?(top = 10) ?granule_bits ?bus ?e
     collapsed := Obs.Profile.collapsed ~resolve:symbol profile
   in
   let result =
-    Bench_run.run ?max_insns ~iters ?engine ~probe ?bus ~span_durations:durations ~bench ~mode
-      ~param source ~inspect
+    Bench_run.run ?max_insns ~iters ?engine ~probe ?bus ?trace ?series_interval
+      ~span_durations:durations ~bench ~mode ~param source ~inspect
   in
   {
     result;

@@ -56,9 +56,18 @@ type t = {
   mutable obs_bus : Obs.Event.bus option;
       (* when set, kernel-visible faults are emitted as structured
          events on the shared bus. *)
+  mutable obs_trace : Obs.Trace.t option;
+      (* when set, CCall/CReturn/unwind transitions and faults are
+         recorded as cycle-timestamped trace events — the kernel track
+         and per-compartment spans of the exported timeline. *)
 }
 
-and frame = { saved_pcc : Cap.Capability.t; saved_c0 : Cap.Capability.t; return_pc : int64 }
+and frame = {
+  saved_pcc : Cap.Capability.t;
+  saved_c0 : Cap.Capability.t;
+  return_pc : int64;
+  frame_otype : int; (* the sealed pair's object type: names the compartment *)
+}
 
 (* The CHERI ABI defines eight capability argument registers (Section 5.1):
    C3..C10 carry capability arguments; C1/C2 are caller-save temporaries,
@@ -137,12 +146,16 @@ let handle_ccall t =
     with
     | Ok ucode, Ok udata ->
         (match t.obs_span with Some s -> Obs.Span.enter s "ccall" | None -> ());
+        (match t.obs_trace with
+        | Some tr -> Obs.Trace.ccall tr ~ts:m.Machine.cycles ~otype:ot
+        | None -> ());
         t.ctx_saves <- t.ctx_saves + 1;
         t.trusted_stack <-
           {
             saved_pcc = m.Machine.pcc;
             saved_c0 = Machine.cap m 0;
             return_pc = Int64.add m.Machine.cp0.Cp0.epc 4L;
+            frame_otype = ot;
           }
           :: t.trusted_stack;
         m.Machine.pcc <- ucode;
@@ -165,6 +178,10 @@ let handle_creturn t =
       t.trusted_stack <- rest;
       t.ctx_restores <- t.ctx_restores + 1;
       (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
+      (match t.obs_trace with
+      | Some tr ->
+          Obs.Trace.creturn tr ~ts:m.Machine.cycles ~otype:frame.frame_otype ~unwound:false
+      | None -> ());
       m.Machine.pcc <- frame.saved_pcc;
       Machine.set_cap m 0 frame.saved_c0;
       Machine.Resume_at frame.return_pc
@@ -174,16 +191,24 @@ let handle_creturn t =
    fault inside a worker compartment aborted the protected call chain. *)
 let unwind_trusted_stack t =
   let m = t.machine in
+  (* Each popped frame is a truncated protected call: record it as an
+     unwound return so the trace's worker span still closes — at the
+     trap cycle, flagged unwound — instead of dangling open. *)
+  let note frame =
+    t.ctx_restores <- t.ctx_restores + 1;
+    (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
+    match t.obs_trace with
+    | Some tr -> Obs.Trace.creturn tr ~ts:m.Machine.cycles ~otype:frame.frame_otype ~unwound:true
+    | None -> ()
+  in
   let rec pop = function
     | [] -> ()
     | [ frame ] ->
-        t.ctx_restores <- t.ctx_restores + 1;
-        (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
+        note frame;
         m.Machine.pcc <- frame.saved_pcc;
         Machine.set_cap m 0 frame.saved_c0
-    | _ :: rest ->
-        t.ctx_restores <- t.ctx_restores + 1;
-        (match t.obs_span with Some s -> Obs.Span.exit s | None -> ());
+    | frame :: rest ->
+        note frame;
         pop rest
   in
   pop t.trusted_stack;
@@ -223,6 +248,14 @@ let handler t (ctx : Machine.exn_ctx) =
           disasm = disasm_at t.machine ctx.Machine.victim_pc;
         }
       in
+      (match t.obs_trace with
+      | Some tr ->
+          Obs.Trace.trap tr
+            ~ts:(Int64.to_int fault.cycles)
+            ~exc:(Cp0.exc_to_string exc)
+            ~cause:(Cap.Cause.to_string fault.capcause)
+            ~pc:fault.pc
+      | None -> ());
       (match t.obs_bus with
       | Some bus ->
           Obs.Event.emit bus ~kind:"fault" ~name:(Cp0.exc_to_string exc)
@@ -264,6 +297,7 @@ let attach machine =
       ctx_restores = 0;
       obs_span = None;
       obs_bus = None;
+      obs_trace = None;
     }
   in
   Machine.set_kernel machine (fun _m ctx -> handler t ctx);
@@ -272,10 +306,12 @@ let attach machine =
 let set_fault_handler t f = t.fault_handler <- Some f
 
 (* Attach observability plumbing: an optional span scope for domain
-   transitions and an optional event bus for faults. *)
-let set_obs ?span ?bus t =
+   transitions, an optional event bus for faults, and an optional trace
+   collector for the cycle-timestamped timeline. *)
+let set_obs ?span ?bus ?trace t =
   t.obs_span <- span;
-  t.obs_bus <- bus
+  t.obs_bus <- bus;
+  t.obs_trace <- trace
 
 (* The kernel's view of the counter file: everything the machine and the
    memory hierarchy report, plus the OS-level event counts only the

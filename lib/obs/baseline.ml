@@ -33,6 +33,10 @@ let supported_schemas =
     Export.schema_v3;
     Export.schema_v4;
     Export.schema_version;
+    (* The serve trace export (cheri-obs-trace/1) shares the file shape;
+       its spans are latency-histogram field sets, which the arbitrary-
+       integer-field span decoder below already handles. *)
+    Export.schema_trace;
   ]
 
 (* "bench/mode/param": the identity of a run across baseline files. *)

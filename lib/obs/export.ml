@@ -54,6 +54,14 @@ let schema_v2 = "cheri-obs-bench/2"
 let schema_v3 = "cheri-obs-bench/3"
 let schema_v4 = "cheri-obs-bench/4"
 
+(* The trace export rides the same file shape (schema / benchmarks /
+   counters / spans) with its own schema tag: spans carry per-request-
+   class and per-compartment latency histogram fields instead of
+   instret/cycles pairs.  [Baseline] loads it like any bench file — the
+   span decoder accepts arbitrary integer fields — and [Diff] pins the
+   fields exactly.  Written by Serve.Sweep.trace_obs_json. *)
+let schema_trace = "cheri-obs-trace/1"
+
 (* Simulated MIPS of one run: how many millions of simulated instructions
    the interpreter retired per host second.  0.0 when the wall clock was
    not measured (deterministic-output mode). *)

@@ -67,6 +67,14 @@ let to_string v =
 
 let pp ppf v = Fmt.string ppf (to_string v)
 
+(* Serialize one value to [path] with a trailing newline — the shape
+   every exporter in the repo writes. *)
+let to_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  output_char oc '\n';
+  close_out oc
+
 (* --- parsing -------------------------------------------------------------- *)
 
 exception Parse_error of string * int (* message, byte offset *)

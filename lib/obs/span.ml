@@ -14,18 +14,26 @@ type t = {
   read : unit -> Counters.t;
   bus : Event.bus option;
   durations : Hist.t option; (* per-close span duration (cycles), log2 buckets *)
+  trace : Trace.t option; (* phase begin/end events on the cycle timeline *)
   mutable stack : (string * Counters.t) list; (* open spans, innermost first *)
   mutable totals : (string * Counters.t) list; (* closed-span aggregates, reverse order *)
   mutable opened : int;
   mutable closed : int;
 }
 
-let create ?bus ?durations ~read () =
-  { read; bus; durations; stack = []; totals = []; opened = 0; closed = 0 }
+let create ?bus ?durations ?trace ~read () =
+  { read; bus; durations; trace; stack = []; totals = []; opened = 0; closed = 0 }
+
+(* The cycle timestamp of a snapshot, for the trace's phase events: the
+   span already reads the counter file at every enter/exit, so tracing
+   adds no extra read. *)
+let ts_of c = Int64.to_int (Counters.get c Counters.cycles)
 
 let enter t name =
-  t.stack <- (name, t.read ()) :: t.stack;
+  let c = t.read () in
+  t.stack <- (name, c) :: t.stack;
   t.opened <- t.opened + 1;
+  (match t.trace with Some tr -> Trace.phase_begin tr ~ts:(ts_of c) name | None -> ());
   match t.bus with
   | Some bus -> Event.emit bus ~kind:"span-enter" ~name []
   | None -> ()
@@ -44,8 +52,10 @@ let exit t =
   | (name, start) :: rest ->
       t.stack <- rest;
       t.closed <- t.closed + 1;
-      let delta = Counters.diff (t.read ()) start in
+      let now = t.read () in
+      let delta = Counters.diff now start in
       accumulate t name delta;
+      (match t.trace with Some tr -> Trace.phase_end tr ~ts:(ts_of now) | None -> ());
       (match t.durations with
       | Some h -> Hist.observe h (Counters.get delta Counters.cycles)
       | None -> ());

@@ -1,0 +1,270 @@
+(* Cycle-timestamped causal tracing: a bounded ring-buffer event
+   collector behind the same zero-cost hook discipline as the rest of
+   lib/obs.  Producers (the kernel's CCall/CReturn/trap paths, span
+   enter/exit, the serve request loop) pass the timestamp explicitly —
+   simulated cycles, never host time — so a trace is bit-for-bit
+   deterministic and byte-identical across interpreter engines and
+   worker-domain counts.
+
+   The buffer is a flight recorder: a fixed-capacity ring that drops the
+   *oldest* events once full and counts what it dropped, so attaching a
+   trace to a million-request sweep is bounded-memory by construction
+   (stride sampling in lib/serve bounds it further: only 1-in-K requests
+   arm the collector at all).
+
+   Request scoping: [begin_request] arms the collector and stamps every
+   subsequent event with the request's trace id; [skip_request] disarms
+   it, so kernel transitions inside unsampled requests cost one mutable
+   read and record nothing.  Collectors that never see requests (e.g. a
+   profiled Olden run) stay armed from creation and stamp events with
+   req = -1.
+
+   The Chrome trace-event exporter ([to_chrome_events]) lays the events
+   out Perfetto-style: one "requests" track of B/E spans, one track per
+   worker compartment (tid = the sealed pair's otype, named through
+   [set_labels]), a "kernel" track of trap instants, and a "phases"
+   track for span markers.  B/E pairing is reconstructed with per-track
+   stacks; opens evicted by the ring (or never closed) are dropped
+   rather than emitted unbalanced, so the exported JSON always
+   validates. *)
+
+type kind =
+  | Req_begin of { req_kind : int; declared : int; actual : int; route : int; worker : int }
+  | Req_end of { code : int }
+  | Ccall of { otype : int }
+  | Creturn of { otype : int; unwound : bool }
+      (* unwound: the frame was popped by the fault-recovery unwind, not
+         by an architectural CReturn — the worker span was truncated. *)
+  | Trap of { exc : string; cause : string; pc : int64 }
+  | Phase_begin of string
+  | Phase_end (* closes the innermost open phase; the name is on the open *)
+
+type event = { ts : int; (* simulated cycles *) req : int; kind : kind }
+
+type t = {
+  capacity : int;
+  ring : event array;
+  mutable head : int; (* index of the oldest surviving event *)
+  mutable len : int; (* events currently held (<= capacity) *)
+  mutable recorded : int; (* events ever recorded, dropped ones included *)
+  mutable armed : bool;
+  mutable cur_req : int;
+  mutable labels : (int * string) list; (* otype -> compartment name *)
+}
+
+let default_capacity = 1 lsl 16
+let dummy = { ts = 0; req = -1; kind = Phase_end }
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 0 then invalid_arg "Trace.create: capacity";
+  {
+    capacity;
+    ring = Array.make (max 1 capacity) dummy;
+    head = 0;
+    len = 0;
+    recorded = 0;
+    armed = true;
+    cur_req = -1;
+    labels = [];
+  }
+
+let set_labels t labels = t.labels <- labels
+let labels t = t.labels
+
+let label t otype =
+  match List.assoc_opt otype t.labels with
+  | Some name -> name
+  | None -> Printf.sprintf "otype-0x%x" otype
+
+let length t = t.len
+let recorded t = t.recorded
+let dropped t = t.recorded - t.len
+
+(* Unconditional append (drop-oldest once full); [record] below is the
+   armed-gated variant producers use. *)
+let push t e =
+  if t.capacity > 0 then
+    if t.len < t.capacity then begin
+      t.ring.((t.head + t.len) mod t.capacity) <- e;
+      t.len <- t.len + 1
+    end
+    else begin
+      t.ring.(t.head) <- e;
+      t.head <- (t.head + 1) mod t.capacity
+    end;
+  t.recorded <- t.recorded + 1
+
+let record t ~ts kind = if t.armed then push t { ts; req = t.cur_req; kind }
+
+(* --- request scoping ------------------------------------------------------ *)
+
+let begin_request t ~ts ~id ~kind ~declared ~actual ~route ~worker =
+  t.armed <- true;
+  t.cur_req <- id;
+  record t ~ts (Req_begin { req_kind = kind; declared; actual; route; worker })
+
+let skip_request t =
+  t.armed <- false;
+  t.cur_req <- -1
+
+let end_request t ~ts ~code =
+  record t ~ts (Req_end { code });
+  t.armed <- false;
+  t.cur_req <- -1
+
+(* --- producer shorthands -------------------------------------------------- *)
+
+let ccall t ~ts ~otype = record t ~ts (Ccall { otype })
+let creturn t ~ts ~otype ~unwound = record t ~ts (Creturn { otype; unwound })
+let trap t ~ts ~exc ~cause ~pc = record t ~ts (Trap { exc; cause; pc })
+let phase_begin t ~ts name = record t ~ts (Phase_begin name)
+let phase_end t ~ts = record t ~ts Phase_end
+
+(* Surviving events, oldest first. *)
+let events t = List.init t.len (fun i -> t.ring.((t.head + i) mod t.capacity))
+
+(* Append [src]'s surviving events into [into] with their timestamps
+   shifted — the shard-in-order merge: each chunk records with its own
+   machine's cycle clock starting at 0, and the merger offsets chunk i
+   by the total cycles of chunks 0..i-1, reconstructing one monotonic
+   sweep-wide clock regardless of --jobs. *)
+let append src ~ts_offset ~into =
+  List.iter (fun e -> push into { e with ts = e.ts + ts_offset }) (events src);
+  into.recorded <- into.recorded + dropped src
+
+(* --- Chrome trace-event export -------------------------------------------- *)
+
+(* Fixed track (tid) assignments; worker-compartment tracks use the
+   sealed pair's otype as the tid, which the scenario keeps >= 0x40 so
+   the fixed ids never collide. *)
+let tid_requests = 1
+let tid_kernel = 2
+let tid_phases = 3
+
+let ev ~pid ~tid ~ph ~name ~ts args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String ph);
+       ("pid", Json.Int (Int64.of_int pid));
+       ("tid", Json.Int (Int64.of_int tid));
+       ("ts", Json.Int (Int64.of_int ts));
+     ]
+    @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let meta ~pid ?tid ~name value =
+  Json.Obj
+    ([ ("name", Json.String name); ("ph", Json.String "M"); ("pid", Json.Int (Int64.of_int pid)) ]
+    @ (match tid with Some tid -> [ ("tid", Json.Int (Int64.of_int tid)) ] | None -> [])
+    @ [ ("args", Json.Obj [ ("name", Json.String value) ]) ])
+
+let req_arg req = ("req", Json.Int (Int64.of_int req))
+
+(* One point's events as a flat Chrome trace-event list.  Every duration
+   event is emitted through an aliveness cell and per-track open stacks:
+   a close with no matching open is skipped, and an open that never
+   closes (evicted or truncated) is retracted at the end, so the output
+   is balanced by construction. *)
+let to_chrome_events ?(pid = 1) ?process t =
+  let items = ref [] in
+  let emit ?(alive = ref true) json =
+    items := (alive, json) :: !items;
+    alive
+  in
+  let used_tids = ref [] in
+  let use tid name =
+    if not (List.mem_assoc tid !used_tids) then used_tids := (tid, name) :: !used_tids
+  in
+  let req_open = ref None in
+  let worker_stack = ref [] in
+  let phase_stack = ref [] in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Req_begin { req_kind; declared; actual; route; worker } ->
+          use tid_requests "requests";
+          (match !req_open with Some alive -> alive := false | None -> ());
+          req_open :=
+            Some
+              (emit
+                 (ev ~pid ~tid:tid_requests ~ph:"B" ~name:"req" ~ts:e.ts
+                    [
+                      req_arg e.req;
+                      ("kind", Json.Int (Int64.of_int req_kind));
+                      ("declared", Json.Int (Int64.of_int declared));
+                      ("actual", Json.Int (Int64.of_int actual));
+                      ("route", Json.Int (Int64.of_int route));
+                      ("worker", Json.Int (Int64.of_int worker));
+                    ]))
+      | Req_end { code } -> (
+          match !req_open with
+          | None -> ()
+          | Some _ ->
+              req_open := None;
+              ignore
+                (emit
+                   (ev ~pid ~tid:tid_requests ~ph:"E" ~name:"req" ~ts:e.ts
+                      [ req_arg e.req; ("code", Json.Int (Int64.of_int code)) ])))
+      | Ccall { otype } ->
+          let name = label t otype in
+          use otype name;
+          let alive = emit (ev ~pid ~tid:otype ~ph:"B" ~name ~ts:e.ts [ req_arg e.req ]) in
+          worker_stack := (otype, alive) :: !worker_stack
+      | Creturn { otype; unwound } -> (
+          (* Pop the innermost open span of this otype; an orphan close
+             (its open was evicted) is skipped. *)
+          let rec split acc = function
+            | [] -> None
+            | (ot, _alive) :: rest when ot = otype -> Some (List.rev_append acc rest)
+            | frame :: rest -> split (frame :: acc) rest
+          in
+          match split [] !worker_stack with
+          | None -> ()
+          | Some rest ->
+              worker_stack := rest;
+              let args =
+                req_arg e.req :: (if unwound then [ ("unwound", Json.Bool true) ] else [])
+              in
+              ignore (emit (ev ~pid ~tid:otype ~ph:"E" ~name:(label t otype) ~ts:e.ts args)))
+      | Trap { exc; cause; pc } ->
+          use tid_kernel "kernel";
+          ignore
+            (emit
+               (ev ~pid ~tid:tid_kernel ~ph:"i" ~name:exc ~ts:e.ts
+                  [
+                    req_arg e.req;
+                    ("cause", Json.String cause);
+                    ("pc", Json.String (Printf.sprintf "0x%Lx" pc));
+                  ]))
+      | Phase_begin name ->
+          use tid_phases "phases";
+          let alive = emit (ev ~pid ~tid:tid_phases ~ph:"B" ~name ~ts:e.ts []) in
+          phase_stack := (name, alive) :: !phase_stack
+      | Phase_end -> (
+          match !phase_stack with
+          | [] -> ()
+          | (name, _alive) :: rest ->
+              phase_stack := rest;
+              ignore (emit (ev ~pid ~tid:tid_phases ~ph:"E" ~name ~ts:e.ts []))))
+    (events t);
+  (* Retract opens that never closed. *)
+  (match !req_open with Some alive -> alive := false | None -> ());
+  List.iter (fun (_, alive) -> alive := false) !worker_stack;
+  List.iter (fun (_, alive) -> alive := false) !phase_stack;
+  let metadata =
+    (match process with Some name -> [ meta ~pid ~name:"process_name" name ] | None -> [])
+    @ List.map
+        (fun (tid, name) -> meta ~pid ~tid ~name:"thread_name" name)
+        (List.sort compare !used_tids)
+  in
+  metadata @ List.filter_map (fun (alive, j) -> if !alive then Some j else None) (List.rev !items)
+
+(* The top-level Chrome trace document: Perfetto and about://tracing both
+   accept the object form. *)
+let chrome_document parts = Json.Obj [ ("traceEvents", Json.List parts) ]
+
+let write_chrome path parts =
+  let oc = open_out path in
+  output_string oc (Json.to_string (chrome_document parts));
+  output_char oc '\n';
+  close_out oc

@@ -129,6 +129,14 @@ let worker_kinds = [| ("parser", parser_src); ("alloc", alloc_src); ("checksum",
 let worker_name w = fst worker_kinds.(w mod Array.length worker_kinds)
 let worker_src w = snd worker_kinds.(w mod Array.length worker_kinds)
 
+(* The display name of worker [w] — program kind plus slot, e.g.
+   "alloc#1" — shared by the attribution region labels, the per-
+   compartment latency histograms, and the trace's track names. *)
+let worker_label w = Printf.sprintf "%s#%d" (worker_name w) w
+
+(* otype -> compartment name, for the trace collector's track labels. *)
+let otype_labels ~n = List.init n (fun w -> (otype w, worker_label w))
+
 (* Address-range labels for the attribution layer (Obs.Attrib): the
    router's own text and data, the mailbox, and every worker
    compartment's code and data regions.  With these installed, the
@@ -137,7 +145,7 @@ let worker_src w = snd worker_kinds.(w mod Array.length worker_kinds)
    caused them. *)
 let region_labels ~n =
   let worker w =
-    let name = Printf.sprintf "%s#%d" (worker_name w) w in
+    let name = worker_label w in
     [
       (Int64.of_int (code_base w), Int64.of_int code_len, name);
       (Int64.of_int (data_base w), Int64.of_int data_len, name ^ "/data");

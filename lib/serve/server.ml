@@ -21,6 +21,14 @@ type response =
   | Rejected_trap of Cp0.exc * Cap.Cause.t (* capability trap inside the worker *)
   | Abnormal of string (* should never happen; the smoke tallies pin it at 0 *)
 
+(* The response stream's small-integer encoding, shared by the sweep's
+   cross-isolation digest and the trace's request-end marker. *)
+let response_code = function
+  | Served c -> c + 10
+  | Rejected_kind -> 1
+  | Rejected_trap _ -> 2
+  | Abnormal _ -> 3
+
 type t = {
   machine : Machine.t;
   kernel : Os.Kernel.t;
@@ -31,6 +39,8 @@ type t = {
   units : Scenario.unit_img array;
   span : Obs.Span.t; (* kernel "ccall" span: in-compartment time *)
   crossing : Obs.Hist.t; (* per-crossing duration histogram (cycles) *)
+  trace : Obs.Trace.t option; (* cycle-timestamped request/kernel timeline *)
+  series : Obs.Series.t option; (* retirement-driven counter time-series *)
   mutable last_trap : (Cp0.exc * Cap.Cause.t) option;
 }
 
@@ -39,7 +49,7 @@ let boot_budget = 1_000_000L
 
 let config = { Machine.default_config with Machine.mem_size = Scenario.mem_size }
 
-let create ?(engine = Machine.Superblock) ?attrib ~isolation ~n () =
+let create ?(engine = Machine.Superblock) ?attrib ?trace ?series_interval ~isolation ~n () =
   if n < 1 || n > Scenario.max_workers then invalid_arg "Server.create: n";
   let machine = Machine.create ~config () in
   Machine.set_engine machine engine;
@@ -56,7 +66,28 @@ let create ?(engine = Machine.Superblock) ?attrib ~isolation ~n () =
   let span =
     Obs.Span.create ~durations:crossing ~read:(fun () -> Os.Kernel.read_counters kernel) ()
   in
-  Os.Kernel.set_obs ~span kernel;
+  (* The kernel records CCall/CReturn/trap trace events itself (it owns
+     the cycle of each transition), so the span does not get the trace —
+     phase events belong to coarser phases, not kernel crossings. *)
+  (match trace with
+  | Some tr ->
+      Obs.Trace.set_labels tr (Scenario.otype_labels ~n);
+      (* Only sampled requests record: stay disarmed through boot and
+         until the first [begin_request]. *)
+      Obs.Trace.skip_request tr
+  | None -> ());
+  Os.Kernel.set_obs ~span ?trace kernel;
+  let series =
+    match series_interval with
+    | Some interval ->
+        let s =
+          Obs.Series.create ~interval ~read:(fun () -> Os.Kernel.read_counters kernel) ()
+        in
+        Machine.set_step_hook machine
+          (Some (fun m -> Obs.Series.tick s ~instret:m.Machine.instret));
+        Some s
+    | None -> None
+  in
   let t =
     {
       machine;
@@ -68,6 +99,8 @@ let create ?(engine = Machine.Superblock) ?attrib ~isolation ~n () =
       units = Array.init n (Scenario.build_unit ~isolation);
       span;
       crossing;
+      trace;
+      series;
       last_trap = None;
     }
   in
@@ -130,7 +163,7 @@ let write_request t (req : Workload.request) =
 (* Serve one request; returns the response and its latency in simulated
    cycles.  The server loop survives every malformed request: traps
    unwind the trusted stack and restore the router's domain. *)
-let serve_one t (req : Workload.request) =
+let serve_one ?trace_id t (req : Workload.request) =
   let m = t.machine in
   write_request t req;
   let w = req.Workload.route land (t.n_workers - 1) in
@@ -140,6 +173,15 @@ let serve_one t (req : Workload.request) =
   m.Machine.cp0.Cp0.exl <- false;
   t.last_trap <- None;
   let c0 = m.Machine.cycles in
+  (match t.trace with
+  | Some tr -> (
+      match trace_id with
+      | Some id ->
+          Obs.Trace.begin_request tr ~ts:c0 ~id ~kind:req.Workload.kind
+            ~declared:req.Workload.declared_len ~actual:req.Workload.actual_len
+            ~route:req.Workload.route ~worker:w
+      | None -> Obs.Trace.skip_request tr)
+  | None -> ());
   let result = Machine.run_result ~max_insns:request_budget m in
   if Os.Kernel.trusted_stack_depth t.kernel > 0 then Os.Kernel.unwind_trusted_stack t.kernel;
   let latency = m.Machine.cycles - c0 in
@@ -154,6 +196,10 @@ let serve_one t (req : Workload.request) =
     | Machine.Exited code -> Abnormal (Printf.sprintf "unexpected exit %d" code)
     | r -> Abnormal (Fmt.str "%a" Machine.pp_run_result r)
   in
+  (match (t.trace, trace_id) with
+  | Some tr, Some _ ->
+      Obs.Trace.end_request tr ~ts:(c0 + latency) ~code:(response_code response)
+  | _ -> ());
   (response, latency)
 
 let counters t = Os.Kernel.read_counters t.kernel

@@ -22,6 +22,20 @@
 
 module Prng = Fault.Prng
 
+(* Tracing attachment: stride-sample 1-in-[stride] requests into a
+   bounded ring of [capacity] events, and (optionally) sample the
+   counter file every [series] retirements.  The stride phase is
+   derived from the workload seed, so which requests are sampled is a
+   property of the stream, not of the chunking — byte-identical for any
+   --jobs. *)
+type trace_cfg = {
+  stride : int; (* sample 1-in-this-many requests; <= 1 = all *)
+  capacity : int; (* trace ring capacity, events *)
+  series : int option; (* counter-sample interval, retirements *)
+}
+
+let default_trace = { stride = 64; capacity = 1 lsl 16; series = None }
+
 type cfg = {
   requests : int;
   base_seed : int64;
@@ -30,6 +44,7 @@ type cfg = {
   engine : Machine.engine;
   jobs : int;
   no_wall : bool; (* zero wall clocks: fully deterministic output *)
+  trace : trace_cfg option; (* None: no collector, zero overhead *)
 }
 
 let default_cfg =
@@ -41,6 +56,7 @@ let default_cfg =
     engine = Machine.Superblock;
     jobs = 1;
     no_wall = false;
+    trace = None;
   }
 
 let chunk_size = 4096
@@ -61,6 +77,10 @@ type point_result = {
   counters : Obs.Counters.t; (* architectural counters over all requests *)
   ccall_span : Obs.Counters.t; (* in-compartment aggregate (kernel span) *)
   crossing : Obs.Hist.t; (* per-crossing duration histogram *)
+  class_hists : Obs.Hist.t array; (* latency per size-class x accepted/rejected *)
+  comp_hists : Obs.Hist.t array; (* latency per worker compartment *)
+  trace : Obs.Trace.t option; (* merged sweep-wide event timeline *)
+  series : Obs.Series.t option; (* merged counter time-series *)
   wall_s : float;
 }
 
@@ -82,12 +102,39 @@ let mix64 x =
   Prng.next p
 
 let fold_digest d code = mix64 (Int64.logxor d (Int64.of_int (code + 0x1000)))
+let response_code = Server.response_code
 
-let response_code = function
-  | Server.Served c -> c + 10
-  | Server.Rejected_kind -> 1
-  | Server.Rejected_trap _ -> 2
-  | Server.Abnormal _ -> 3
+(* Which request ids a trace samples: abs_id mod stride = offset, with
+   the offset drawn from the workload seed so the sampled set is pinned
+   to the stream (chunking- and jobs-independent) but not always id 0. *)
+let trace_offset (cfg : cfg) =
+  match cfg.trace with
+  | Some tc when tc.stride > 1 ->
+      Int64.to_int
+        (Int64.rem
+           (Int64.logand (mix64 cfg.base_seed) 0x3FFF_FFFF_FFFF_FFFFL)
+           (Int64.of_int tc.stride))
+  | _ -> 0
+
+let traced_request (cfg : cfg) abs_id =
+  match cfg.trace with
+  | None -> false
+  | Some tc -> tc.stride <= 1 || abs_id mod tc.stride = trace_offset cfg
+
+(* Per-request latency classification: one histogram per (size class,
+   accepted/rejected) cell and one per worker compartment. *)
+let class_hist_count = Workload.size_classes * 2
+
+let class_hist_name i =
+  Printf.sprintf "lat/%s/%s"
+    (Workload.size_class_name (i / 2))
+    (if i mod 2 = 0 then "served" else "rejected")
+
+let make_class_hists () =
+  Array.init class_hist_count (fun i -> Obs.Hist.create ~name:(class_hist_name i) ())
+
+let make_comp_hists n =
+  Array.init n (fun w -> Obs.Hist.create ~name:("comp/" ^ Scenario.worker_label w) ())
 
 type chunk_out = {
   ch_latencies : int array;
@@ -99,13 +146,28 @@ type chunk_out = {
   ch_counters : Obs.Counters.t;
   ch_ccall : Obs.Counters.t;
   ch_crossing : Obs.Hist.t;
+  ch_class : Obs.Hist.t array;
+  ch_comp : Obs.Hist.t array;
+  ch_trace : Obs.Trace.t option;
+  ch_series : Obs.Series.t option;
+  ch_end_cycles : int; (* chunk machine's final cycle count (merge offset) *)
+  ch_end_instret : int;
   ch_wall : float;
 }
 
-let run_chunk cfg point ~index ~count =
+let run_chunk (cfg : cfg) point ~index ~count =
   let t0 = Unix.gettimeofday () in
+  let trace =
+    match cfg.trace with
+    | Some tc -> Some (Obs.Trace.create ~capacity:tc.capacity ())
+    | None -> None
+  in
+  let series_interval =
+    match cfg.trace with Some { series; _ } -> series | None -> None
+  in
   let server =
-    Server.create ~engine:cfg.engine ~isolation:point.isolation ~n:point.n ()
+    Server.create ~engine:cfg.engine ?trace ?series_interval ~isolation:point.isolation
+      ~n:point.n ()
   in
   Server.boot server;
   let reqs = Workload.gen_chunk ~mix:cfg.mix ~base_seed:cfg.base_seed ~index ~count in
@@ -115,15 +177,31 @@ let run_chunk cfg point ~index ~count =
   and rejected_trap = ref 0
   and abnormal = ref 0
   and digest = ref 0L in
+  let class_h = make_class_hists () in
+  let comp_h = make_comp_hists point.n in
   let latencies =
-    Array.map
-      (fun req ->
-        let response, latency = Server.serve_one server req in
+    Array.mapi
+      (fun j req ->
+        let abs_id = (index * chunk_size) + j in
+        let trace_id = if traced_request cfg abs_id then Some abs_id else None in
+        let response, latency = Server.serve_one ?trace_id server req in
+        let is_served = match response with Server.Served _ -> true | _ -> false in
         (match response with
         | Server.Served _ -> incr served
         | Server.Rejected_kind -> incr rejected_kind
         | Server.Rejected_trap _ -> incr rejected_trap
         | Server.Abnormal _ -> incr abnormal);
+        Obs.Hist.observe_int
+          class_h.((Workload.size_class req * 2) + if is_served then 0 else 1)
+          latency;
+        (* Rejected-kind requests never reach a worker; everything else
+           is attributable to the routed compartment. *)
+        (match response with
+        | Server.Rejected_kind -> ()
+        | _ ->
+            Obs.Hist.observe_int
+              comp_h.(req.Workload.route land (point.n - 1))
+              latency);
         digest := fold_digest !digest (response_code response);
         latency)
       reqs
@@ -144,6 +222,12 @@ let run_chunk cfg point ~index ~count =
     ch_counters;
     ch_ccall;
     ch_crossing = server.Server.crossing;
+    ch_class = class_h;
+    ch_comp = comp_h;
+    ch_trace = trace;
+    ch_series = server.Server.series;
+    ch_end_cycles = server.Server.machine.Machine.cycles;
+    ch_end_instret = server.Server.machine.Machine.instret;
     ch_wall = Unix.gettimeofday () -. t0;
   }
 
@@ -157,12 +241,38 @@ let chunks_of (cfg : cfg) =
 let merge_chunks (cfg : cfg) point outs =
   let crossing = Obs.Hist.create ~name:"domain crossing [cycles]" () in
   let counters = Obs.Counters.create () and ccall = Obs.Counters.create () in
+  let class_hists = make_class_hists () in
+  let comp_hists = make_comp_hists point.n in
   let served = ref 0
   and rejected_kind = ref 0
   and rejected_trap = ref 0
   and abnormal = ref 0
   and digest = ref 0L
   and wall = ref 0.0 in
+  (* Each chunk's trace and series carry that chunk machine's own clock
+     (starting at 0); shifting chunk i by the cumulative cycle/instret
+     totals of chunks 0..i-1 reconstructs one monotonic sweep-wide
+     timeline, identical for any --jobs. *)
+  let trace =
+    match cfg.trace with
+    | Some _ ->
+        let total =
+          List.fold_left
+            (fun acc ch ->
+              acc + match ch.ch_trace with Some tr -> Obs.Trace.length tr | None -> 0)
+            0 outs
+        in
+        let tr = Obs.Trace.create ~capacity:total () in
+        Obs.Trace.set_labels tr (Scenario.otype_labels ~n:point.n);
+        Some tr
+    | None -> None
+  in
+  let series =
+    match cfg.trace with
+    | Some { series = Some interval; _ } -> Some (Obs.Series.create ~interval ())
+    | _ -> None
+  in
+  let cyc_off = ref 0 and ins_off = ref 0 in
   List.iter
     (fun ch ->
       served := !served + ch.ch_served;
@@ -173,8 +283,20 @@ let merge_chunks (cfg : cfg) point outs =
       Obs.Counters.accumulate counters ch.ch_counters;
       Obs.Counters.accumulate ccall ch.ch_ccall;
       Obs.Hist.merge crossing ch.ch_crossing;
+      Array.iteri (fun i h -> Obs.Hist.merge class_hists.(i) h) ch.ch_class;
+      Array.iteri (fun i h -> Obs.Hist.merge comp_hists.(i) h) ch.ch_comp;
+      (match (trace, ch.ch_trace) with
+      | Some into, Some src -> Obs.Trace.append src ~ts_offset:!cyc_off ~into
+      | _ -> ());
+      (match (series, ch.ch_series) with
+      | Some into, Some src ->
+          Obs.Series.append src ~instret_offset:!ins_off ~cycles_offset:!cyc_off ~into
+      | _ -> ());
+      cyc_off := !cyc_off + ch.ch_end_cycles;
+      ins_off := !ins_off + ch.ch_end_instret;
       wall := !wall +. ch.ch_wall)
     outs;
+  (match series with Some s -> Obs.Series.sanitize s | None -> ());
   {
     point;
     requests = cfg.requests;
@@ -187,6 +309,10 @@ let merge_chunks (cfg : cfg) point outs =
     counters;
     ccall_span = ccall;
     crossing;
+    class_hists;
+    comp_hists;
+    trace;
+    series;
     wall_s = (if cfg.no_wall then 0.0 else !wall);
   }
 
@@ -329,12 +455,18 @@ let point_to_json pr =
             ("cycles", Obs.Json.Int (Obs.Counters.get pr.ccall_span Obs.Counters.cycles));
           ] );
       ("crossing_hist", Obs.Hist.to_json pr.crossing);
+      ( "class_hists",
+        Obs.Json.List (Array.to_list (Array.map Obs.Hist.to_json pr.class_hists)) );
+      ( "compartment_hists",
+        Obs.Json.List (Array.to_list (Array.map Obs.Hist.to_json pr.comp_hists)) );
     ]
 
+(* cheri-serve/2 adds per-point `class_hists` (latency per size-class x
+   accepted/rejected) and `compartment_hists` (latency per worker). *)
 let to_json r =
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.String "cheri-serve/1");
+      ("schema", Obs.Json.String "cheri-serve/2");
       ("requests", Obs.Json.Int (Int64.of_int r.cfg.requests));
       ("seed", Obs.Json.String (Printf.sprintf "0x%Lx" r.cfg.base_seed));
       ("digests_match", Obs.Json.Bool r.digests_match);
@@ -393,3 +525,89 @@ let obs_entries r =
         spans;
       })
     r.points
+
+(* --- trace exports --------------------------------------------------------- *)
+
+(* The full Chrome trace-event document (Perfetto / about://tracing):
+   one process per sweep point, duration tracks from the trace, counter
+   tracks from the series. *)
+let chrome_json r =
+  let parts =
+    List.concat
+      (List.mapi
+         (fun i pr ->
+           let pid = i + 1 in
+           (match pr.trace with
+           | Some tr -> Obs.Trace.to_chrome_events ~pid ~process:(point_name pr.point) tr
+           | None -> [])
+           @ match pr.series with Some s -> Obs.Series.to_chrome_events ~pid s | None -> [])
+         r.points)
+  in
+  Obs.Trace.chrome_document parts
+
+(* cheri-obs-trace/1: the diffable digest of a traced sweep, in the
+   bench-file shape so Obs.Baseline loads it and Obs.Diff pins it.  Each
+   point is one entry; the spans object carries the per-request-class
+   and per-compartment latency histograms as integer field sets, plus
+   the trace/series cardinalities.  Everything is architectural, so the
+   file is byte-identical for any --jobs and either engine. *)
+let trace_obs_json r =
+  let hist_fields h =
+    [
+      ("total", Obs.Json.Int (Int64.of_int h.Obs.Hist.total));
+      ("sum", Obs.Json.Int h.Obs.Hist.sum);
+      ("min", Obs.Json.Int (if h.Obs.Hist.total = 0 then 0L else h.Obs.Hist.vmin));
+      ("max", Obs.Json.Int h.Obs.Hist.vmax);
+      ("p50", Obs.Json.Int (Obs.Hist.quantile h 0.50));
+      ("p99", Obs.Json.Int (Obs.Hist.quantile h 0.99));
+    ]
+  in
+  let entry pr =
+    let c = architectural_counters pr.counters in
+    let spans =
+      List.map (fun h -> (h.Obs.Hist.name, Obs.Json.Obj (hist_fields h)))
+        (Array.to_list pr.class_hists @ Array.to_list pr.comp_hists)
+      @ [
+          ( "trace/events",
+            Obs.Json.Obj
+              [
+                ( "recorded",
+                  Obs.Json.Int
+                    (Int64.of_int
+                       (match pr.trace with Some tr -> Obs.Trace.recorded tr | None -> 0)) );
+                ( "dropped",
+                  Obs.Json.Int
+                    (Int64.of_int
+                       (match pr.trace with Some tr -> Obs.Trace.dropped tr | None -> 0)) );
+              ] );
+          ( "series/samples",
+            Obs.Json.Obj
+              [
+                ( "count",
+                  Obs.Json.Int
+                    (Int64.of_int
+                       (match pr.series with Some s -> Obs.Series.count s | None -> 0)) );
+              ] );
+        ]
+    in
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "trace");
+        ("mode", Obs.Json.String (Scenario.isolation_name pr.point.isolation));
+        ("param", Obs.Json.Int (Int64.of_int pr.point.n));
+        ("cycles", Obs.Json.Int (Obs.Counters.get c Obs.Counters.cycles));
+        ("instret", Obs.Json.Int (Obs.Counters.get c Obs.Counters.instret));
+        ("wall_s", Obs.Json.Float 0.0);
+        ("sim_mips", Obs.Json.Float 0.0);
+        ( "counters",
+          Obs.Json.Obj
+            (List.map (fun (n, v) -> (n, Obs.Json.Int v)) (Obs.Export.counter_fields c)) );
+        ("spans", Obs.Json.Obj spans);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String Obs.Export.schema_trace);
+      ("interp_instr_per_s", Obs.Json.Float 0.0);
+      ("benchmarks", Obs.Json.List (List.map entry r.points));
+    ]

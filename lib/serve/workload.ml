@@ -48,6 +48,14 @@ let expected req =
   else if req.declared_len > req.actual_len then Expect_reject_trap
   else Expect_served
 
+(* Size class of a request's transmitted payload, matching the
+   generator's mix bands: small (1-16 words), medium (17-64), large
+   (65+).  Keyed on actual_len so malformed requests classify by what
+   was really sent, not by the lying header. *)
+let size_classes = 3
+let size_class req = if req.actual_len <= 16 then 0 else if req.actual_len <= 64 then 1 else 2
+let size_class_name = function 0 -> "small" | 1 -> "medium" | _ -> "large"
+
 (* Payload word [i] of a request: non-negative 20-bit values, so worker
    arithmetic (sums, token counts) stays positive and small. *)
 let payload_word seed i =

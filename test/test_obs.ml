@@ -623,6 +623,95 @@ let test_attrib_sums_match_counters () =
     "some PC attributed a D-miss" true
     (Obs.Attrib.top_pcs a ~by:Obs.Attrib.c_l1d_miss ~n:1 () <> [])
 
+(* --- trace collector ------------------------------------------------------- *)
+
+let test_trace_ring () =
+  let tr = Obs.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Obs.Trace.phase_begin tr ~ts:i (Printf.sprintf "p%d" i)
+  done;
+  Alcotest.(check int) "ring holds capacity" 4 (Obs.Trace.length tr);
+  Alcotest.(check int) "every record counted" 10 (Obs.Trace.recorded tr);
+  Alcotest.(check int) "overflow dropped oldest" 6 (Obs.Trace.dropped tr);
+  (* Oldest-first: the survivors are the last four pushes. *)
+  match Obs.Trace.events tr with
+  | { Obs.Trace.ts = 6; _ } :: _ -> ()
+  | e :: _ -> Alcotest.fail (Printf.sprintf "oldest survivor at ts %d, expected 6" e.Obs.Trace.ts)
+  | [] -> Alcotest.fail "ring empty"
+
+let test_trace_arming () =
+  let tr = Obs.Trace.create () in
+  (* Armed from creation (profiled runs have no request stream). *)
+  Obs.Trace.ccall tr ~ts:1 ~otype:0x40;
+  Alcotest.(check int) "armed by default" 1 (Obs.Trace.recorded tr);
+  Obs.Trace.skip_request tr;
+  Obs.Trace.ccall tr ~ts:2 ~otype:0x40;
+  Alcotest.(check int) "disarmed records nothing" 1 (Obs.Trace.recorded tr);
+  Obs.Trace.begin_request tr ~ts:3 ~id:7 ~kind:1 ~declared:4 ~actual:4 ~route:0 ~worker:0;
+  Obs.Trace.ccall tr ~ts:4 ~otype:0x41;
+  Obs.Trace.end_request tr ~ts:5 ~code:11;
+  Obs.Trace.ccall tr ~ts:6 ~otype:0x41;
+  Alcotest.(check int) "request window recorded, tail did not" 4 (Obs.Trace.recorded tr);
+  let reqs = List.map (fun e -> e.Obs.Trace.req) (Obs.Trace.events tr) in
+  Alcotest.(check (list int)) "request id stamped" [ -1; 7; 7; 7 ] reqs
+
+let test_trace_chrome_balance () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.set_labels tr [ (0x40, "w0") ];
+  Obs.Trace.begin_request tr ~ts:10 ~id:0 ~kind:2 ~declared:8 ~actual:8 ~route:0 ~worker:0;
+  Obs.Trace.ccall tr ~ts:12 ~otype:0x40;
+  (* An unwound creturn still closes the worker span... *)
+  Obs.Trace.trap tr ~ts:20 ~exc:"CP2" ~cause:"length" ~pc:0x1000L;
+  Obs.Trace.creturn tr ~ts:20 ~otype:0x40 ~unwound:true;
+  Obs.Trace.end_request tr ~ts:21 ~code:2;
+  (* ...and a dangling open is retracted rather than exported. *)
+  Obs.Trace.begin_request tr ~ts:30 ~id:1 ~kind:0 ~declared:1 ~actual:1 ~route:1 ~worker:0;
+  Obs.Trace.ccall tr ~ts:31 ~otype:0x40;
+  let events = Obs.Trace.to_chrome_events ~pid:1 ~process:"test" tr in
+  let ph e = match Obs.Json.member "ph" e with Some (Obs.Json.String s) -> s | _ -> "?" in
+  let opens = List.length (List.filter (fun e -> ph e = "B") events)
+  and closes = List.length (List.filter (fun e -> ph e = "E") events) in
+  Alcotest.(check int) "balanced B/E" opens closes;
+  Alcotest.(check int) "one request + one worker span survive" 2 opens;
+  Alcotest.(check int) "trap instant exported" 1
+    (List.length (List.filter (fun e -> ph e = "i") events));
+  (* Round-trips through the serializer as valid JSON. *)
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Trace.chrome_document events)) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_series_boundaries () =
+  let c = Obs.Counters.create () in
+  let read () = Obs.Counters.copy c in
+  let s = Obs.Series.create ~interval:100 ~read () in
+  let step n =
+    for _ = 1 to n do
+      Obs.Counters.incr c Obs.Counters.instret;
+      Obs.Counters.incr c Obs.Counters.cycles;
+      Obs.Series.tick s ~instret:(Int64.to_int (Obs.Counters.get c Obs.Counters.instret))
+    done
+  in
+  step 99;
+  Alcotest.(check int) "below the boundary: no sample" 0 (Obs.Series.count s);
+  step 1;
+  Alcotest.(check int) "boundary sampled" 1 (Obs.Series.count s);
+  step 250;
+  Alcotest.(check int) "every interval sampled once" 3 (Obs.Series.count s);
+  let deltas =
+    List.map
+      (fun (smp : Obs.Series.sample) -> Obs.Counters.get smp.Obs.Series.delta Obs.Counters.instret)
+      (Obs.Series.samples s)
+  in
+  Alcotest.(check (list int64)) "deltas partition the stream" [ 100L; 100L; 100L ] deltas;
+  (* Merging with offsets preserves order and shifts boundaries. *)
+  let merged = Obs.Series.create ~interval:100 () in
+  Obs.Series.append s ~instret_offset:0 ~cycles_offset:0 ~into:merged;
+  Obs.Series.append s ~instret_offset:1000 ~cycles_offset:1000 ~into:merged;
+  Alcotest.(check int) "merged sample count" 6 (Obs.Series.count merged);
+  match List.rev (Obs.Series.samples merged) with
+  | last :: _ -> Alcotest.(check int) "offset applied" 1300 last.Obs.Series.at_instret
+  | [] -> Alcotest.fail "merged series empty"
+
 let suites =
   [
     ( "obs",
@@ -645,5 +734,9 @@ let suites =
         Alcotest.test_case "baseline versions" `Quick test_baseline_versions;
         Alcotest.test_case "diff policy" `Quick test_diff_policy;
         Alcotest.test_case "attrib sums match counters" `Quick test_attrib_sums_match_counters;
+        Alcotest.test_case "trace ring" `Quick test_trace_ring;
+        Alcotest.test_case "trace arming" `Quick test_trace_arming;
+        Alcotest.test_case "trace chrome balance" `Quick test_trace_chrome_balance;
+        Alcotest.test_case "series boundaries" `Quick test_series_boundaries;
       ] );
   ]

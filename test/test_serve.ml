@@ -154,6 +154,96 @@ let test_counters_flow () =
   Alcotest.(check int64) "one context save" 1L (Obs.Counters.get d Obs.Counters.ctx_saves);
   Alcotest.(check int64) "one context restore" 1L (Obs.Counters.get d Obs.Counters.ctx_restores)
 
+(* The empty-sample guard: percentiles of no observations are 0, and a
+   sweep whose every request is malformed (no served latencies anywhere
+   in a class) must complete without raising. *)
+let test_percentile_empty () =
+  Alcotest.(check int) "p50 of nothing" 0 (Serve.Sweep.percentile [||] 0.50);
+  Alcotest.(check int) "p99 of nothing" 0 (Serve.Sweep.percentile [||] 0.99);
+  Alcotest.(check int) "p50 of one" 7 (Serve.Sweep.percentile [| 7 |] 0.50)
+
+let test_all_malformed_sweep () =
+  let cfg =
+    {
+      Serve.Sweep.default_cfg with
+      Serve.Sweep.requests = 256;
+      mix = { Serve.Workload.default_mix with Serve.Workload.malformed_denom = 1 };
+      ns = [ 1 ];
+      no_wall = true;
+    }
+  in
+  let r = Serve.Sweep.run cfg in
+  Alcotest.(check bool) "digests match" true r.Serve.Sweep.digests_match;
+  List.iter
+    (fun (pr : Serve.Sweep.point_result) ->
+      Alcotest.(check int) "nothing served" 0 pr.Serve.Sweep.served;
+      Alcotest.(check int) "all rejected" 256
+        (pr.Serve.Sweep.rejected_kind + pr.Serve.Sweep.rejected_trap))
+    r.Serve.Sweep.points;
+  (* The report renders (percentiles over empty served classes included)
+     without raising. *)
+  ignore (Obs.Json.to_string (Serve.Sweep.to_json r));
+  ignore (Fmt.str "%a" Serve.Sweep.pp_result r)
+
+(* Attaching the trace collector and the counter series must not move a
+   single architectural number. *)
+let test_trace_zero_perturbation () =
+  let base =
+    {
+      Serve.Sweep.default_cfg with
+      Serve.Sweep.requests = 128;
+      ns = [ 2 ];
+      no_wall = true;
+    }
+  in
+  let traced =
+    {
+      base with
+      Serve.Sweep.trace =
+        Some { Serve.Sweep.stride = 4; capacity = 1 lsl 12; series = Some 10_000 };
+    }
+  in
+  let plain = Serve.Sweep.run base and r = Serve.Sweep.run traced in
+  Alcotest.(check string) "report identical"
+    (Obs.Json.to_string (Serve.Sweep.to_json plain))
+    (Obs.Json.to_string (Serve.Sweep.to_json r));
+  List.iter
+    (fun (pr : Serve.Sweep.point_result) ->
+      match pr.Serve.Sweep.trace with
+      | None -> Alcotest.fail "traced sweep lost its collector"
+      | Some tr -> Alcotest.(check bool) "events recorded" true (Obs.Trace.recorded tr > 0))
+    r.Serve.Sweep.points
+
+(* The per-request-class histograms partition the stream: the class
+   totals sum to the request count, and rejected cells match the
+   tallies. *)
+let test_class_hists_partition () =
+  let cfg =
+    { Serve.Sweep.default_cfg with Serve.Sweep.requests = 512; ns = [ 2 ]; no_wall = true }
+  in
+  let r = Serve.Sweep.run cfg in
+  List.iter
+    (fun (pr : Serve.Sweep.point_result) ->
+      let total =
+        Array.fold_left (fun acc h -> acc + Obs.Hist.total h) 0 pr.Serve.Sweep.class_hists
+      in
+      Alcotest.(check int) "class cells partition the stream" pr.Serve.Sweep.requests total;
+      let rejected =
+        Array.to_list pr.Serve.Sweep.class_hists
+        |> List.filteri (fun i _ -> i mod 2 = 1)
+        |> List.fold_left (fun acc h -> acc + Obs.Hist.total h) 0
+      in
+      Alcotest.(check int) "rejected cells match the tallies"
+        (pr.Serve.Sweep.rejected_kind + pr.Serve.Sweep.rejected_trap + pr.Serve.Sweep.abnormal)
+        rejected;
+      let comp_total =
+        Array.fold_left (fun acc h -> acc + Obs.Hist.total h) 0 pr.Serve.Sweep.comp_hists
+      in
+      Alcotest.(check int) "compartment cells cover all routed requests"
+        (pr.Serve.Sweep.requests - pr.Serve.Sweep.rejected_kind)
+        comp_total)
+    r.Serve.Sweep.points
+
 let suites =
   [
     ( "serve-workload",
@@ -169,5 +259,12 @@ let suites =
         Alcotest.test_case "reject bad kind" `Quick test_reject_bad_kind;
         Alcotest.test_case "reject lying header" `Quick test_reject_lying_header;
         Alcotest.test_case "counters flow" `Quick test_counters_flow;
+      ] );
+    ( "serve-sweep",
+      [
+        Alcotest.test_case "percentile of empty" `Quick test_percentile_empty;
+        Alcotest.test_case "all-malformed sweep" `Quick test_all_malformed_sweep;
+        Alcotest.test_case "trace zero perturbation" `Quick test_trace_zero_perturbation;
+        Alcotest.test_case "class hists partition" `Quick test_class_hists_partition;
       ] );
   ]

@@ -1,0 +1,226 @@
+(* trace-smoke: the cycle-timestamped causal trace as a standing test
+   (`dune build @trace-smoke`, pulled into `dune runtest`).
+
+   One 5000-request traced sweep (N=2, both isolation modes, 1-in-8
+   stride sampling, a 25k-retirement counter series, wall clocks off);
+   the request count exceeds one chunk so the shard-in-order timestamp
+   merge is exercised.  Oracles:
+
+     - determinism: the Chrome trace-event JSON and the cheri-obs-trace/1
+       digest are byte-identical for --jobs 1 vs 3 and for either
+       interpreter engine;
+     - validity: every (pid, tid) track has strictly increasing
+       timestamps and balanced B/E nesting (Perfetto-loadable by
+       construction);
+     - causality: per point, the request spans on the timeline sum to
+       exactly the simulated latencies of the sampled requests — and in
+       a stride-1 run, to the point's total counter-file cycles;
+     - zero perturbation: an untraced run of the same sweep produces a
+       byte-identical cheri-serve/2 report (same counters, latencies,
+       digests — the collector never touches architectural state);
+     - the committed baseline: the cheri-obs-trace/1 export must diff
+       clean against bench/baselines/TRACE_obs.json.
+
+   After an intentional behaviour change, regenerate the baseline with
+
+     dune exec test/trace_smoke.exe -- --write bench/baselines/TRACE_obs.json
+*)
+
+let fail fmt = Fmt.kstr (fun s -> prerr_endline ("trace-smoke: " ^ s); exit 1) fmt
+
+let trace_cfg = { Serve.Sweep.stride = 8; capacity = 1 lsl 14; series = Some 25_000 }
+
+let cfg ?(engine = Machine.Superblock) jobs =
+  {
+    Serve.Sweep.default_cfg with
+    Serve.Sweep.requests = 5000;
+    ns = [ 2 ];
+    engine;
+    jobs;
+    no_wall = true;
+    trace = Some trace_cfg;
+  }
+
+(* --- Chrome trace-event validation ----------------------------------------- *)
+
+let str name e =
+  match Obs.Json.member name e with
+  | Some (Obs.Json.String s) -> s
+  | _ -> fail "trace event lacks string field %S" name
+
+let int_field name e =
+  match Option.bind (Obs.Json.member name e) Obs.Json.to_int_opt with
+  | Some v -> Int64.to_int v
+  | None -> fail "trace event lacks integer field %S" name
+
+let events_of doc =
+  match Obs.Json.member "traceEvents" doc with
+  | Some (Obs.Json.List l) -> l
+  | _ -> fail "chrome document lacks a traceEvents list"
+
+(* Strictly increasing timestamps per (pid, tid) track and balanced B/E
+   nesting.  [allow_contiguous] permits a B at the timestamp of the
+   preceding E on the same track — back-to-back spans, which stride-1
+   request sampling produces by construction. *)
+let validate_chrome ~allow_contiguous doc =
+  let last : (int * int, int * string) Hashtbl.t = Hashtbl.create 16 in
+  let depth : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let counter_last : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let ph = str "ph" e in
+      let pid = int_field "pid" e in
+      match ph with
+      | "M" -> ()
+      | "C" ->
+          let key = (pid, str "name" e) in
+          let ts = int_field "ts" e in
+          (match Hashtbl.find_opt counter_last key with
+          | Some prev when prev >= ts ->
+              fail "counter track (%d, %s): ts %d after %d" pid (snd key) ts prev
+          | _ -> ());
+          Hashtbl.replace counter_last key ts
+      | "B" | "E" | "i" ->
+          let tid = int_field "tid" e in
+          let ts = int_field "ts" e in
+          (match Hashtbl.find_opt last (pid, tid) with
+          | Some (prev, prev_ph) ->
+              let ok =
+                ts > prev || (allow_contiguous && ts = prev && prev_ph = "E" && ph = "B")
+              in
+              if not ok then
+                fail "track (%d, %d): ts %d (%s) does not advance past %d (%s)" pid tid ts ph
+                  prev prev_ph
+          | None -> ());
+          Hashtbl.replace last (pid, tid) (ts, ph);
+          let d = Option.value (Hashtbl.find_opt depth (pid, tid)) ~default:0 in
+          (match ph with
+          | "B" -> Hashtbl.replace depth (pid, tid) (d + 1)
+          | "E" ->
+              if d = 0 then fail "track (%d, %d): E with no open B at ts %d" pid tid ts;
+              Hashtbl.replace depth (pid, tid) (d - 1)
+          | _ -> ())
+      | ph -> fail "unexpected event phase %S" ph)
+    (events_of doc);
+  Hashtbl.iter
+    (fun (pid, tid) d -> if d <> 0 then fail "track (%d, %d): %d unclosed B events" pid tid d)
+    depth
+
+(* Sum of request-span durations (tid 1) per pid, from the exported
+   document — the exporter-side view of the sampled latencies. *)
+let request_span_sums doc =
+  let sums : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let open_b : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let ph = str "ph" e in
+      if (ph = "B" || ph = "E") && int_field "tid" e = 1 then begin
+        let pid = int_field "pid" e in
+        let ts = int_field "ts" e in
+        match ph with
+        | "B" -> Hashtbl.replace open_b pid ts
+        | _ ->
+            let b =
+              match Hashtbl.find_opt open_b pid with
+              | Some b -> b
+              | None -> fail "pid %d: request E without B" pid
+            in
+            Hashtbl.remove open_b pid;
+            Hashtbl.replace sums pid (Option.value (Hashtbl.find_opt sums pid) ~default:0 + (ts - b))
+      end)
+    (events_of doc);
+  sums
+
+let check_request_sums ~label cfg (r : Serve.Sweep.result) =
+  let doc = Serve.Sweep.chrome_json r in
+  let sums = request_span_sums doc in
+  List.iteri
+    (fun i (pr : Serve.Sweep.point_result) ->
+      let expected = ref 0 in
+      Array.iteri
+        (fun abs_id lat -> if Serve.Sweep.traced_request cfg abs_id then expected := !expected + lat)
+        pr.Serve.Sweep.latencies;
+      let got = Option.value (Hashtbl.find_opt sums (i + 1)) ~default:0 in
+      if got <> !expected then
+        fail "%s %s: request spans sum to %d cycles, sampled latencies to %d" label
+          (Serve.Sweep.point_name pr.Serve.Sweep.point)
+          got !expected)
+    r.Serve.Sweep.points
+
+let () =
+  match Sys.argv with
+  | [| _; "--write"; path |] ->
+      let r = Serve.Sweep.run (cfg 1) in
+      if not r.Serve.Sweep.digests_match then fail "digest mismatch across isolation modes";
+      Obs.Json.to_file path (Serve.Sweep.trace_obs_json r);
+      Printf.printf "trace-smoke: wrote baseline %s\n" path
+  | [| _; baseline_path |] -> (
+      let r = Serve.Sweep.run (cfg 1) in
+      if not r.Serve.Sweep.digests_match then fail "digest mismatch across isolation modes";
+      let chrome = Obs.Json.to_string (Serve.Sweep.chrome_json r) in
+      let tobs = Obs.Json.to_string (Serve.Sweep.trace_obs_json r) in
+      (* Determinism: --jobs and engine must not move a byte. *)
+      let r3 = Serve.Sweep.run (cfg 3) in
+      if not (String.equal chrome (Obs.Json.to_string (Serve.Sweep.chrome_json r3))) then
+        fail "3-domain chrome trace differs from sequential";
+      if not (String.equal tobs (Obs.Json.to_string (Serve.Sweep.trace_obs_json r3))) then
+        fail "3-domain trace digest differs from sequential";
+      let rp = Serve.Sweep.run (cfg ~engine:Machine.Plain 1) in
+      if not (String.equal chrome (Obs.Json.to_string (Serve.Sweep.chrome_json rp))) then
+        fail "plain-engine chrome trace differs from superblock";
+      if not (String.equal tobs (Obs.Json.to_string (Serve.Sweep.trace_obs_json rp))) then
+        fail "plain-engine trace digest differs from superblock";
+      (* Validity and causality of the exported timeline. *)
+      validate_chrome ~allow_contiguous:false (Serve.Sweep.chrome_json r);
+      check_request_sums ~label:"stride-8" (cfg 1) r;
+      (* Zero perturbation: the untraced sweep must report byte-identical
+         counters, latencies, and digests. *)
+      let untraced =
+        Serve.Sweep.run { (cfg 1) with Serve.Sweep.trace = None }
+      in
+      if
+        not
+          (String.equal
+             (Obs.Json.to_string (Serve.Sweep.to_json r))
+             (Obs.Json.to_string (Serve.Sweep.to_json untraced)))
+      then fail "tracing perturbed the sweep report";
+      (* Stride 1: every request sampled, so the request spans must sum
+         to the point's total counter-file cycles. *)
+      let mini_cfg =
+        {
+          Serve.Sweep.default_cfg with
+          Serve.Sweep.requests = 512;
+          ns = [ 1 ];
+          no_wall = true;
+          trace = Some { Serve.Sweep.stride = 1; capacity = 1 lsl 13; series = None };
+        }
+      in
+      let mini = Serve.Sweep.run mini_cfg in
+      validate_chrome ~allow_contiguous:true (Serve.Sweep.chrome_json mini);
+      check_request_sums ~label:"stride-1" mini_cfg mini;
+      let mini_sums = request_span_sums (Serve.Sweep.chrome_json mini) in
+      List.iteri
+        (fun i (pr : Serve.Sweep.point_result) ->
+          let total =
+            Int64.to_int (Obs.Counters.get pr.Serve.Sweep.counters Obs.Counters.cycles)
+          in
+          let got = Option.value (Hashtbl.find_opt mini_sums (i + 1)) ~default:0 in
+          if got <> total then
+            fail "stride-1 %s: request spans sum to %d cycles, counter file says %d"
+              (Serve.Sweep.point_name pr.Serve.Sweep.point)
+              got total)
+        mini.Serve.Sweep.points;
+      (* The committed baseline: exact architectural diff. *)
+      match Obs.Baseline.load baseline_path with
+      | Error msg -> fail "%s" msg
+      | Ok committed -> (
+          match Obs.Baseline.of_string tobs with
+          | Error msg -> fail "live trace export does not load: %s" msg
+          | Ok live ->
+              let report = Obs.Diff.run committed live in
+              Fmt.pr "trace-smoke: %s vs live {trace x mono,compart, N=2}@.%a@." baseline_path
+                Obs.Diff.pp report;
+              exit (Obs.Diff.exit_code report)))
+  | _ ->
+      Printf.eprintf "usage: trace_smoke (BASELINE.json | --write BASELINE.json)\n";
+      exit 2
