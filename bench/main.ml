@@ -469,11 +469,37 @@ let micro ~quick () =
     Test.make ~name:"cache access, L1 hit (same line)"
       (Staged.stage (fun () -> ignore (Mem.Cache.access c ~addr:0x2008L ~write:false)))
   in
+  (* The warm-pool primitives (docs/PERFORMANCE.md "serving throughput"):
+     what one post-boot snapshot costs (full image copy, paid once per
+     pooled server) and what one dirty-page rewind costs (paid per
+     chunk, proportional to pages written — here 32, a mailbox-sized
+     working set). *)
+  let snapshot_capture =
+    let s = Serve.Server.create ~isolation:Serve.Scenario.Compart ~n:4 () in
+    Serve.Server.boot s;
+    let m = s.Serve.Server.machine in
+    Test.make ~name:"machine checkpoint (16 MiB serve image)"
+      (Staged.stage (fun () -> ignore (Machine.checkpoint m)))
+  in
+  let snapshot_restore =
+    let s = Serve.Server.create ~isolation:Serve.Scenario.Compart ~n:4 () in
+    Serve.Server.boot s;
+    let m = s.Serve.Server.machine in
+    let ck = Machine.checkpoint m in
+    Test.make ~name:"machine restore (32 dirty pages)"
+      (Staged.stage (fun () ->
+           for p = 0 to 31 do
+             Mem.Phys.write_u64 m.Machine.phys
+               (Int64.of_int (0x40_0000 + (p * Mem.Phys.page_bytes)))
+               0xABL
+           done;
+           ignore (Machine.restore m ck : int)))
+  in
   let tests =
     Test.make_grouped ~name:"cheri" ~fmt:"%s %s"
       [
         cap_ops; cap_bytes; decode; interp; cache; steady_hit; sb_dispatch; cold_fetch; tlb_hit;
-        l1_hit;
+        l1_hit; snapshot_capture; snapshot_restore;
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in

@@ -43,8 +43,8 @@ let attribution (cfg : Serve.Sweep.cfg) ~n ~top =
     (Obs.Attrib.pp_regions ~by:Obs.Attrib.c_l1d_miss ~n:top)
     a
 
-let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wall json obs_json
-    trace_file trace_obs trace_stride series attrib =
+let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wall cold json
+    obs_json trace_file trace_obs trace_stride series attrib =
   let ns =
     match ns with
     | [] ->
@@ -83,6 +83,7 @@ let run requests seed ns max_words malformed_denom burst_denom engine jobs no_wa
       jobs;
       no_wall;
       trace;
+      cold;
     }
   in
   let r = Serve.Sweep.run cfg in
@@ -173,6 +174,15 @@ let trace_stride =
     & info [ "trace-stride" ] ~docv:"K"
         ~doc:"Trace 1 in $(docv) requests (deterministic, seed-phased; <= 1 traces all).")
 
+let cold =
+  Arg.(
+    value & flag
+    & info [ "cold" ]
+        ~doc:
+          "Boot a fresh server for every chunk instead of rewinding a pooled warm one \
+           (slower; output is bit-identical either way — this is the reference path the \
+           warm pool is checked against).")
+
 let attrib =
   Arg.(
     value & flag
@@ -187,7 +197,7 @@ let cmd =
        ~doc:"Sealed-capability multi-compartment request serving vs a monolithic baseline")
     Term.(
       const run $ requests $ seed $ ns $ max_words $ malformed_denom $ burst_denom $ Cli.engine
-      $ Cli.jobs $ Cli.no_wall $ json $ obs_json $ Cli.trace_file $ trace_obs $ trace_stride
-      $ Cli.series $ attrib)
+      $ Cli.jobs $ Cli.no_wall $ cold $ json $ obs_json $ Cli.trace_file $ trace_obs
+      $ trace_stride $ Cli.series $ attrib)
 
 let () = exit (Cmd.eval cmd)

@@ -42,3 +42,41 @@ let map ?(jobs = 1) f xs =
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false (* every index was claimed by some worker *))
   end
+
+(* A per-domain memo table for expensive resources a pool worker reuses
+   across the work items it claims — the serve sweep's warm-server pool
+   keeps one booted machine per (isolation, n, engine) it has seen.
+
+   Domain-local storage keeps the cache lock-free and keeps each cached
+   value confined to the domain that built it: a mutable resource (a
+   simulator instance, say) is never visible to two domains, so reuse
+   needs no synchronisation and cannot perturb [map]'s determinism —
+   which item lands on which domain may vary, but every item finds
+   either a fresh resource or one reset by its own domain.
+
+   Values are evicted oldest-first once a domain holds [cap] of them;
+   there is no cross-domain eviction or accounting, so peak footprint is
+   [cap] values per spawned domain. *)
+module Cache = struct
+  type ('k, 'v) t = {
+    slot : (('k, 'v) Hashtbl.t * 'k Queue.t) Domain.DLS.key;
+    cap : int;
+  }
+
+  let create ?(cap = 16) () =
+    if cap < 1 then invalid_arg "Pool.Cache.create: cap";
+    { slot = Domain.DLS.new_key (fun () -> (Hashtbl.create 8, Queue.create ())); cap }
+
+  (* [find_or_make t k make] returns this domain's cached value for [k],
+     building (and caching) it with [make] on first use. *)
+  let find_or_make t k make =
+    let tbl, order = Domain.DLS.get t.slot in
+    match Hashtbl.find_opt tbl k with
+    | Some v -> v
+    | None ->
+        let v = make () in
+        Hashtbl.replace tbl k v;
+        Queue.push k order;
+        if Queue.length order > t.cap then Hashtbl.remove tbl (Queue.pop order);
+        v
+end

@@ -363,3 +363,44 @@ let run_result ?(max_insns = 200_000_000L) ?watchdog t program =
   exec t program;
   let result = Machine.run_result ~max_insns ?watchdog t.machine in
   (result, console t)
+
+(* --- kernel checkpoint / restore ---------------------------------------- *)
+
+(* The native kernel model's half of the warm-server checkpoint: the
+   machine's [Machine.checkpoint] captures architectural state, this
+   captures the kernel bookkeeping that lives beside it — heap break,
+   trusted stack (an immutable frame list, shared structurally), the
+   syscall/crossing counters, and the console length (restore truncates
+   rather than copies: replay after restore appends the same bytes). *)
+type checkpoint = {
+  ck_brk : int64;
+  ck_syscall_count : int;
+  ck_trusted_stack : frame list;
+  ck_ccalls : int;
+  ck_creturns : int;
+  ck_ctx_saves : int;
+  ck_ctx_restores : int;
+  ck_output_len : int;
+}
+
+let checkpoint t =
+  {
+    ck_brk = t.brk;
+    ck_syscall_count = t.syscall_count;
+    ck_trusted_stack = t.trusted_stack;
+    ck_ccalls = t.ccalls;
+    ck_creturns = t.creturns;
+    ck_ctx_saves = t.ctx_saves;
+    ck_ctx_restores = t.ctx_restores;
+    ck_output_len = Buffer.length t.output;
+  }
+
+let restore t (c : checkpoint) =
+  t.brk <- c.ck_brk;
+  t.syscall_count <- c.ck_syscall_count;
+  t.trusted_stack <- c.ck_trusted_stack;
+  t.ccalls <- c.ck_ccalls;
+  t.creturns <- c.ck_creturns;
+  t.ctx_saves <- c.ck_ctx_saves;
+  t.ctx_restores <- c.ck_ctx_restores;
+  Buffer.truncate t.output c.ck_output_len

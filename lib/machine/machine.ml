@@ -129,6 +129,17 @@ type t = {
   sb_pc : int array;
   sb_code : Insn.t array array;
   sb_snoop : Mem.Snoop.t;
+  (* Byte-per-page map of every physical page the decode cache has been
+     filled from since the last [invalidate_icache].  Superblocks are
+     formed exclusively from decode-resident entries, so the map also
+     covers every translated region.  [restore] consults it: a rewound
+     page flagged here may hold bytes some warm decode entry was formed
+     from, so the warm tiers are invalidated — the SMC-coherence
+     contract extended across checkpoint/restore.  (Page-granular, not a
+     convex hull like [sb_snoop]: the hull of code regions would span
+     the data pages between them and false-positive on every chunk's
+     mailbox writes.) *)
+  code_pages : Bytes.t;
   mutable sb_translations : int; (* superblocks formed (host counter) *)
   mutable sb_dispatches : int; (* block entries (host counter) *)
   mutable sb_retired : int; (* instructions retired inside blocks *)
@@ -190,6 +201,7 @@ let create ?(config = default_config) () =
     sb_pc = Array.make sb_slots (-1);
     sb_code = Array.make sb_slots [||];
     sb_snoop = Mem.Snoop.create ();
+    code_pages = Bytes.make (max 1 ((config.mem_size + 4095) lsr 12)) '\000';
     sb_translations = 0;
     sb_dispatches = 0;
     sb_retired = 0;
@@ -870,6 +882,7 @@ let fetch t =
 (* Execute a single instruction, routing exceptions to the kernel model. *)
 let invalidate_icache t =
   Array.fill t.decode_pc 0 decode_slots (-1);
+  Bytes.fill t.code_pages 0 (Bytes.length t.code_pages) '\000';
   flush_superblocks t
 
 (* Route an in-flight exception to the kernel model: the shared tail of
@@ -917,7 +930,12 @@ let step t =
         in
         if representable then begin
           Array.unsafe_set t.decode_pc slot ipc;
-          Array.unsafe_set t.decode_insn slot insn
+          Array.unsafe_set t.decode_insn slot insn;
+          (* Every decode-cache fill flags its page for [restore]'s SMC
+             check; superblock regions are subsets of decode-resident
+             PCs, so one site covers both tiers.  [fetch] bounds-checked
+             the PC, so the page index is in range. *)
+          Bytes.unsafe_set t.code_pages (ipc lsr 12) '\001'
         end;
         insn
       end
@@ -1225,3 +1243,110 @@ let read_counters t =
   Mem.Hierarchy.fill_counters t.hier c;
   (match t.probe with Some p -> Obs.Probe.fill p c | None -> ());
   c
+
+(* --- architectural checkpoint / restore --------------------------------- *)
+
+(* A post-boot architectural checkpoint: the warm-server fast-reset
+   primitive (docs/PERFORMANCE.md).  [checkpoint] captures every piece of
+   architectural state — register files, CP0, physical memory (arming
+   dirty-page tracking so [restore] only touches pages written since),
+   tag table, TLB, cache-hierarchy model state, and the architectural
+   counters.  [restore] puts all of it back bit-exactly while
+   deliberately keeping the *host-side* decode cache and superblock
+   translations warm: hits charge identical architectural costs, so
+   replay from a restored checkpoint is observationally equal to replay
+   from the moment the checkpoint was taken.
+
+   Staleness across the rewind is impossible: [code_pages] flags every
+   page the decode cache was filled from, and the physical memory's
+   dirty map records every page written since the checkpoint.  If the
+   two intersect, some warm entry may describe bytes the restore
+   rewinds — whichever order the store and the decode happened in — and
+   the warm tiers are invalidated.  Host hooks (kernel callback,
+   trace/step/store hooks, probe) and the engine selection are
+   deliberately not part of the checkpoint; they are configuration, not
+   architectural state. *)
+type checkpoint = {
+  ck_regs : Regs.t;
+  ck_caps : Cap.Capability.t array;
+  ck_pcc : Cap.Capability.t;
+  ck_pc : int64;
+  ck_mode : Cp0.mode;
+  ck_exl : bool;
+  ck_epc : int64;
+  ck_badvaddr : int64;
+  ck_last_exc : Cp0.exc option;
+  ck_count : int64;
+  ck_capcause : Cap.Cause.t;
+  ck_capcause_reg : int;
+  ck_phys : Mem.Phys.snapshot;
+  ck_tags : Mem.Tags.snapshot;
+  ck_hier : Mem.Hierarchy.snapshot;
+  ck_cycles : int;
+  ck_instret : int;
+  ck_ll_bit : bool;
+  ck_ll_addr : int64;
+  ck_stores : int;
+  ck_kernel_entries : int;
+}
+
+let checkpoint t =
+  {
+    ck_regs = Regs.copy t.regs;
+    ck_caps = Array.copy t.caps;
+    ck_pcc = t.pcc;
+    ck_pc = t.pc;
+    ck_mode = t.cp0.Cp0.mode;
+    ck_exl = t.cp0.Cp0.exl;
+    ck_epc = t.cp0.Cp0.epc;
+    ck_badvaddr = t.cp0.Cp0.badvaddr;
+    ck_last_exc = t.cp0.Cp0.last_exc;
+    ck_count = t.cp0.Cp0.count;
+    ck_capcause = t.cp0.Cp0.capcause;
+    ck_capcause_reg = t.cp0.Cp0.capcause_reg;
+    ck_phys = Mem.Phys.snapshot t.phys;
+    ck_tags = Mem.Tags.snapshot t.tags;
+    ck_hier = Mem.Hierarchy.snapshot t.hier;
+    ck_cycles = t.cycles;
+    ck_instret = t.instret;
+    ck_ll_bit = t.ll_bit;
+    ck_ll_addr = t.ll_addr;
+    ck_stores = t.stores;
+    ck_kernel_entries = t.kernel_entries;
+  }
+
+(* Restore the machine to [c]; returns the number of physical pages
+   rewound.  O(dirty pages), not O(memory). *)
+let restore t (c : checkpoint) =
+  (* Decide SMC coherence before the dirty map is cleared. *)
+  let dirty = Mem.Phys.dirty_pages t.phys in
+  let smc =
+    List.exists
+      (fun p -> p < Bytes.length t.code_pages && Bytes.unsafe_get t.code_pages p <> '\000')
+      dirty
+  in
+  List.iter
+    (fun p -> Mem.Tags.restore_page t.tags c.ck_tags ~page_bytes:Mem.Phys.page_bytes p)
+    dirty;
+  let pages = Mem.Phys.restore t.phys c.ck_phys in
+  Mem.Hierarchy.restore t.hier c.ck_hier;
+  Regs.load t.regs c.ck_regs;
+  Array.blit c.ck_caps 0 t.caps 0 32;
+  t.pcc <- c.ck_pcc;
+  t.pc <- c.ck_pc;
+  t.cp0.Cp0.mode <- c.ck_mode;
+  t.cp0.Cp0.exl <- c.ck_exl;
+  t.cp0.Cp0.epc <- c.ck_epc;
+  t.cp0.Cp0.badvaddr <- c.ck_badvaddr;
+  t.cp0.Cp0.last_exc <- c.ck_last_exc;
+  t.cp0.Cp0.count <- c.ck_count;
+  t.cp0.Cp0.capcause <- c.ck_capcause;
+  t.cp0.Cp0.capcause_reg <- c.ck_capcause_reg;
+  t.cycles <- c.ck_cycles;
+  t.instret <- c.ck_instret;
+  t.ll_bit <- c.ck_ll_bit;
+  t.ll_addr <- c.ck_ll_addr;
+  t.stores <- c.ck_stores;
+  t.kernel_entries <- c.ck_kernel_entries;
+  if smc then invalidate_icache t;
+  pages

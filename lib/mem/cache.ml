@@ -181,6 +181,57 @@ let flush t =
   Array.iter (Array.iter (fun l -> l.valid <- false; l.dirty <- false)) t.data;
   t.mru_line <- -1
 
+(* Snapshot/restore for the warm-server reset: residency, tags, dirty
+   bits, LRU order, and stats are captured into flat int arrays (one
+   copy, no per-line allocation on restore) and written back in place.
+   The MRU front is emptied like [flush] does — the next access takes
+   the full way search, which makes identical counter and LRU updates,
+   so replay after restore is bit-exact. *)
+type snapshot = {
+  s_tag : int array; (* [set * assoc + way] *)
+  s_lru : int array;
+  s_flags : Bytes.t; (* bit0 valid, bit1 dirty *)
+  s_tick : int;
+  s_hits : int;
+  s_misses : int;
+  s_writebacks : int;
+}
+
+let snapshot t =
+  let n = t.sets * t.assoc in
+  let s_tag = Array.make n 0 and s_lru = Array.make n 0 and s_flags = Bytes.make n '\000' in
+  for s = 0 to t.sets - 1 do
+    let set = t.data.(s) in
+    for w = 0 to t.assoc - 1 do
+      let l = set.(w) in
+      let i = (s * t.assoc) + w in
+      s_tag.(i) <- l.tag;
+      s_lru.(i) <- l.lru;
+      Bytes.unsafe_set s_flags i
+        (Char.unsafe_chr ((if l.valid then 1 else 0) lor if l.dirty then 2 else 0))
+    done
+  done;
+  { s_tag; s_lru; s_flags; s_tick = t.tick; s_hits = t.hits; s_misses = t.misses; s_writebacks = t.writebacks }
+
+let restore t (s : snapshot) =
+  for set = 0 to t.sets - 1 do
+    let ways = t.data.(set) in
+    for w = 0 to t.assoc - 1 do
+      let l = ways.(w) in
+      let i = (set * t.assoc) + w in
+      let f = Char.code (Bytes.unsafe_get s.s_flags i) in
+      l.tag <- s.s_tag.(i);
+      l.lru <- s.s_lru.(i);
+      l.valid <- f land 1 <> 0;
+      l.dirty <- f land 2 <> 0
+    done
+  done;
+  t.tick <- s.s_tick;
+  t.hits <- s.s_hits;
+  t.misses <- s.s_misses;
+  t.writebacks <- s.s_writebacks;
+  t.mru_line <- -1
+
 let pp_stats ppf t =
   let total = t.hits + t.misses in
   Fmt.pf ppf "%s: %d accesses, %d misses (%.2f%%), %d writebacks" t.name total

@@ -64,3 +64,13 @@ val reset_stats : t -> unit
 val flush : t -> unit
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Snapshot / restore} — residency, dirty bits, LRU order, and stats
+    captured into flat arrays and restored in place; the host-only MRU
+    front is emptied (bit-exact — the full way search it fronts makes
+    identical updates). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

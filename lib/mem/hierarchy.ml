@@ -320,6 +320,53 @@ let reset_stats t =
   t.store_bytes <- 0;
   t.tag_dram_accesses <- 0
 
+(* Snapshot/restore for the warm-server reset: compose the caches' and
+   TLB's snapshots with the hierarchy's own traffic accumulators. *)
+type snapshot = {
+  s_l1i : Cache.snapshot;
+  s_l1d : Cache.snapshot;
+  s_l2 : Cache.snapshot;
+  s_tag_cache : Cache.snapshot;
+  s_tlb : Tlb.snapshot;
+  s_dram_read_bytes : int;
+  s_dram_write_bytes : int;
+  s_loads : int;
+  s_stores : int;
+  s_load_bytes : int;
+  s_store_bytes : int;
+  s_tag_dram_accesses : int;
+}
+
+let snapshot t =
+  {
+    s_l1i = Cache.snapshot t.l1i;
+    s_l1d = Cache.snapshot t.l1d;
+    s_l2 = Cache.snapshot t.l2;
+    s_tag_cache = Cache.snapshot t.tag_cache;
+    s_tlb = Tlb.snapshot t.tlb;
+    s_dram_read_bytes = t.dram_read_bytes;
+    s_dram_write_bytes = t.dram_write_bytes;
+    s_loads = t.loads;
+    s_stores = t.stores;
+    s_load_bytes = t.load_bytes;
+    s_store_bytes = t.store_bytes;
+    s_tag_dram_accesses = t.tag_dram_accesses;
+  }
+
+let restore t (s : snapshot) =
+  Cache.restore t.l1i s.s_l1i;
+  Cache.restore t.l1d s.s_l1d;
+  Cache.restore t.l2 s.s_l2;
+  Cache.restore t.tag_cache s.s_tag_cache;
+  Tlb.restore t.tlb s.s_tlb;
+  t.dram_read_bytes <- s.s_dram_read_bytes;
+  t.dram_write_bytes <- s.s_dram_write_bytes;
+  t.loads <- s.s_loads;
+  t.stores <- s.s_stores;
+  t.load_bytes <- s.s_load_bytes;
+  t.store_bytes <- s.s_store_bytes;
+  t.tag_dram_accesses <- s.s_tag_dram_accesses
+
 let pp_stats ppf t =
   Fmt.pf ppf "@[<v>%a@,%a@,%a@,%a@,TLB: %d hits, %d misses@,DRAM: %d B read, %d B written (%d tag fills)@]"
     Cache.pp_stats t.l1i Cache.pp_stats t.l1d Cache.pp_stats t.l2

@@ -29,3 +29,30 @@ val set_u64 : t -> int -> int64 -> unit
 
 val read_bytes : t -> int64 -> int -> bytes
 val write_bytes : t -> int64 -> bytes -> unit
+
+(** {1 Snapshot / restore}
+
+    Every write path marks its 4 KiB page dirty; {!snapshot} copies the
+    whole image once and clears the dirty map, after which {!restore}
+    only blits back the pages written since — the fast-reset primitive
+    behind the warm server pool (docs/PERFORMANCE.md). *)
+
+val page_bytes : int
+(** Dirty-tracking granule: 4096. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the full image and start dirty tracking from a clean slate.
+    Taking a new snapshot invalidates earlier ones (stamp check). *)
+
+val restore : t -> snapshot -> int
+(** Blit back every dirty page from the snapshot and clear the dirty
+    map; returns the number of pages restored.  @raise Invalid_argument
+    on a snapshot made stale by a later {!snapshot}. *)
+
+val dirty_pages : t -> int list
+(** Page indices written since the last {!snapshot} (ascending). *)
+
+val pages : t -> int
+(** Total pages in the dirty map. *)

@@ -66,6 +66,27 @@ let clear_range t addr size =
   done;
   fire t ~set:false ~addr
 
+(* Snapshot/restore for the warm-server reset: the tag table is tiny
+   (one bit per line, a few KiB for a 16 MiB machine) so the snapshot is
+   a plain copy; restore follows the physical memory's dirty-page list,
+   blitting back the byte range of tag bits covering each dirty page.
+   With line_bytes >= 16 and 4 KiB pages each page covers a whole number
+   of tag bytes, so the blit is byte-aligned; the arithmetic clamps for
+   safety anyway. *)
+type snapshot = Bytes.t
+
+let snapshot t = Bytes.copy t.bits
+
+let restore_page t (snap : snapshot) ~page_bytes p =
+  let lines_per_page = page_bytes / t.line_bytes in
+  let first_bit = p * lines_per_page in
+  let first = first_bit lsr 3 in
+  let last = (first_bit + lines_per_page - 1) lsr 3 in
+  let last = min last (Bytes.length t.bits - 1) in
+  if first <= last then Bytes.blit snap first t.bits first (last - first + 1)
+
+let restore_all t (snap : snapshot) = Bytes.blit snap 0 t.bits 0 (Bytes.length t.bits)
+
 let count_set t =
   let n = ref 0 in
   Bytes.iter

@@ -39,3 +39,16 @@ val clear_range : t -> int64 -> int -> unit
 
 (** Number of tagged lines (used by sweeps and tests). *)
 val count_set : t -> int
+
+(** {1 Snapshot / restore} — rides the physical memory's dirty-page
+    list: {!restore_page} blits back the tag bits covering one dirty
+    [page_bytes]-sized physical page. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore_page : t -> snapshot -> page_bytes:int -> int -> unit
+
+(** Restore the whole table (tests / non-dirty-tracked callers). *)
+val restore_all : t -> snapshot -> unit

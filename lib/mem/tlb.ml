@@ -69,6 +69,8 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable version : int; (* bumped by map/unmap; lets restore skip the
+                            page-table copy when mappings never changed *)
 }
 
 let create ?(entries = 256) () =
@@ -88,6 +90,7 @@ let create ?(entries = 256) () =
     tick = 0;
     hits = 0;
     misses = 0;
+    version = 0;
   }
 
 (* Addresses are below 2^63, so the VPN fits a native int. *)
@@ -101,6 +104,7 @@ let map t ~vaddr ~len prot =
   for p = first to last do
     Hashtbl.replace t.table p prot
   done;
+  t.version <- t.version + 1;
   invalidate_prot_memo t
 
 let protection t vaddr =
@@ -214,6 +218,7 @@ let unmap t ~vaddr ~len =
     Hashtbl.remove t.table p;
     evict_page t p
   done;
+  t.version <- t.version + 1;
   invalidate_prot_memo t
 
 let reset_stats t =
@@ -221,3 +226,55 @@ let reset_stats t =
   t.misses <- 0
 
 let mapped_pages t = Hashtbl.length t.table
+
+(* Snapshot/restore for the warm-server reset.  Architectural state
+   (page table, residency set, LRU ticks, hit/miss stats) is restored
+   exactly; the host-only fast paths (last-translation cache, residency
+   and protection memos) are merely emptied — a memo miss takes the slow
+   path, which performs the identical hit/miss decision, counter update,
+   and LRU tick write, so replay after restore is bit-exact.  The page
+   table copy is skipped on restore when [version] shows no map/unmap
+   happened since the snapshot (the common case: servers never remap). *)
+type snapshot = {
+  s_version : int;
+  s_table : (int, prot) Hashtbl.t;
+  s_slot_of : (int, int) Hashtbl.t;
+  s_slot_vpn : int array;
+  s_slot_tick : int array;
+  s_used : int;
+  s_tick : int;
+  s_hits : int;
+  s_misses : int;
+}
+
+let snapshot t =
+  {
+    s_version = t.version;
+    s_table = Hashtbl.copy t.table;
+    s_slot_of = Hashtbl.copy t.slot_of;
+    s_slot_vpn = Array.copy t.slot_vpn;
+    s_slot_tick = Array.copy t.slot_tick;
+    s_used = t.used;
+    s_tick = t.tick;
+    s_hits = t.hits;
+    s_misses = t.misses;
+  }
+
+let restore t (s : snapshot) =
+  if t.version <> s.s_version then begin
+    Hashtbl.reset t.table;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.table k v) s.s_table;
+    t.version <- s.s_version
+  end;
+  Hashtbl.reset t.slot_of;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.slot_of k v) s.s_slot_of;
+  Array.blit s.s_slot_vpn 0 t.slot_vpn 0 t.entries;
+  Array.blit s.s_slot_tick 0 t.slot_tick 0 t.entries;
+  t.used <- s.s_used;
+  t.tick <- s.s_tick;
+  t.hits <- s.s_hits;
+  t.misses <- s.s_misses;
+  t.last_vpn <- -1;
+  t.last_slot <- -1;
+  invalidate_prot_memo t;
+  Array.fill t.slot_memo_vpn 0 slot_memo_slots (-1)

@@ -46,6 +46,7 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable version : int;
 }
 
 val create : ?entries:int -> unit -> t
@@ -66,3 +67,13 @@ val touch : t -> int64 -> bool
 val flush : t -> unit
 val reset_stats : t -> unit
 val mapped_pages : t -> int
+
+(** {1 Snapshot / restore} — architectural state (page table, residency,
+    LRU ticks, stats) restored exactly; host-only memos are emptied,
+    which is bit-exact because the slow paths they front make identical
+    hit/miss decisions and counter updates. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

@@ -57,6 +57,20 @@ let tick t ~instret =
 
 let samples t = List.rev t.rev_samples
 
+(* Freeze a sampler mid-stream: an independent series with the same
+   interval, samples, delta base, and next boundary, sharing only the
+   (stateless) counter-read closure.  The serving pool clones the
+   boot-period series out of a server's checkpoint so every warm chunk
+   starts its timeline with exactly the samples — and exactly the
+   sampler state — a cold boot would have accumulated. *)
+let copy t =
+  {
+    t with
+    base = Counters.copy t.base;
+    rev_samples =
+      List.map (fun s -> { s with delta = Counters.copy s.delta }) t.rev_samples;
+  }
+
 let append src ~instret_offset ~cycles_offset ~into =
   List.iter
     (fun s ->

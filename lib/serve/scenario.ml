@@ -321,3 +321,36 @@ let router_source ~isolation ~n =
   line "table:";
   line "  .space %d" (max_workers * 64);
   Buffer.contents b
+
+(* --- build memoization ---------------------------------------------------- *)
+
+(* Router assembly and worker-unit compilation are pure functions of
+   (isolation, n): memoize them process-wide so neither the warm pool nor
+   the cold path re-assembles identical programs for every chunk.  The
+   cached values are immutable after construction — an assembled program's
+   symbol table is only ever read — so sharing one across Exp.Pool domains
+   is safe; the mutex guards only the tables. *)
+let memo_lock = Mutex.create ()
+let router_memo : (isolation * int, Asm.Assembler.program) Hashtbl.t = Hashtbl.create 8
+let units_memo : (isolation * int, unit_img array) Hashtbl.t = Hashtbl.create 8
+
+let memoized tbl key build =
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      match Hashtbl.find_opt tbl key with
+      | Some v -> v
+      | None ->
+          let v = build () in
+          Hashtbl.replace tbl key v;
+          v)
+
+(* The assembled router for (isolation, n), built once per process. *)
+let router_program ~isolation ~n =
+  memoized router_memo (isolation, n) (fun () ->
+      Asm.Assembler.assemble (router_source ~isolation ~n))
+
+(* The worker-unit images for (isolation, n), built once per process. *)
+let units ~isolation ~n =
+  memoized units_memo (isolation, n) (fun () -> Array.init n (build_unit ~isolation))

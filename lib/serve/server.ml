@@ -37,11 +37,22 @@ type t = {
   mutable serve_pc : int64;
   stack_ptr : int64;
   units : Scenario.unit_img array;
-  span : Obs.Span.t; (* kernel "ccall" span: in-compartment time *)
-  crossing : Obs.Hist.t; (* per-crossing duration histogram (cycles) *)
-  trace : Obs.Trace.t option; (* cycle-timestamped request/kernel timeline *)
-  series : Obs.Series.t option; (* retirement-driven counter time-series *)
+  (* The observability scope of the *current chunk*: mutable because a
+     pooled server gets a fresh scope from [reset] for every chunk it
+     serves, exactly as a cold-booted server gets fresh ones from
+     [create] — warm and cold chunks observe through identical, empty
+     collectors. *)
+  mutable span : Obs.Span.t; (* kernel "ccall" span: in-compartment time *)
+  mutable crossing : Obs.Hist.t; (* per-crossing duration histogram (cycles) *)
+  mutable trace : Obs.Trace.t option; (* cycle-timestamped request/kernel timeline *)
+  mutable series : Obs.Series.t option; (* retirement-driven counter time-series *)
   mutable last_trap : (Cp0.exc * Cap.Cause.t) option;
+  mutable checkpoint : (Machine.checkpoint * Os.Kernel.checkpoint * Obs.Series.t option) option;
+      (* the post-boot architectural state [reset] rewinds to, plus a
+         frozen copy of the boot-period counter series: a cold server's
+         sampler runs from [create], so its chunk series opens with the
+         boot samples — every warm chunk clones this prefix (and the
+         sampler's delta base / next boundary) to match byte-for-byte *)
 }
 
 let request_budget = 2_000_000L
@@ -49,8 +60,42 @@ let boot_budget = 1_000_000L
 
 let config = { Machine.default_config with Machine.mem_size = Scenario.mem_size }
 
+(* Install a fresh per-chunk observability scope: a new crossing
+   histogram and "ccall" span, the chunk's trace collector (or none),
+   and the series step hook (or none).  Shared by [create] and [reset]
+   so a warm chunk starts with exactly the collectors a cold one gets. *)
+let install_obs ~trace ~series t =
+  let crossing = Obs.Hist.create ~name:"domain crossing [cycles]" () in
+  let span =
+    Obs.Span.create ~durations:crossing ~read:(fun () -> Os.Kernel.read_counters t.kernel) ()
+  in
+  (* The kernel records CCall/CReturn/trap trace events itself (it owns
+     the cycle of each transition), so the span does not get the trace —
+     phase events belong to coarser phases, not kernel crossings. *)
+  (match trace with
+  | Some tr ->
+      Obs.Trace.set_labels tr (Scenario.otype_labels ~n:t.n_workers);
+      (* Only sampled requests record: stay disarmed through boot and
+         until the first [begin_request]. *)
+      Obs.Trace.skip_request tr
+  | None -> ());
+  Os.Kernel.set_obs ~span ?trace t.kernel;
+  (match series with
+  | Some s ->
+      Machine.set_step_hook t.machine
+        (Some (fun m -> Obs.Series.tick s ~instret:m.Machine.instret))
+  | None -> Machine.set_step_hook t.machine None);
+  t.span <- span;
+  t.crossing <- crossing;
+  t.trace <- trace;
+  t.series <- series
+
 let create ?(engine = Machine.Superblock) ?attrib ?trace ?series_interval ~isolation ~n () =
   if n < 1 || n > Scenario.max_workers then invalid_arg "Server.create: n";
+  if n land (n - 1) <> 0 then
+    (* serve_one routes with [route land (n_workers - 1)], which silently
+       misroutes for a non-power-of-two worker count. *)
+    invalid_arg "Server.create: n must be a power of two";
   let machine = Machine.create ~config () in
   Machine.set_engine machine engine;
   (* An attribution table labels the scenario's regions so misses come
@@ -62,32 +107,6 @@ let create ?(engine = Machine.Superblock) ?attrib ?trace ?series_interval ~isola
       Machine.set_probe machine (Some (Obs.Probe.create ~attrib:a ()))
   | None -> ());
   let kernel = Os.Kernel.attach machine in
-  let crossing = Obs.Hist.create ~name:"domain crossing [cycles]" () in
-  let span =
-    Obs.Span.create ~durations:crossing ~read:(fun () -> Os.Kernel.read_counters kernel) ()
-  in
-  (* The kernel records CCall/CReturn/trap trace events itself (it owns
-     the cycle of each transition), so the span does not get the trace —
-     phase events belong to coarser phases, not kernel crossings. *)
-  (match trace with
-  | Some tr ->
-      Obs.Trace.set_labels tr (Scenario.otype_labels ~n);
-      (* Only sampled requests record: stay disarmed through boot and
-         until the first [begin_request]. *)
-      Obs.Trace.skip_request tr
-  | None -> ());
-  Os.Kernel.set_obs ~span ?trace kernel;
-  let series =
-    match series_interval with
-    | Some interval ->
-        let s =
-          Obs.Series.create ~interval ~read:(fun () -> Os.Kernel.read_counters kernel) ()
-        in
-        Machine.set_step_hook machine
-          (Some (fun m -> Obs.Series.tick s ~instret:m.Machine.instret));
-        Some s
-    | None -> None
-  in
   let t =
     {
       machine;
@@ -96,14 +115,22 @@ let create ?(engine = Machine.Superblock) ?attrib ?trace ?series_interval ~isola
       n_workers = n;
       serve_pc = 0L;
       stack_ptr = Int64.sub kernel.Os.Kernel.stack_top 64L;
-      units = Array.init n (Scenario.build_unit ~isolation);
-      span;
-      crossing;
-      trace;
-      series;
+      units = Scenario.units ~isolation ~n;
+      span = Obs.Span.create ~read:(fun () -> Os.Kernel.read_counters kernel) ();
+      crossing = Obs.Hist.create ~name:"domain crossing [cycles]" ();
+      trace = None;
+      series = None;
       last_trap = None;
+      checkpoint = None;
     }
   in
+  let series =
+    Option.map
+      (fun interval ->
+        Obs.Series.create ~interval ~read:(fun () -> Os.Kernel.read_counters kernel) ())
+      series_interval
+  in
+  install_obs ~trace ~series t;
   Os.Kernel.set_fault_handler kernel (fun _k fault ->
       t.last_trap <- Some (fault.Os.Kernel.exc, fault.Os.Kernel.capcause);
       Machine.Halt (-2));
@@ -120,9 +147,7 @@ let seed_heap t (u : Scenario.unit_img) =
    the trusted loader that seals the worker capability pairs. *)
 let boot t =
   let m = t.machine in
-  let router =
-    Asm.Assembler.assemble (Scenario.router_source ~isolation:t.isolation ~n:t.n_workers)
-  in
+  let router = Scenario.router_program ~isolation:t.isolation ~n:t.n_workers in
   Os.Kernel.exec t.kernel router;
   Machine.map_identity m ~vaddr:Scenario.mailbox ~len:0x1_0000 Mem.Tlb.prot_rwx;
   Array.iteri
@@ -142,9 +167,47 @@ let boot t =
   (match Machine.run_result ~max_insns:boot_budget m with
   | Machine.Exited 0 -> ()
   | r -> Fmt.failwith "Server.boot: router boot failed: %a" Machine.pp_run_result r);
-  match Asm.Assembler.symbol router "serve" with
+  (match Asm.Assembler.symbol router "serve" with
   | Some pc -> t.serve_pc <- pc
-  | None -> invalid_arg "Server.boot: router lacks a serve symbol"
+  | None -> invalid_arg "Server.boot: router lacks a serve symbol");
+  (* Arm the fast-reset point: everything architectural as of this
+     instant, plus the boot-period sample prefix each warm chunk's
+     series must open with.  [reset] rewinds to here in O(dirty pages). *)
+  t.checkpoint <-
+    Some (Machine.checkpoint m, Os.Kernel.checkpoint t.kernel, Option.map Obs.Series.copy t.series)
+
+(* Rewind a booted server to its post-boot state and hand it a fresh
+   observability scope: the warm-pool replacement for [create] + [boot].
+   Architectural state (registers, memory, tags, TLB, cache models,
+   counters) returns bit-exactly to the checkpoint, so a chunk served
+   after [reset] produces byte-identical responses, latencies, counters,
+   and trace events to one served from a cold boot; the host-side decode
+   cache and superblock translations deliberately stay warm (they charge
+   identical architectural costs on hits, and [Machine.restore]
+   invalidates them if any rewound page intersects decoded code). *)
+let reset ?trace ?series_interval t =
+  match t.checkpoint with
+  | None -> invalid_arg "Server.reset: server was never booted"
+  | Some (mck, kck, boot_series) ->
+      ignore (Machine.restore t.machine mck : int);
+      Os.Kernel.restore t.kernel kck;
+      t.last_trap <- None;
+      (* A cold chunk's series starts sampling at [create], so its
+         timeline opens with the boot-period samples; a warm chunk gets
+         the same prefix — and the same sampler state — by cloning the
+         checkpointed boot series.  That only exists if the server was
+         created with a sampler at the same interval, so a pool must
+         boot its servers with the interval its chunks will use. *)
+      let series =
+        match series_interval with
+        | None -> None
+        | Some interval -> (
+            match boot_series with
+            | Some bs when Obs.Series.interval bs = interval -> Some (Obs.Series.copy bs)
+            | Some _ -> invalid_arg "Server.reset: series interval differs from boot"
+            | None -> invalid_arg "Server.reset: server was booted without a series")
+      in
+      install_obs ~trace ~series t
 
 (* --- the request path ----------------------------------------------------- *)
 

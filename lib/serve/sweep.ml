@@ -45,6 +45,11 @@ type cfg = {
   jobs : int;
   no_wall : bool; (* zero wall clocks: fully deterministic output *)
   trace : trace_cfg option; (* None: no collector, zero overhead *)
+  cold : bool;
+      (* true: boot a fresh server for every chunk (the pre-pooling
+         behaviour, kept as an escape hatch and as the bit-exactness
+         reference); false: serve each chunk from a per-domain warm
+         server rewound by [Server.reset] *)
 }
 
 let default_cfg =
@@ -57,6 +62,7 @@ let default_cfg =
     jobs = 1;
     no_wall = false;
     trace = None;
+    cold = false;
   }
 
 let chunk_size = 4096
@@ -93,6 +99,10 @@ type result = {
   points : point_result list;
   costs : crossing_cost list;
   digests_match : bool;
+  wall_s : float;
+      (* host wall clock of the whole sweep (fan-out included) — the
+         honest denominator for host-side serving throughput; 0 under
+         --no-wall so deterministic exports stay byte-identical *)
 }
 
 (* --- chunk execution ------------------------------------------------------ *)
@@ -155,6 +165,20 @@ type chunk_out = {
   ch_wall : float;
 }
 
+(* The warm-server pool: one booted machine per (isolation, n, engine,
+   series interval) that this domain has seen, rewound by [Server.reset]
+   between chunks instead of rebuilt by [create] + [boot].  The series
+   interval is part of the key because a chunk's counter series opens
+   with boot-period samples — a server can only be rewound into a chunk
+   whose sampler matches the one it booted under.  Chunk output is
+   bit-identical either way (the restore is architecturally exact and
+   every observer is chunk-scoped); only host-side boot work is saved.
+   Domain-local (see [Exp.Pool.Cache]): at most [cap] live servers per
+   pool domain, about 35 MB each at the scenario's 16 MiB memory. *)
+let server_pool :
+    (Scenario.isolation * int * Machine.engine * int option, Server.t) Exp.Pool.Cache.t =
+  Exp.Pool.Cache.create ~cap:16 ()
+
 let run_chunk (cfg : cfg) point ~index ~count =
   let t0 = Unix.gettimeofday () in
   let trace =
@@ -166,10 +190,33 @@ let run_chunk (cfg : cfg) point ~index ~count =
     match cfg.trace with Some { series; _ } -> series | None -> None
   in
   let server =
-    Server.create ~engine:cfg.engine ?trace ?series_interval ~isolation:point.isolation
-      ~n:point.n ()
+    if cfg.cold then begin
+      let s =
+        Server.create ~engine:cfg.engine ?trace ?series_interval ~isolation:point.isolation
+          ~n:point.n ()
+      in
+      Server.boot s;
+      s
+    end
+    else begin
+      let s =
+        Exp.Pool.Cache.find_or_make server_pool
+          (point.isolation, point.n, cfg.engine, series_interval)
+          (fun () ->
+            (* Boot without a trace: a cold server's collector is
+               disarmed until its first request anyway, so booting
+               traceless is observationally identical. *)
+            let s =
+              Server.create ~engine:cfg.engine ?series_interval ~isolation:point.isolation
+                ~n:point.n ()
+            in
+            Server.boot s;
+            s)
+      in
+      Server.reset ?trace ?series_interval s;
+      s
+    end
   in
-  Server.boot server;
   let reqs = Workload.gen_chunk ~mix:cfg.mix ~base_seed:cfg.base_seed ~index ~count in
   let before = Server.counters server in
   let served = ref 0
@@ -342,6 +389,7 @@ let run cfg =
       if n < 1 || n > Scenario.max_workers || n land (n - 1) <> 0 then
         invalid_arg "Sweep.run: ns must be powers of two in [1, 8]")
     cfg.ns;
+  let t0 = Unix.gettimeofday () in
   let points =
     List.concat_map
       (fun n -> [ { isolation = Scenario.Mono; n }; { isolation = Scenario.Compart; n } ])
@@ -375,7 +423,13 @@ let run cfg =
         Int64.equal (find Scenario.Mono n).digest (find Scenario.Compart n).digest)
       cfg.ns
   in
-  { cfg; points = results; costs; digests_match }
+  {
+    cfg;
+    points = results;
+    costs;
+    digests_match;
+    wall_s = (if cfg.no_wall then 0.0 else Unix.gettimeofday () -. t0);
+  }
 
 (* --- reporting ------------------------------------------------------------ *)
 
@@ -384,8 +438,17 @@ let sorted_latencies pr =
   Array.sort compare a;
   a
 
-let requests_per_s pr =
+let requests_per_s (pr : point_result) =
   if pr.wall_s <= 0.0 then 0.0 else float_of_int pr.requests /. pr.wall_s
+
+(* Host-side serving throughput over the whole sweep: every point
+   replays the full request stream, so the numerator is requests x
+   points; the denominator is the sweep's real wall clock, fan-out
+   included (unlike a point's [wall_s], which sums per-chunk clocks
+   across domains).  Zero under --no-wall. *)
+let host_requests_per_s r =
+  if r.wall_s <= 0.0 then 0.0
+  else float_of_int (r.cfg.requests * List.length r.points) /. r.wall_s
 
 let pp_result ppf r =
   Fmt.pf ppf "@[<v>";
@@ -410,8 +473,13 @@ let pp_result ppf r =
     (fun c ->
       Fmt.pf ppf "%-6d %9d %9d %9d %10.1f@," c.cost_n c.p50 c.p90 c.p99 c.mean)
     r.costs;
-  Fmt.pf ppf "@,response digests %s across isolation modes@]"
-    (if r.digests_match then "match" else "MISMATCH")
+  Fmt.pf ppf "@,response digests %s across isolation modes"
+    (if r.digests_match then "match" else "MISMATCH");
+  if r.wall_s > 0.0 then
+    Fmt.pf ppf "@,host throughput: %.0f requests/s (%d requests x %d points in %.2f s, %s path)"
+      (host_requests_per_s r) r.cfg.requests (List.length r.points) r.wall_s
+      (if r.cfg.cold then "cold" else "warm");
+  Fmt.pf ppf "@]"
 
 (* --- JSON export (cheri-serve/1) ------------------------------------------ *)
 
@@ -470,6 +538,10 @@ let to_json r =
       ("requests", Obs.Json.Int (Int64.of_int r.cfg.requests));
       ("seed", Obs.Json.String (Printf.sprintf "0x%Lx" r.cfg.base_seed));
       ("digests_match", Obs.Json.Bool r.digests_match);
+      (* Host-side fields (additive to /2): zero under --no-wall, so the
+         deterministic report stays byte-identical warm or cold. *)
+      ("wall_s", Obs.Json.Float r.wall_s);
+      ("host_requests_per_s", Obs.Json.Float (host_requests_per_s r));
       ("points", Obs.Json.List (List.map point_to_json r.points));
       ( "crossing_cost",
         Obs.Json.List
@@ -500,9 +572,15 @@ let obs_entries r =
   List.map
     (fun pr ->
       let s = sorted_latencies pr in
+      (* Architectural counters only (sb_* / samples zeroed): those
+         host-side fields depend on how warm the engine's translation
+         caches are, so leaving them in would make the export differ
+         between warm-pool and --cold runs of the same sweep.  The diff
+         policy already ignores them, so committed baselines that
+         predate the zeroing still compare clean. *)
       let spans =
         (if Int64.equal (Obs.Counters.get pr.ccall_span Obs.Counters.instret) 0L then []
-         else [ ("ccall", pr.ccall_span) ])
+         else [ ("ccall", architectural_counters pr.ccall_span) ])
         @ [
             pseudo_span "lat_p50" (percentile s 0.50);
             pseudo_span "lat_p99" (percentile s 0.99);
@@ -521,7 +599,7 @@ let obs_entries r =
         mode = Scenario.isolation_name pr.point.isolation;
         param = pr.point.n;
         wall_s = pr.wall_s;
-        counters = pr.counters;
+        counters = architectural_counters pr.counters;
         spans;
       })
     r.points

@@ -12,8 +12,11 @@
      - the cross-isolation digest: the same stream through the sealed
        CCall router and the monolithic baseline must produce identical
        response streams;
-     - parallel determinism: the full cheri-serve/1 JSON built with a
+     - parallel determinism: the full cheri-serve JSON built with a
        3-domain pool must be byte-identical to the sequential one;
+     - warm/cold identity: the sweep serves chunks from warm pooled
+       servers ([Server.reset]) by default; its JSON must be
+       byte-identical to a --cold run that boots every chunk afresh;
      - the committed baseline: the obs-schema export must diff clean
        against bench/baselines/SERVE_obs.json (exact architectural
        counters, latency and crossing-cost pseudo-spans included).
@@ -59,6 +62,12 @@ let () =
       let pooled = Obs.Json.to_string (Serve.Sweep.to_json (Serve.Sweep.run (cfg 3))) in
       if not (String.equal sequential pooled) then
         fail "3-domain sweep JSON differs from sequential";
+      let cold =
+        Obs.Json.to_string
+          (Serve.Sweep.to_json (Serve.Sweep.run { (cfg 1) with Serve.Sweep.cold = true }))
+      in
+      if not (String.equal sequential cold) then
+        fail "warm-pool sweep JSON differs from cold-boot reference";
       match Obs.Baseline.load baseline_path with
       | Error msg -> fail "%s" msg
       | Ok committed ->

@@ -724,6 +724,130 @@ loop:
   Alcotest.(check int64) "accumulator agrees" (Machine.gpr mp 10) (Machine.gpr ms 10);
   Alcotest.(check int64) "epc agrees" mp.Machine.cp0.Cp0.epc ms.Machine.cp0.Cp0.epc
 
+(* Checkpoint/restore round-trip: freeze a machine mid-program, let it
+   run to completion, rewind, and rerun — digest, counters, and memory
+   must retrace exactly.  This is the contract the serving pool's warm
+   reset stands on. *)
+let test_checkpoint_restore_roundtrip () =
+  let m = Machine.create () in
+  Machine.set_engine m Machine.Superblock;
+  let k = Os.Kernel.attach m in
+  let source =
+    {|
+main:
+  li $t0, 0x200000
+  li $a0, 0x400000
+  li $v0, 3
+  syscall
+  li $t1, 0
+  li $t2, 2000
+loop:
+  sd $t1, 0($t0)
+  daddiu $t0, $t0, 64
+  daddiu $t1, $t1, 3
+  daddiu $t2, $t2, -1
+  bgtz $t2, loop
+  li $v0, 1
+  li $a0, 0
+  syscall
+|}
+  in
+  Os.Kernel.exec k (Asm.Assembler.assemble source);
+  (* partway into the loop *)
+  ignore (Machine.run_result ~max_insns:500L m);
+  let mid =
+    (Machine.state_digest m, m.Machine.cycles, m.Machine.instret,
+     Mem.Phys.read_u64 m.Machine.phys 0x207D00L)
+  in
+  let ck = Machine.checkpoint m in
+  let code = Machine.run ~max_insns:1_000_000L m in
+  Alcotest.(check int) "first run exits" 0 code;
+  let fin =
+    (Machine.state_digest m, m.Machine.cycles, m.Machine.instret,
+     Mem.Phys.read_u64 m.Machine.phys 0x207D00L)
+  in
+  Alcotest.(check bool) "the probe word was written after the checkpoint" true (mid <> fin);
+  let pages = Machine.restore m ck in
+  Alcotest.(check bool) "restore rewound dirtied pages" true (pages > 0);
+  Alcotest.(check bool) "restored state matches the checkpoint instant" true
+    (mid
+    = (Machine.state_digest m, m.Machine.cycles, m.Machine.instret,
+       Mem.Phys.read_u64 m.Machine.phys 0x207D00L));
+  let code = Machine.run ~max_insns:1_000_000L m in
+  Alcotest.(check int) "rerun exits" 0 code;
+  Alcotest.(check bool) "rerun retraces the first run exactly" true
+    (fin
+    = (Machine.state_digest m, m.Machine.cycles, m.Machine.instret,
+       Mem.Phys.read_u64 m.Machine.phys 0x207D00L))
+
+(* SMC coherence across restore, both directions: (a) code decoded (and
+   superblock-pinned) after the checkpoint must not survive a rewind of
+   its page — restore intersects the rewound dirty pages with the pages
+   the decode cache was filled from and flushes on overlap; (b) the
+   store-snoop over translated regions keeps working after a restore, so
+   post-restore patches still retire stale superblocks. *)
+let test_checkpoint_smc_coherence () =
+  let m = Machine.create () in
+  Machine.set_engine m Machine.Superblock;
+  Machine.set_timing m false;
+  Machine.set_kernel m (fun _ ctx ->
+      match ctx.Machine.exc with
+      | Cp0.Breakpoint -> Machine.Halt 0
+      | e -> Alcotest.failf "unexpected exception: %s" (Cp0.exc_to_string e));
+  Machine.map_identity m ~vaddr:0L ~len:(1 lsl 20) Mem.Tlb.prot_rwx;
+  let target = 0x10000L in
+  let original = Code.encode (Insn.Daddiu (3, 0, 1)) in
+  Mem.Phys.write_u32 m.Machine.phys target original;
+  Mem.Phys.write_u32 m.Machine.phys (Int64.add target 4L) (Code.encode Insn.Break);
+  let patcher = 0x10100L in
+  Mem.Phys.write_u32 m.Machine.phys patcher (Code.encode (Insn.Store (Insn.W, 9, 8, 0)));
+  Mem.Phys.write_u32 m.Machine.phys (Int64.add patcher 4L) (Code.encode Insn.Break);
+  let run_at pc =
+    m.Machine.pc <- pc;
+    ignore (Machine.run ~max_insns:100L m)
+  in
+  (* two passes pin a superblock over the target before the checkpoint *)
+  run_at target;
+  run_at target;
+  Alcotest.(check int64) "original insn executed" 1L (Machine.gpr m 3);
+  let ck = Machine.checkpoint m in
+  (* post-checkpoint SMC: patch, synchronize, execute the new code — the
+     decode cache and superblock tier now hold the patched instruction *)
+  Machine.set_gpr m 8 target;
+  Machine.set_gpr m 9 (Int64.of_int (Code.encode (Insn.Daddiu (3, 0, 2))));
+  run_at patcher;
+  Machine.invalidate_icache m;
+  Machine.set_gpr m 3 0L;
+  run_at target;
+  Alcotest.(check int64) "patched insn executed after sync" 2L (Machine.gpr m 3);
+  (* rewind: memory holds the original word again, and the cached decode
+     of the patched one must not be served *)
+  ignore (Machine.restore m ck : int);
+  Alcotest.(check int) "restore rewound the patch" original
+    (Mem.Phys.read_u32 m.Machine.phys target);
+  Machine.set_gpr m 3 0L;
+  run_at target;
+  Alcotest.(check int64) "original insn executes after restore" 1L (Machine.gpr m 3);
+  (* re-pin (two passes), then patch after the restore: the
+     translated-region snoop must still retire the superblock, which
+     re-forms from the still-warm (stale) decode cache on the next run —
+     the plain engine's staleness contract, then freshness after sync *)
+  run_at target;
+  run_at target;
+  let formed = m.Machine.sb_translations in
+  Machine.set_gpr m 8 target;
+  Machine.set_gpr m 9 (Int64.of_int (Code.encode (Insn.Daddiu (3, 0, 9))));
+  run_at patcher;
+  Machine.set_gpr m 3 0L;
+  run_at target;
+  Alcotest.(check bool) "superblock re-translated after post-restore store" true
+    (m.Machine.sb_translations > formed);
+  Alcotest.(check int64) "stale decode until sync" 1L (Machine.gpr m 3);
+  Machine.invalidate_icache m;
+  Machine.set_gpr m 3 0L;
+  run_at target;
+  Alcotest.(check int64) "post-restore patch visible after sync" 9L (Machine.gpr m 3)
+
 let test_tag_controller_traffic () =
   (* Touching lots of distinct lines drives tag-table fills through the tag
      cache; its miss count must stay tiny relative to data misses (the
@@ -798,6 +922,8 @@ let suites =
         Alcotest.test_case "SMC superblock coherence" `Quick test_smc_superblock_coherence;
         Alcotest.test_case "engine trap differential" `Quick test_engine_trap_differential;
         Alcotest.test_case "tag controller traffic" `Quick test_tag_controller_traffic;
+        Alcotest.test_case "checkpoint/restore round-trip" `Quick test_checkpoint_restore_roundtrip;
+        Alcotest.test_case "checkpoint SMC coherence" `Quick test_checkpoint_smc_coherence;
       ] );
   ]
 

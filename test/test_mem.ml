@@ -95,6 +95,67 @@ let prop_tlb_reach =
       let lru_evicted = not (Mem.Tlb.touch t 0L) in
       all_hit && mru_resident && lru_evicted)
 
+(* Snapshot/restore with dirty-page tracking: every page written after
+   [snapshot] is tracked, [restore] rewinds the whole memory to the
+   snapshot image (touching only those pages), and the dirty map comes
+   back empty so a following restore is O(nothing). *)
+let prop_phys_snapshot_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"snapshot/restore rewinds dirtied pages exactly"
+    QCheck.(list_of_size Gen.(int_range 1 8) (int_bound 0xFFF8))
+    (fun addrs ->
+      let size = 0x10000 in
+      let p = Mem.Phys.create ~size_bytes:size in
+      for i = 0 to (size / 8) - 1 do
+        Mem.Phys.write_u64 p (Int64.of_int (i * 8)) (Int64.of_int ((i * 1103515245) + 12345))
+      done;
+      let snap = Mem.Phys.snapshot p in
+      List.iter (fun a -> Mem.Phys.write_u64 p (Int64.of_int a) 0xDEAD_BEEF_0BAD_F00DL) addrs;
+      let dirty = Mem.Phys.dirty_pages p in
+      let tracked = List.for_all (fun a -> List.mem (a / Mem.Phys.page_bytes) dirty) addrs in
+      let restored = Mem.Phys.restore p snap in
+      let intact = ref true in
+      for i = 0 to (size / 8) - 1 do
+        if
+          not
+            (Int64.equal
+               (Mem.Phys.read_u64 p (Int64.of_int (i * 8)))
+               (Int64.of_int ((i * 1103515245) + 12345)))
+        then intact := false
+      done;
+      tracked && restored = List.length dirty && !intact && Mem.Phys.dirty_pages p = [])
+
+(* A snapshot is tied to the dirty map that was cleared when it was
+   taken: once a newer snapshot exists, restoring an older one would
+   rewind pages the map no longer tracks, so it must be refused. *)
+let test_phys_snapshot_stale () =
+  let p = Mem.Phys.create ~size_bytes:0x1800 in
+  (* non-page-multiple size: the last (partial) page restores clamped *)
+  Mem.Phys.write_u64 p 0x1400L 7L;
+  let s1 = Mem.Phys.snapshot p in
+  Mem.Phys.write_u64 p 0x1400L 9L;
+  let _s2 = Mem.Phys.snapshot p in
+  (match Mem.Phys.restore p s1 with
+  | _ -> Alcotest.fail "stale snapshot accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int64) "newer snapshot's image stands" 9L (Mem.Phys.read_u64 p 0x1400L)
+
+(* Tag-table restore is page-granular so Machine.restore can rewind tags
+   for exactly the pages whose data it rewinds. *)
+let test_tags_restore_page () =
+  let t = Mem.Tags.create ~mem_size:0x4000 () in
+  Mem.Tags.set t 0x1000L true;
+  Mem.Tags.set t 0x2020L true;
+  let snap = Mem.Tags.snapshot t in
+  Mem.Tags.set t 0x1000L false;
+  Mem.Tags.set t 0x2020L false;
+  Mem.Tags.set t 0x1040L true;
+  Mem.Tags.restore_page t snap ~page_bytes:0x1000 1;
+  Alcotest.(check bool) "page 1 tag restored" true (Mem.Tags.get t 0x1000L);
+  Alcotest.(check bool) "page 1 spurious tag cleared" false (Mem.Tags.get t 0x1040L);
+  Alcotest.(check bool) "page 2 untouched by page-1 restore" false (Mem.Tags.get t 0x2020L);
+  Mem.Tags.restore_all t snap;
+  Alcotest.(check bool) "restore_all recovers page 2" true (Mem.Tags.get t 0x2020L)
+
 (* Cache.create indexes by shift/mask, so it must reject geometries the
    fast path cannot represent — with messages that say which parameter
    is at fault. *)
@@ -159,7 +220,13 @@ let suites =
         prop_cache_rehit;
         prop_cache_working_set;
         prop_tlb_reach;
+        prop_phys_snapshot_roundtrip;
       ];
+    ( "mem-snapshot",
+      [
+        Alcotest.test_case "stale snapshot refused" `Quick test_phys_snapshot_stale;
+        Alcotest.test_case "tags restore by page" `Quick test_tags_restore_page;
+      ] );
     ( "mem-hierarchy",
       [
         Alcotest.test_case "cache geometry validation" `Quick test_cache_geometry_validation;

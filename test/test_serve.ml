@@ -214,6 +214,51 @@ let test_trace_zero_perturbation () =
       | Some tr -> Alcotest.(check bool) "events recorded" true (Obs.Trace.recorded tr > 0))
     r.Serve.Sweep.points
 
+(* The warm-server pool's whole contract: a sweep served by rewinding
+   pooled servers ([Server.reset]) must produce byte-identical exports
+   to one that cold-boots every chunk — the full cheri-serve report,
+   the obs-schema export, the trace digest, and the Chrome document
+   (responses, latencies, counters, series, and trace events all ride
+   in those four).  6000 requests = two chunks per point, so the second
+   chunk of each point really reuses a server the first chunk dirtied. *)
+let test_warm_cold_bit_identical () =
+  let cfg cold =
+    {
+      Serve.Sweep.default_cfg with
+      Serve.Sweep.requests = 6000;
+      ns = [ 2 ];
+      no_wall = true;
+      cold;
+      trace = Some { Serve.Sweep.stride = 8; capacity = 1 lsl 14; series = Some 2000 };
+    }
+  in
+  let rc = Serve.Sweep.run (cfg true) and rw = Serve.Sweep.run (cfg false) in
+  Alcotest.(check string) "cheri-serve report identical"
+    (Obs.Json.to_string (Serve.Sweep.to_json rc))
+    (Obs.Json.to_string (Serve.Sweep.to_json rw));
+  Alcotest.(check string) "obs export identical"
+    (Obs.Json.to_string (Obs.Export.summary (Serve.Sweep.obs_entries rc)))
+    (Obs.Json.to_string (Obs.Export.summary (Serve.Sweep.obs_entries rw)));
+  Alcotest.(check string) "trace digest identical"
+    (Obs.Json.to_string (Serve.Sweep.trace_obs_json rc))
+    (Obs.Json.to_string (Serve.Sweep.trace_obs_json rw));
+  Alcotest.(check string) "chrome trace identical"
+    (Obs.Json.to_string (Serve.Sweep.chrome_json rc))
+    (Obs.Json.to_string (Serve.Sweep.chrome_json rw))
+
+(* [serve_one] routes with [route land (n - 1)]: a non-power-of-two
+   worker count would silently misroute, so [create] must refuse it. *)
+let test_non_power_of_two_rejected () =
+  List.iter
+    (fun n ->
+      match Serve.Server.create ~isolation:Serve.Scenario.Compart ~n () with
+      | _ -> Alcotest.failf "n=%d accepted" n
+      | exception Invalid_argument _ -> ())
+    [ 3; 5; 6; 7 ];
+  match Serve.Server.reset (Serve.Server.create ~isolation:Serve.Scenario.Mono ~n:1 ()) with
+  | () -> Alcotest.fail "reset of a never-booted server accepted"
+  | exception Invalid_argument _ -> ()
+
 (* The per-request-class histograms partition the stream: the class
    totals sum to the request count, and rejected cells match the
    tallies. *)
@@ -266,5 +311,7 @@ let suites =
         Alcotest.test_case "all-malformed sweep" `Quick test_all_malformed_sweep;
         Alcotest.test_case "trace zero perturbation" `Quick test_trace_zero_perturbation;
         Alcotest.test_case "class hists partition" `Quick test_class_hists_partition;
+        Alcotest.test_case "warm = cold bit-identical" `Quick test_warm_cold_bit_identical;
+        Alcotest.test_case "non-power-of-two rejected" `Quick test_non_power_of_two_rejected;
       ] );
   ]
